@@ -1,0 +1,118 @@
+// Ablation: the two log-collection strategies of Section 4.4.
+//
+//  * RAM buffer: only the synchronous 102-cycle cost during the monitored
+//    window; the 800-entry buffer caps the observable horizon.
+//  * Continuous drain: a low-priority task empties the buffer whenever the
+//    CPU is idle, writing to an external port; the paper reports this
+//    costs 4-15% of CPU time across its instrumented applications, and
+//    Quanto accounts for it as its own activity (like top).
+//
+// The bench runs the same workload under both modes and a logging-disabled
+// baseline, reporting dropped entries, CPU shares, and the perturbation
+// logging itself introduces.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/apps/timer_calibration.h"
+
+namespace quanto {
+namespace {
+
+struct ModeResult {
+  uint64_t logged = 0;
+  uint64_t dropped = 0;
+  size_t retained = 0;
+  double sync_share_active = 0.0;
+  double drain_share_total = 0.0;
+  double cpu_active_ms = 0.0;
+};
+
+ModeResult RunMode(QuantoLogger::Mode mode, size_t capacity, bool continuous,
+                   bool enabled) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = capacity;
+  cfg.log_mode = mode;
+  Mote mote(&queue, nullptr, cfg);
+  mote.logger().SetEnabled(enabled);
+  if (continuous) {
+    mote.EnableContinuousDrain();
+  }
+
+  // A busy workload: the timer app with its 16 Hz calibration interrupt
+  // generates a steady event stream.
+  TimerCalibrationApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(20));
+
+  ModeResult r;
+  r.logged = mote.logger().entries_logged();
+  r.dropped = mote.logger().entries_dropped();
+  r.retained = mote.logger().Trace().size();
+  Tick active = mote.cpu().ActiveTime(queue.Now()) +
+                mote.cpu().idle_charged_cycles();
+  r.cpu_active_ms = TicksToSeconds(active) * 1000.0;
+  r.sync_share_active =
+      active > 0 ? static_cast<double>(mote.logger().sync_cycles_spent()) /
+                       static_cast<double>(active)
+                 : 0.0;
+
+  // Drain cost: time the CPU spent under the Logger activity.
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  ActivityAccountant accountant(nullptr, ActivityAccountant::Options{});
+  auto accounts = accountant.Run(events, mote.id());
+  Tick drain = accounts.TimeFor(kSinkCpu, mote.Label(kActLogger));
+  r.drain_share_total = static_cast<double>(drain) /
+                        static_cast<double>(queue.Now());
+  return r;
+}
+
+int Run() {
+  ModeResult off = RunMode(QuantoLogger::Mode::kRamBuffer, 800, false, false);
+  ModeResult ram = RunMode(QuantoLogger::Mode::kRamBuffer, 800, false, true);
+  ModeResult cont =
+      RunMode(QuantoLogger::Mode::kContinuous, 800, true, true);
+
+  PrintSection(std::cout,
+               "Ablation: RAM-buffer vs continuous-drain logging (20 s of a "
+               "timer workload, 800-entry buffer)");
+  TextTable t({"mode", "logged", "dropped", "retained", "sync cost/active",
+               "drain CPU share", "CPU active (ms)"});
+  t.AddRow({"disabled", std::to_string(off.logged),
+            std::to_string(off.dropped), std::to_string(off.retained), "-",
+            "-", TextTable::Num(off.cpu_active_ms, 1)});
+  t.AddRow({"RAM buffer", std::to_string(ram.logged),
+            std::to_string(ram.dropped), std::to_string(ram.retained),
+            Pct(ram.sync_share_active, 1), "-",
+            TextTable::Num(ram.cpu_active_ms, 1)});
+  t.AddRow({"continuous", std::to_string(cont.logged),
+            std::to_string(cont.dropped), std::to_string(cont.retained),
+            Pct(cont.sync_share_active, 1), Pct(cont.drain_share_total, 2),
+            TextTable::Num(cont.cpu_active_ms, 1)});
+  t.Print(std::cout);
+  PaperNote("RAM mode: only the synchronous cost during monitoring, but the");
+  PaperNote("buffer caps the horizon (dumps pause logging). Continuous mode");
+  PaperNote("used 4-15% of CPU for the instrumented applications.");
+
+  std::cout << "\n  shape: RAM mode drops once the 800-entry buffer fills: "
+            << (ram.dropped > 0 ? "PASS" : "FAIL") << "\n";
+  std::cout << "  shape: continuous mode retains everything: "
+            << ((cont.dropped == 0 &&
+                 cont.retained == cont.logged)
+                    ? "PASS"
+                    : "FAIL")
+            << "\n";
+  std::cout << "  shape: drain runs only on otherwise-idle CPU (share < "
+               "15%): "
+            << (cont.drain_share_total < 0.15 ? "PASS" : "FAIL") << "\n";
+  std::cout << "  shape: logging perturbs CPU activity (active time grows): "
+            << (ram.cpu_active_ms > off.cpu_active_ms ? "PASS" : "FAIL")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace quanto
+
+int main() { return quanto::Run(); }

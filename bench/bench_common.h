@@ -1,0 +1,68 @@
+// Shared helpers for the table/figure reproduction benches.
+#ifndef QUANTO_BENCH_BENCH_COMMON_H_
+#define QUANTO_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/regression.h"
+#include "src/analysis/trace.h"
+#include "src/apps/mote.h"
+#include "src/util/table.h"
+
+namespace quanto {
+
+// Runs the standard offline pipeline on a mote's log: parse, extract
+// intervals, build and solve the WLS regression (with collinearity
+// reduction).
+struct AnalysisBundle {
+  std::vector<TraceEvent> events;
+  std::vector<PowerInterval> intervals;
+  RegressionProblem problem;
+  PipelineResult regression;
+};
+
+inline AnalysisBundle AnalyzeMote(Mote& mote) {
+  AnalysisBundle bundle;
+  bundle.events = TraceParser::Parse(mote.logger().Trace());
+  bundle.intervals = ExtractPowerIntervals(
+      bundle.events, mote.meter().config().energy_per_pulse);
+  bundle.problem = BuildRegressionProblem(bundle.intervals);
+  bundle.regression = SolveQuanto(bundle.problem);
+  return bundle;
+}
+
+// Activity accountant built from a bundle's regression.
+inline ActivityAccountant MakeAccountant(const AnalysisBundle& bundle) {
+  ActivityAccountant::Options opts;
+  if (bundle.regression.ok && !bundle.problem.columns.empty()) {
+    opts.constant_power =
+        bundle.regression.coefficients[bundle.problem.columns.size() - 1];
+  }
+  return ActivityAccountant(
+      PowerFromRegression(bundle.problem, bundle.regression.coefficients),
+      opts);
+}
+
+inline std::string Ma(double microamps) {
+  return TextTable::Num(microamps / 1000.0, 2);
+}
+inline std::string Mw(double microwatts) {
+  return TextTable::Num(microwatts / 1000.0, 2);
+}
+inline std::string Mj(double microjoules) {
+  return TextTable::Num(microjoules / 1000.0, 2);
+}
+inline std::string Pct(double frac, int precision = 2) {
+  return TextTable::Num(frac * 100.0, precision) + "%";
+}
+
+inline void PaperNote(const std::string& note) {
+  std::cout << "  [paper] " << note << "\n";
+}
+
+}  // namespace quanto
+
+#endif  // QUANTO_BENCH_BENCH_COMMON_H_

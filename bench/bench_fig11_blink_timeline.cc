@@ -1,0 +1,146 @@
+// Figure 11 reproduction: activity and power profiles for a 48-second run
+// of Blink.
+//
+// (a) how each hardware component divided its time among activities, with
+//     the aggregate power envelope measured by iCount;
+// (b) a ~4 ms zoom on the all-on -> all-off transition at t = 8 s, showing
+//     the int_TIMER proxy, VTimer, and the Red/Green/Blue activities in
+//     succession on the CPU;
+// (c) the stacked power reconstruction from the regression's per-component
+//     draws overlaid (numerically compared) with the oscilloscope truth.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/analysis/export.h"
+#include "src/apps/blink.h"
+
+namespace quanto {
+namespace {
+
+int Run() {
+  EventQueue queue;
+  Mote::Config config;
+  Mote mote(&queue, nullptr, config);
+
+  ActivityRegistry registry;
+  BlinkApp::RegisterActivities(&registry);
+  BlinkApp blink(&mote);
+  blink.Start();
+  queue.RunFor(Seconds(48));
+
+  auto bundle = AnalyzeMote(mote);
+  auto spans = BuildActivitySpans(bundle.events);
+
+  // --- (a) full-run strips ----------------------------------------------------
+  PrintSection(std::cout,
+               "Figure 11(a): activities over 48 s (A=Red B=Green C=Blue "
+               "v=system x=proxy)");
+  struct Row {
+    const char* name;
+    res_id_t res;
+  };
+  Row rows[] = {{"CPU ", kSinkCpu},
+                {"Led0", kSinkLed0},
+                {"Led1", kSinkLed1},
+                {"Led2", kSinkLed2}};
+  for (const Row& row : rows) {
+    std::cout << "  " << row.name << " "
+              << RenderSpanStrip(spans, row.res, 0, Seconds(48), 72, registry)
+              << "\n";
+  }
+
+  // Power envelope, resampled over 72 buckets.
+  auto power = MeterPowerSeries(bundle.events,
+                                mote.meter().config().energy_per_pulse);
+  std::cout << "\n  aggregate power (mW) per 0.67 s bucket:\n  ";
+  for (int b = 0; b < 72; ++b) {
+    Tick t0 = Seconds(48) * b / 72;
+    Tick t1 = Seconds(48) * (b + 1) / 72;
+    double e = 0.0;
+    for (const auto& p : power) {
+      Tick lo = p.start > t0 ? p.start : t0;
+      Tick hi = p.end < t1 ? p.end : t1;
+      if (hi > lo) {
+        e += p.power * TicksToSeconds(hi - lo);
+      }
+    }
+    double mw = e / TicksToSeconds(t1 - t0) / 1000.0;
+    // 0..9 scale at 4 mW per step.
+    int level = static_cast<int>(mw / 4.0);
+    std::cout << (level > 9 ? '9' : static_cast<char>('0' + level));
+  }
+  std::cout << "\n";
+  PaperNote("8 distinct stable draws repeating every 8 s, 0..35 mW range");
+
+  // --- (b) transition zoom ------------------------------------------------------
+  PrintSection(std::cout,
+               "Figure 11(b): all-on -> all-off transition at t=8 s (4 ms)");
+  Tick z0 = Seconds(8) - Milliseconds(1);
+  Tick z1 = Seconds(8) + Milliseconds(3);
+  for (const Row& row : rows) {
+    std::cout << "  " << row.name << " "
+              << RenderSpanStrip(spans, row.res, z0, z1, 72, registry) << "\n";
+  }
+  // Print the CPU's activity sequence in the window.
+  std::cout << "  CPU sequence: ";
+  for (const auto& span : ActivitySpansFor(spans, kSinkCpu)) {
+    if (span.end > z0 && span.start < z1 && !IsIdleActivity(span.activity)) {
+      std::cout << registry.Name(span.activity) << "("
+                << (span.end - span.start) << "us) ";
+    }
+  }
+  std::cout << "\n";
+  PaperNote("int_TIMER fires, VTimer examines timers, yields to Red, Green,");
+  PaperNote("Blue in succession, VTimer bookkeeping, CPU sleeps");
+
+  // --- (c) reconstruction vs oscilloscope ---------------------------------------
+  PrintSection(std::cout,
+               "Figure 11(c): regression-reconstructed power vs oscilloscope");
+  if (!bundle.regression.ok) {
+    std::cerr << "regression failed: " << bundle.regression.error << "\n";
+    return 1;
+  }
+  auto power_fn =
+      PowerFromRegression(bundle.problem, bundle.regression.coefficients);
+  double const_uw =
+      bundle.regression.coefficients[bundle.problem.columns.size() - 1];
+  // Compare over each power interval.
+  double err_num = 0.0;
+  double err_den = 0.0;
+  for (const PowerInterval& interval : bundle.intervals) {
+    MicroWatts rebuilt = const_uw;
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      rebuilt += power_fn(static_cast<SinkId>(s), interval.states[s]);
+    }
+    MicroJoules rebuilt_e = rebuilt * interval.seconds();
+    MicroJoules scope_e =
+        mote.scope()->Energy(interval.start, interval.end);
+    err_num += (rebuilt_e - scope_e) * (rebuilt_e - scope_e);
+    err_den += scope_e * scope_e;
+  }
+  double rel = err_den > 0 ? std::sqrt(err_num / err_den) : 0.0;
+  std::cout << "  per-interval reconstruction vs scope, relative error: "
+            << Pct(rel, 3) << "\n";
+  MicroJoules total_scope = mote.scope()->Energy(0, queue.Now());
+  MicroJoules total_meter = mote.meter().MeteredEnergy();
+  std::cout << "  total energy: scope " << Mj(total_scope) << " mJ, meter "
+            << Mj(total_meter) << " mJ (delta "
+            << Pct(total_scope > 0
+                       ? (total_meter - total_scope) / total_scope
+                       : 0.0,
+                   3)
+            << ")\n";
+  PaperNote("paper: relative error 0.004% between Quanto total and");
+  PaperNote("reconstructed power-state traces; ~100 us time skew vs scope");
+
+  std::cout << "\n  shape: reconstruction error < 5%: "
+            << (rel < 0.05 ? "PASS" : "FAIL") << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace quanto
+
+int main() { return quanto::Run(); }

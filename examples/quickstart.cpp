@@ -1,0 +1,90 @@
+// Quickstart: run Blink on a simulated HydroWatch mote for 16 seconds,
+// then answer the paper's question — "where have all the joules gone?" —
+// with the regression (Section 2.5) and the activity accounting
+// (Section 3.4).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/regression.h"
+#include "src/analysis/trace.h"
+#include "src/apps/blink.h"
+#include "src/apps/mote.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace quanto;
+
+  // 1. A mote and an application.
+  EventQueue queue;
+  Mote::Config config;
+  config.id = 1;
+  Mote mote(&queue, /*medium=*/nullptr, config);
+
+  ActivityRegistry registry;
+  BlinkApp::RegisterActivities(&registry);
+  BlinkApp blink(&mote);
+  blink.Start();
+
+  // 2. Run 16 virtual seconds.
+  queue.RunFor(Seconds(16));
+
+  // 3. Offline analysis of the Quanto log.
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  auto intervals =
+      ExtractPowerIntervals(events, mote.meter().config().energy_per_pulse);
+  auto problem = BuildRegressionProblem(intervals);
+  auto regression = WeightedLeastSquares(
+      problem.x, problem.y, QuantoWeights(problem.energy, problem.seconds));
+  if (!regression.ok) {
+    std::cerr << "regression failed: " << regression.error << "\n";
+    return 1;
+  }
+
+  PrintSection(std::cout, "Estimated power draw per energy sink (regression)");
+  TextTable draws({"column", "current (mA)", "power (mW)"});
+  for (size_t i = 0; i < problem.columns.size(); ++i) {
+    double uw = regression.coefficients[i];
+    draws.AddRow({problem.columns[i].Name(),
+                  TextTable::Num(uw / mote.power_model().supply() / 1000.0),
+                  TextTable::Num(uw / 1000.0)});
+  }
+  draws.Print(std::cout);
+  std::cout << "  relative error ||Y-XPi||/||Y|| = "
+            << TextTable::Num(regression.relative_error * 100, 3) << "%\n";
+
+  // 4. Charge the energy to activities.
+  ActivityAccountant::Options opts;
+  int const_col = static_cast<int>(problem.columns.size()) - 1;
+  opts.constant_power = regression.coefficients[const_col];
+  ActivityAccountant accountant(
+      PowerFromRegression(problem, regression.coefficients), opts);
+  auto accounts = accountant.Run(events, mote.id());
+
+  PrintSection(std::cout, "Where the joules have gone (per activity)");
+  TextTable energy({"activity", "energy (mJ)"});
+  for (act_t act : accounts.Activities()) {
+    MicroJoules e = accounts.EnergyByActivity(act);
+    if (e > 1.0) {
+      energy.AddRow({registry.Name(act),
+                     TextTable::Num(MicroJoulesToMilliJoules(e))});
+    }
+  }
+  energy.AddRow({"Const.", TextTable::Num(MicroJoulesToMilliJoules(
+                               accounts.constant_energy))});
+  energy.AddRow({"Total (accounted)",
+                 TextTable::Num(MicroJoulesToMilliJoules(
+                     accounts.TotalEnergy()))});
+  energy.AddRow({"Total (meter)",
+                 TextTable::Num(MicroJoulesToMilliJoules(
+                     mote.meter().MeteredEnergy()))});
+  energy.Print(std::cout);
+
+  std::cout << "\nLog: " << mote.logger().entries_logged() << " entries, "
+            << mote.logger().sync_cycles_spent() << " cycles spent logging\n";
+  return 0;
+}

@@ -1,0 +1,249 @@
+#include "src/analysis/accounting.h"
+
+#include <array>
+
+namespace quanto {
+
+Tick ActivityAccounts::TimeFor(res_id_t res, act_t act) const {
+  auto it = time.find(UsageKey{res, act});
+  return it != time.end() ? it->second : 0;
+}
+
+MicroJoules ActivityAccounts::EnergyFor(res_id_t res, act_t act) const {
+  auto it = energy.find(UsageKey{res, act});
+  return it != energy.end() ? it->second : 0.0;
+}
+
+MicroJoules ActivityAccounts::EnergyByResource(res_id_t res) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy) {
+    if (key.res == res) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+MicroJoules ActivityAccounts::EnergyByActivity(act_t act) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy) {
+    if (key.act == act) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+std::set<act_t> ActivityAccounts::Activities() const {
+  std::set<act_t> out;
+  for (const auto& [key, t] : time) {
+    out.insert(key.act);
+  }
+  return out;
+}
+
+std::set<res_id_t> ActivityAccounts::Resources() const {
+  std::set<res_id_t> out;
+  for (const auto& [key, t] : time) {
+    out.insert(key.res);
+  }
+  return out;
+}
+
+MicroJoules ActivityAccounts::TotalEnergy() const {
+  MicroJoules total = constant_energy;
+  for (const auto& [key, e] : energy) {
+    total += e;
+  }
+  return total;
+}
+
+ActivityAccountant::ActivityAccountant(PowerFn power, const Options& options)
+    : power_(std::move(power)), options_(options) {}
+
+namespace {
+
+// Pending usage of one proxy label, per resource.
+struct PendingUsage {
+  std::map<res_id_t, Tick> time;
+  std::map<res_id_t, MicroJoules> energy;
+};
+
+}  // namespace
+
+ActivityAccounts ActivityAccountant::Run(const std::vector<TraceEvent>& events,
+                                         node_id_t node) const {
+  ActivityAccounts accounts;
+  if (events.empty()) {
+    return accounts;
+  }
+  act_t idle = MakeActivity(node, kActIdle);
+
+  // Per-resource replay state.
+  struct ResState {
+    powerstate_t state;
+    std::vector<act_t> acts;  // Singleton for single-activity devices.
+  };
+  std::array<ResState, kSinkCount> res{};
+  for (size_t s = 0; s < kSinkCount; ++s) {
+    res[s].state = BaselineState(static_cast<SinkId>(s));
+    res[s].acts = {idle};
+  }
+
+  std::map<act_t, PendingUsage> pending;
+
+  accounts.trace_start = events.front().time;
+  accounts.trace_end = events.back().time;
+  Tick prev_time = events.front().time;
+
+  auto split_share = [&](size_t n) {
+    if (options_.split) {
+      return options_.split(n);
+    }
+    return n > 0 ? 1.0 / static_cast<double>(n) : 1.0;
+  };
+
+  auto charge = [&](res_id_t r, act_t act, double share, Tick dt,
+                    MicroJoules e) {
+    Tick t_share = static_cast<Tick>(static_cast<double>(dt) * share);
+    MicroJoules e_share = e * share;
+    if (options_.fold_proxies && IsProxyActivity(act)) {
+      PendingUsage& p = pending[act];
+      p.time[r] += t_share;
+      p.energy[r] += e_share;
+      return;
+    }
+    accounts.time[UsageKey{r, act}] += t_share;
+    if (e_share != 0.0) {
+      accounts.energy[UsageKey{r, act}] += e_share;
+    }
+  };
+
+  auto accumulate = [&](Tick until) {
+    Tick dt = until > prev_time ? until - prev_time : 0;
+    if (dt == 0) {
+      return;
+    }
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      SinkId sink = static_cast<SinkId>(s);
+      MicroWatts p = power_ ? power_(sink, res[s].state) : 0.0;
+      MicroJoules e = p * TicksToSeconds(dt);
+      const std::vector<act_t>& acts = res[s].acts;
+      if (acts.empty()) {
+        charge(static_cast<res_id_t>(s), idle, 1.0, dt, e);
+      } else {
+        double share = split_share(acts.size());
+        for (act_t act : acts) {
+          charge(static_cast<res_id_t>(s), act, share, dt, e);
+        }
+      }
+    }
+    prev_time = until;
+  };
+
+  auto fold = [&](act_t proxy, act_t target) {
+    auto it = pending.find(proxy);
+    if (it == pending.end()) {
+      return;
+    }
+    for (const auto& [r, t] : it->second.time) {
+      accounts.time[UsageKey{r, target}] += t;
+    }
+    for (const auto& [r, e] : it->second.energy) {
+      if (e != 0.0) {
+        accounts.energy[UsageKey{r, target}] += e;
+      }
+    }
+    pending.erase(it);
+  };
+
+  for (const TraceEvent& event : events) {
+    accumulate(event.time);
+    if (event.res >= kSinkCount) {
+      continue;
+    }
+    ResState& r = res[event.res];
+    switch (event.type) {
+      case LogEntryType::kPowerState:
+        r.state = event.payload;
+        break;
+      case LogEntryType::kActivitySet:
+        r.acts = {static_cast<act_t>(event.payload)};
+        break;
+      case LogEntryType::kActivityBind: {
+        act_t target = static_cast<act_t>(event.payload);
+        act_t prev = r.acts.empty() ? idle : r.acts.front();
+        if (options_.fold_proxies && IsProxyActivity(prev) && prev != target) {
+          fold(prev, target);
+        }
+        r.acts = {target};
+        break;
+      }
+      case LogEntryType::kActivityAdd: {
+        act_t act = static_cast<act_t>(event.payload);
+        // Transition from the implicit idle singleton to a real set.
+        if (r.acts.size() == 1 && r.acts.front() == idle) {
+          r.acts.clear();
+        }
+        r.acts.push_back(act);
+        break;
+      }
+      case LogEntryType::kActivityRemove: {
+        act_t act = static_cast<act_t>(event.payload);
+        for (size_t i = 0; i < r.acts.size(); ++i) {
+          if (r.acts[i] == act) {
+            r.acts.erase(r.acts.begin() + static_cast<long>(i));
+            break;
+          }
+        }
+        if (r.acts.empty()) {
+          r.acts = {idle};
+        }
+        break;
+      }
+    }
+  }
+
+  // Unbound proxies keep their usage under their own label.
+  std::vector<act_t> leftovers;
+  for (const auto& [label, usage] : pending) {
+    leftovers.push_back(label);
+  }
+  for (act_t label : leftovers) {
+    auto it = pending.find(label);
+    for (const auto& [r, t] : it->second.time) {
+      accounts.time[UsageKey{r, label}] += t;
+    }
+    for (const auto& [r, e] : it->second.energy) {
+      if (e != 0.0) {
+        accounts.energy[UsageKey{r, label}] += e;
+      }
+    }
+  }
+
+  accounts.constant_energy =
+      options_.constant_power * TicksToSeconds(accounts.duration());
+  return accounts;
+}
+
+PowerFn PowerFromRegression(const RegressionProblem& problem,
+                            const std::vector<double>& coefficients) {
+  // Copy the needed mapping so the closure owns its data.
+  std::map<std::pair<uint8_t, powerstate_t>, double> table;
+  for (size_t i = 0; i < problem.columns.size() && i < coefficients.size();
+       ++i) {
+    const RegressionColumn& col = problem.columns[i];
+    if (!col.is_constant) {
+      table[{static_cast<uint8_t>(col.sink), col.state}] = coefficients[i];
+    }
+  }
+  return [table = std::move(table)](SinkId sink, powerstate_t state) {
+    if (state == BaselineState(sink)) {
+      return 0.0;
+    }
+    auto it = table.find({static_cast<uint8_t>(sink), state});
+    return it != table.end() ? it->second : 0.0;
+  };
+}
+
+}  // namespace quanto

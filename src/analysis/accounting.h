@@ -1,0 +1,107 @@
+// Activity accounting: turning the event log into the paper's Table 3 —
+// time per (hardware component, activity), energy per hardware component,
+// and energy per activity.
+//
+// Replay semantics follow Section 3.4:
+//  * Single-activity devices partition their time among activities.
+//  * Multi-activity devices divide each period's consumption equally among
+//    the activities in their set (the paper's default policy; pluggable).
+//  * Usage accrued under an interrupt proxy activity is held pending and
+//    folded into the real activity when a bind is observed; proxies that
+//    never bind (Figure 14's false-positive pxy_RX) retain their usage.
+//
+// Energy attribution uses a per-(sink, state) power function — typically
+// the regression's estimated draws, so that what the accountant charges is
+// exactly what Quanto can know, not simulator ground truth. Power above
+// each sink's baseline is attributable; the baseline draw of everything
+// plus the regression's constant term form the unattributed "Const." row.
+#ifndef QUANTO_SRC_ANALYSIS_ACCOUNTING_H_
+#define QUANTO_SRC_ANALYSIS_ACCOUNTING_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/trace.h"
+#include "src/core/activity.h"
+#include "src/hw/sinks.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+// Power a sink draws in a state *above its baseline state*, microwatts.
+using PowerFn = std::function<MicroWatts(SinkId, powerstate_t)>;
+
+// How a multi-activity device's usage is divided among its current set.
+// Receives the set size; returns the share (in [0,1]) of each member.
+// The default divides equally.
+using SplitPolicy = std::function<double(size_t set_size)>;
+
+struct UsageKey {
+  res_id_t res;
+  act_t act;
+  bool operator<(const UsageKey& other) const {
+    return res != other.res ? res < other.res : act < other.act;
+  }
+};
+
+struct ActivityAccounts {
+  Tick trace_start = 0;
+  Tick trace_end = 0;
+
+  std::map<UsageKey, Tick> time;          // Table 3(a).
+  std::map<UsageKey, MicroJoules> energy;
+
+  Tick duration() const { return trace_end - trace_start; }
+
+  Tick TimeFor(res_id_t res, act_t act) const;
+  MicroJoules EnergyFor(res_id_t res, act_t act) const;
+
+  // Attributable energy of one hardware component (Table 3(c), sans
+  // constant).
+  MicroJoules EnergyByResource(res_id_t res) const;
+  // Attributable energy of one activity across components (Table 3(d)).
+  MicroJoules EnergyByActivity(act_t act) const;
+
+  std::set<act_t> Activities() const;
+  std::set<res_id_t> Resources() const;
+
+  // Unattributed energy: constant-term power times duration.
+  MicroJoules constant_energy = 0.0;
+
+  MicroJoules TotalEnergy() const;
+};
+
+class ActivityAccountant {
+ public:
+  struct Options {
+    // Power of the regression's constant column, microwatts.
+    MicroWatts constant_power = 0.0;
+    // Fold proxy usage into bound activities (true reproduces the paper's
+    // accounting; false keeps proxies separate, as the zoomed plots do).
+    bool fold_proxies = true;
+    SplitPolicy split;  // Defaults to equal split when null.
+  };
+
+  ActivityAccountant(PowerFn power, const Options& options);
+
+  // Replays a single node's trace. `node` supplies the idle label for
+  // resources with an empty activity set.
+  ActivityAccounts Run(const std::vector<TraceEvent>& events,
+                       node_id_t node) const;
+
+ private:
+  PowerFn power_;
+  Options options_;
+};
+
+// Convenience PowerFn from a regression result: looks up (sink, state)
+// columns, returning 0 for baselines and unobserved states.
+PowerFn PowerFromRegression(const RegressionProblem& problem,
+                            const std::vector<double>& coefficients);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_ACCOUNTING_H_

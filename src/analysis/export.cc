@@ -1,0 +1,147 @@
+#include "src/analysis/export.h"
+
+#include <array>
+#include <map>
+#include <sstream>
+
+namespace quanto {
+
+std::vector<ActivitySpan> BuildActivitySpans(
+    const std::vector<TraceEvent>& events) {
+  std::vector<ActivitySpan> spans;
+  if (events.empty()) {
+    return spans;
+  }
+  // Current label and span-open time per resource.
+  struct Open {
+    bool active = false;
+    Tick since = 0;
+    act_t act = 0;
+  };
+  std::map<res_id_t, Open> open;
+
+  auto close_and_open = [&](res_id_t res, Tick now, act_t next) {
+    Open& o = open[res];
+    if (o.active && now > o.since) {
+      spans.push_back(ActivitySpan{res, o.since, now, o.act});
+    }
+    o.active = true;
+    o.since = now;
+    o.act = next;
+  };
+
+  for (const TraceEvent& event : events) {
+    switch (event.type) {
+      case LogEntryType::kActivitySet:
+      case LogEntryType::kActivityBind:
+      case LogEntryType::kActivityAdd:
+        close_and_open(event.res, event.time,
+                       static_cast<act_t>(event.payload));
+        break;
+      case LogEntryType::kActivityRemove: {
+        // Render removal as a return to "no label" only when it closes the
+        // currently displayed activity.
+        Open& o = open[event.res];
+        if (o.active && o.act == static_cast<act_t>(event.payload)) {
+          close_and_open(event.res, event.time, 0);
+        }
+        break;
+      }
+      case LogEntryType::kPowerState:
+        break;
+    }
+  }
+  Tick end = events.back().time;
+  for (auto& [res, o] : open) {
+    if (o.active && end > o.since) {
+      spans.push_back(ActivitySpan{res, o.since, end, o.act});
+    }
+  }
+  return spans;
+}
+
+std::vector<ActivitySpan> ActivitySpansFor(
+    const std::vector<ActivitySpan>& spans, res_id_t res) {
+  std::vector<ActivitySpan> out;
+  for (const ActivitySpan& span : spans) {
+    if (span.res == res) {
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+std::vector<PowerPoint> MeterPowerSeries(const std::vector<TraceEvent>& events,
+                                         MicroJoules energy_per_pulse) {
+  std::vector<PowerPoint> points;
+  for (size_t i = 1; i < events.size(); ++i) {
+    Tick dt = events[i].time - events[i - 1].time;
+    if (dt == 0) {
+      continue;
+    }
+    MicroJoules de = static_cast<double>(events[i].icount -
+                                         events[i - 1].icount) *
+                     energy_per_pulse;
+    points.push_back(PowerPoint{events[i - 1].time, events[i].time,
+                                de / TicksToSeconds(dt)});
+  }
+  return points;
+}
+
+std::vector<EnergyPoint> CumulativeEnergySeries(
+    const std::vector<TraceEvent>& events, MicroJoules energy_per_pulse) {
+  std::vector<EnergyPoint> points;
+  if (events.empty()) {
+    return points;
+  }
+  uint64_t base = events.front().icount;
+  for (const TraceEvent& event : events) {
+    points.push_back(EnergyPoint{
+        event.time,
+        static_cast<double>(event.icount - base) * energy_per_pulse});
+  }
+  return points;
+}
+
+std::string RenderSpanStrip(const std::vector<ActivitySpan>& spans,
+                            res_id_t res, Tick t0, Tick t1, size_t width,
+                            const ActivityRegistry& registry) {
+  (void)registry;
+  std::string strip(width, '.');
+  if (t1 <= t0 || width == 0) {
+    return strip;
+  }
+  double scale = static_cast<double>(width) / static_cast<double>(t1 - t0);
+  for (const ActivitySpan& span : spans) {
+    if (span.res != res || span.end <= t0 || span.start >= t1) {
+      continue;
+    }
+    if (IsIdleActivity(span.activity) || span.activity == 0) {
+      continue;
+    }
+    Tick lo = span.start > t0 ? span.start : t0;
+    Tick hi = span.end < t1 ? span.end : t1;
+    size_t a = static_cast<size_t>(static_cast<double>(lo - t0) * scale);
+    size_t b = static_cast<size_t>(static_cast<double>(hi - t0) * scale);
+    if (b >= width) {
+      b = width - 1;
+    }
+    // Mark the span with a character derived from the activity id so
+    // different activities are visually distinct in plain text.
+    act_id_t id = ActivityLocalId(span.activity);
+    char mark;
+    if (IsProxyActivity(span.activity)) {
+      mark = 'x';
+    } else if (IsSystemActivity(span.activity)) {
+      mark = 'v';
+    } else {
+      mark = static_cast<char>('A' + (id - 1) % 26);
+    }
+    for (size_t i = a; i <= b && i < width; ++i) {
+      strip[i] = mark;
+    }
+  }
+  return strip;
+}
+
+}  // namespace quanto

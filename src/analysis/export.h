@@ -1,0 +1,63 @@
+// Trace export helpers backing the figure-reproduction benches: activity
+// spans per hardware component (the coloured bars of Figures 11, 12, 15
+// and 16) and measured power series (the envelope curves of Figures 11(a),
+// 13 and 14).
+#ifndef QUANTO_SRC_ANALYSIS_EXPORT_H_
+#define QUANTO_SRC_ANALYSIS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/trace.h"
+#include "src/core/activity.h"
+#include "src/core/activity_registry.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+// A contiguous span during which one resource worked for one activity.
+struct ActivitySpan {
+  res_id_t res;
+  Tick start;
+  Tick end;
+  act_t activity;
+};
+
+// Builds per-resource activity spans from a trace (single-activity devices
+// only; multi-device sets are rendered as their first member for display).
+// Spans for a resource are contiguous and non-overlapping.
+std::vector<ActivitySpan> BuildActivitySpans(
+    const std::vector<TraceEvent>& events);
+
+// Spans restricted to one resource.
+std::vector<ActivitySpan> ActivitySpansFor(
+    const std::vector<ActivitySpan>& spans, res_id_t res);
+
+// Aggregate power measured by the meter between successive log entries:
+// one (time, microwatts) point per inter-entry interval.
+struct PowerPoint {
+  Tick start;
+  Tick end;
+  MicroWatts power;
+};
+std::vector<PowerPoint> MeterPowerSeries(const std::vector<TraceEvent>& events,
+                                         MicroJoules energy_per_pulse);
+
+// Cumulative metered energy (microjoules) sampled at each log entry — the
+// staircase of Figure 13.
+struct EnergyPoint {
+  Tick time;
+  MicroJoules energy;
+};
+std::vector<EnergyPoint> CumulativeEnergySeries(
+    const std::vector<TraceEvent>& events, MicroJoules energy_per_pulse);
+
+// Renders one resource's span timeline as a text strip chart row (for the
+// bench binaries' figure output).
+std::string RenderSpanStrip(const std::vector<ActivitySpan>& spans,
+                            res_id_t res, Tick t0, Tick t1, size_t width,
+                            const ActivityRegistry& registry);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_EXPORT_H_

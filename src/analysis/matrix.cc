@@ -1,0 +1,105 @@
+#include "src/analysis/matrix.h"
+
+#include <cmath>
+
+namespace quanto {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t.at(c, r) = at(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double v = at(r, k);
+      if (v == 0.0) {
+        continue;
+      }
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_ && c < v.size(); ++c) {
+      acc += at(r, c) * v[c];
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix id(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    id.at(i, i) = 1.0;
+  }
+  return id;
+}
+
+std::optional<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                     std::vector<double> b) {
+  size_t n = a.rows();
+  if (n == 0 || a.cols() != n || b.size() != n) {
+    return std::nullopt;
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return std::nullopt;  // Singular: states not linearly independent.
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    double diag = a.at(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.at(r, col) / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) {
+      acc -= a.at(ri, c) * x[c];
+    }
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace quanto

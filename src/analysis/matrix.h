@@ -1,0 +1,47 @@
+// Minimal dense linear algebra for the Section 2.5 regression. The systems
+// involved are tiny (columns = active power states, at most a few dozen),
+// so a straightforward Gaussian elimination with partial pivoting is both
+// sufficient and easy to audit.
+#ifndef QUANTO_SRC_ANALYSIS_MATRIX_H_
+#define QUANTO_SRC_ANALYSIS_MATRIX_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace quanto {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& other) const;
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b by Gaussian elimination with partial pivoting. Returns
+// nullopt when A is (numerically) singular — which for the Quanto
+// regression means the observed power states are not linearly independent
+// (Section 5.2's limitation) and the caller should report it rather than
+// fabricate draws.
+std::optional<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                     std::vector<double> b);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_MATRIX_H_

@@ -1,0 +1,72 @@
+#include "src/analysis/network_ledger.h"
+
+namespace quanto {
+
+void NetworkLedger::AddNode(node_id_t node,
+                            const ActivityAccounts& accounts) {
+  nodes_.insert(node);
+  for (act_t act : accounts.Activities()) {
+    MicroJoules e = accounts.EnergyByActivity(act);
+    if (e != 0.0) {
+      energy_[{node, act}] += e;
+    }
+  }
+  constant_energy_ += accounts.constant_energy;
+}
+
+MicroJoules NetworkLedger::EnergyByActivity(act_t act) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy_) {
+    if (key.second == act) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+MicroJoules NetworkLedger::RemoteEnergy(act_t act) const {
+  node_id_t origin = ActivityOrigin(act);
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy_) {
+    if (key.second == act && key.first != origin) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+MicroJoules NetworkLedger::EnergySpentForOthers(node_id_t node) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy_) {
+    if (key.first == node && ActivityOrigin(key.second) != node &&
+        !IsIdleActivity(key.second)) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+MicroJoules NetworkLedger::TotalEnergy() const {
+  MicroJoules total = constant_energy_;
+  for (const auto& [key, e] : energy_) {
+    total += e;
+  }
+  return total;
+}
+
+std::set<act_t> NetworkLedger::Activities() const {
+  std::set<act_t> out;
+  for (const auto& [key, e] : energy_) {
+    out.insert(key.second);
+  }
+  return out;
+}
+
+std::set<node_id_t> NetworkLedger::Nodes() const { return nodes_; }
+
+MicroJoules NetworkLedger::EnergyAt(node_id_t node, act_t act) const {
+  auto it = energy_.find({node, act});
+  return it != energy_.end() ? it->second : 0.0;
+}
+
+}  // namespace quanto

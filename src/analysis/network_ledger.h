@@ -1,0 +1,61 @@
+// Network-wide energy ledger: the merge step that makes Quanto a
+// *network* profiler (Section 1: "how much energy do network services ...
+// consume?", Section 5.3: tracking butterfly effects).
+//
+// Each node produces its own log and its own per-node accounts; because
+// activity labels carry their origin (<origin node : id>), per-node
+// accounts from different nodes can be summed per label, yielding the
+// network-wide cost of every activity — including the energy an activity
+// caused on nodes it never ran code on.
+#ifndef QUANTO_SRC_ANALYSIS_NETWORK_LEDGER_H_
+#define QUANTO_SRC_ANALYSIS_NETWORK_LEDGER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/analysis/accounting.h"
+#include "src/core/activity.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class NetworkLedger {
+ public:
+  NetworkLedger() = default;
+
+  // Merges one node's accounts. Idempotence is the caller's problem (call
+  // once per node per experiment).
+  void AddNode(node_id_t node, const ActivityAccounts& accounts);
+
+  // Total energy an activity consumed across every node.
+  MicroJoules EnergyByActivity(act_t act) const;
+
+  // The part of an activity's network-wide energy spent on nodes other
+  // than its origin — the "butterfly" share.
+  MicroJoules RemoteEnergy(act_t act) const;
+
+  // Energy node `node` spent on behalf of activities originating
+  // elsewhere.
+  MicroJoules EnergySpentForOthers(node_id_t node) const;
+
+  // Unattributed (constant-term) energy summed over nodes.
+  MicroJoules TotalConstantEnergy() const { return constant_energy_; }
+
+  MicroJoules TotalEnergy() const;
+
+  std::set<act_t> Activities() const;
+  std::set<node_id_t> Nodes() const;
+
+  // Per (node, activity) energy, for rendering matrices.
+  MicroJoules EnergyAt(node_id_t node, act_t act) const;
+
+ private:
+  std::map<std::pair<node_id_t, act_t>, MicroJoules> energy_;
+  MicroJoules constant_energy_ = 0.0;
+  std::set<node_id_t> nodes_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_NETWORK_LEDGER_H_

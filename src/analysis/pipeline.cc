@@ -1,0 +1,103 @@
+#include "src/analysis/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace quanto {
+
+PipelineResult SolveQuanto(const RegressionProblem& problem) {
+  PipelineResult result;
+  size_t m = problem.x.rows();
+  size_t n = problem.columns.size();
+  if (m == 0 || n == 0) {
+    result.error = "empty problem";
+    return result;
+  }
+  size_t const_idx = n - 1;
+
+  // Column signatures over the observations.
+  auto signature = [&](size_t col) {
+    std::string sig(m, '0');
+    for (size_t r = 0; r < m; ++r) {
+      sig[r] = problem.x.at(r, col) != 0.0 ? '1' : '0';
+    }
+    return sig;
+  };
+  std::string ones(m, '1');
+
+  // Group columns by signature; always-on columns fold into the constant.
+  std::map<std::string, std::vector<size_t>> by_sig;
+  std::vector<size_t> folded;
+  for (size_t c = 0; c < n; ++c) {
+    if (c == const_idx) {
+      continue;
+    }
+    std::string sig = signature(c);
+    if (sig == ones) {
+      folded.push_back(c);
+      result.notes.push_back(problem.columns[c].Name() +
+                             ": always on; folded into the constant term");
+      continue;
+    }
+    by_sig[sig].push_back(c);
+  }
+
+  // Representative of each group: the member with the largest nominal
+  // (datasheet) draw — the physically sensible place to put the merged
+  // coefficient when the data cannot disambiguate (Section 5.2). E.g. a
+  // radio whose control path and receive path always switch together gets
+  // the combined draw attributed to the 19.7 mA receive path, not the
+  // 0.4 mA control logic.
+  std::vector<size_t> kept;
+  for (auto& [sig, members] : by_sig) {
+    size_t rep = members.front();
+    double best = NominalCurrent(problem.columns[rep].sink,
+                                 problem.columns[rep].state);
+    for (size_t c : members) {
+      double nominal =
+          NominalCurrent(problem.columns[c].sink, problem.columns[c].state);
+      if (nominal > best) {
+        best = nominal;
+        rep = c;
+      }
+    }
+    for (size_t c : members) {
+      if (c != rep) {
+        result.notes.push_back(
+            problem.columns[c].Name() + ": always co-occurs with " +
+            problem.columns[rep].Name() +
+            "; draws merged (cannot be disambiguated, Section 5.2)");
+      }
+    }
+    kept.push_back(rep);
+  }
+  // Keep the original column order for readability.
+  std::sort(kept.begin(), kept.end());
+
+  // Build the reduced problem: kept columns + constant.
+  Matrix xr(m, kept.size() + 1);
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t k = 0; k < kept.size(); ++k) {
+      xr.at(r, k) = problem.x.at(r, kept[k]);
+    }
+    xr.at(r, kept.size()) = 1.0;
+  }
+  result.reduced = WeightedLeastSquares(
+      xr, problem.y, QuantoWeights(problem.energy, problem.seconds));
+  if (!result.reduced.ok) {
+    result.error = result.reduced.error;
+    return result;
+  }
+
+  // Expand back to the original column indexing.
+  result.coefficients.assign(n, 0.0);
+  for (size_t k = 0; k < kept.size(); ++k) {
+    result.coefficients[kept[k]] = result.reduced.coefficients[k];
+  }
+  result.coefficients[const_idx] = result.reduced.coefficients[kept.size()];
+  result.relative_error = result.reduced.relative_error;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace quanto

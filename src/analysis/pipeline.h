@@ -1,0 +1,44 @@
+// End-to-end regression pipeline with collinearity handling.
+//
+// Section 5.2 ("Linear independence"): "if unrelated actions always occur
+// together, then regression is unlikely to disambiguate their energy
+// usage." That happens in practice — a radio driver switches its regulator,
+// control path and receive path in lockstep, so their indicator columns are
+// identical, and a component that is on for the whole trace is
+// indistinguishable from the constant term. Rather than failing, the
+// pipeline:
+//   * folds always-on columns into the constant term,
+//   * merges identical columns into one group (the group's combined draw is
+//     reported on its first member; the others read zero),
+// and records a human-readable note for each reduction, so the tools report
+// what could not be disambiguated instead of fabricating a split.
+#ifndef QUANTO_SRC_ANALYSIS_PIPELINE_H_
+#define QUANTO_SRC_ANALYSIS_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/regression.h"
+#include "src/analysis/trace.h"
+
+namespace quanto {
+
+struct PipelineResult {
+  bool ok = false;
+  std::string error;
+  // Coefficients per *original* problem column (merged members read 0,
+  // their group total sits on the group's first member; always-on columns
+  // read 0 with their draw inside the constant).
+  std::vector<double> coefficients;
+  double relative_error = 0.0;
+  std::vector<std::string> notes;
+  // The reduced regression actually solved.
+  RegressionResult reduced;
+};
+
+// Solves the Quanto WLS over the problem, reducing collinear columns first.
+PipelineResult SolveQuanto(const RegressionProblem& problem);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_PIPELINE_H_

@@ -1,0 +1,83 @@
+#include "src/analysis/regression.h"
+
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace quanto {
+
+RegressionResult WeightedLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      const std::vector<double>& weights) {
+  RegressionResult result;
+  size_t m = x.rows();
+  size_t n = x.cols();
+  if (m == 0 || n == 0 || y.size() != m || weights.size() != m) {
+    result.error = "empty or mismatched inputs";
+    return result;
+  }
+  if (m < n) {
+    result.error = "underdetermined: fewer observations than power states";
+    return result;
+  }
+
+  // Normal equations: (X^T W X) Pi = X^T W Y.
+  Matrix xtwx(n, n);
+  std::vector<double> xtwy(n, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    double w = weights[j];
+    for (size_t a = 0; a < n; ++a) {
+      double xa = x.at(j, a);
+      if (xa == 0.0) {
+        continue;
+      }
+      xtwy[a] += w * xa * y[j];
+      for (size_t b = 0; b < n; ++b) {
+        xtwx.at(a, b) += w * xa * x.at(j, b);
+      }
+    }
+  }
+
+  auto solved = SolveLinearSystem(xtwx, xtwy);
+  if (!solved.has_value()) {
+    result.error =
+        "singular system: observed power states are not linearly independent";
+    return result;
+  }
+
+  result.ok = true;
+  result.coefficients = std::move(*solved);
+  result.observed = y;
+  result.weights = weights;
+  result.fitted = x.MultiplyVector(result.coefficients);
+  result.residuals.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    result.residuals[j] = y[j] - result.fitted[j];
+  }
+  result.relative_error = RelativeError(y, result.fitted);
+  return result;
+}
+
+std::vector<double> QuantoWeights(const std::vector<MicroJoules>& energy,
+                                  const std::vector<double>& seconds) {
+  size_t m = energy.size() < seconds.size() ? energy.size() : seconds.size();
+  std::vector<double> w(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    double e = energy[j] > 0.0 ? energy[j] : 0.0;
+    double t = seconds[j] > 0.0 ? seconds[j] : 0.0;
+    w[j] = std::sqrt(e * t);
+    if (w[j] == 0.0) {
+      // A state visited for a vanishing interval still carries a little
+      // information; keep it from being discarded entirely.
+      w[j] = 1e-9;
+    }
+  }
+  return w;
+}
+
+RegressionResult OrdinaryLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y) {
+  return WeightedLeastSquares(x, y, std::vector<double>(x.rows(), 1.0));
+}
+
+}  // namespace quanto

@@ -1,0 +1,52 @@
+// Weighted multivariate least squares (Section 2.5).
+//
+// Inputs: one observation per distinct power-state setting j, with the
+// aggregate energy E_j and time t_j the system spent in it. The observed
+// average power is y_j = E_j / t_j; the design matrix X holds the 0/1
+// activity indicators alpha_{j,i}; and because confidence in y_j grows with
+// both E_j and t_j (quantization in both measurements), each observation is
+// weighted w_j = sqrt(E_j * t_j). The estimate is
+//     Pi = (X^T W X)^-1 X^T W Y,
+// with residuals eps = Y - X Pi.
+#ifndef QUANTO_SRC_ANALYSIS_REGRESSION_H_
+#define QUANTO_SRC_ANALYSIS_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/matrix.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+struct RegressionResult {
+  bool ok = false;
+  // Reason the solve failed, empty when ok (e.g. linearly dependent states).
+  std::string error;
+  // Estimated power draw per column, microwatts (same order as X columns).
+  std::vector<double> coefficients;
+  std::vector<double> observed;   // Y.
+  std::vector<double> fitted;     // X * Pi.
+  std::vector<double> residuals;  // Y - X * Pi.
+  std::vector<double> weights;    // Diagonal of W.
+  // ||Y - X Pi|| / ||Y||, the relative error Table 2 reports.
+  double relative_error = 0.0;
+};
+
+// Plain WLS with an arbitrary weight vector (w_j multiplies observation j's
+// contribution to the normal equations).
+RegressionResult WeightedLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      const std::vector<double>& weights);
+
+// The Quanto weighting: w_j = sqrt(E_j * t_j).
+std::vector<double> QuantoWeights(const std::vector<MicroJoules>& energy,
+                                  const std::vector<double>& seconds);
+
+// Unweighted ordinary least squares (the ablation baseline).
+RegressionResult OrdinaryLeastSquares(const Matrix& x,
+                                      const std::vector<double>& y);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_REGRESSION_H_

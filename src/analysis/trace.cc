@@ -1,0 +1,184 @@
+#include "src/analysis/trace.h"
+
+#include <map>
+#include <sstream>
+
+namespace quanto {
+
+std::vector<TraceEvent> TraceParser::Parse(
+    const std::vector<LogEntry>& entries) {
+  std::vector<TraceEvent> events;
+  events.reserve(entries.size());
+  uint64_t time_high = 0;
+  uint64_t icount_high = 0;
+  uint32_t prev_time = 0;
+  uint32_t prev_icount = 0;
+  bool first = true;
+  for (const LogEntry& e : entries) {
+    if (!first) {
+      // Entries are chronological; a smaller 32-bit value means the
+      // free-running counter wrapped.
+      if (e.time < prev_time) {
+        time_high += uint64_t{1} << 32;
+      }
+      if (e.icount < prev_icount) {
+        icount_high += uint64_t{1} << 32;
+      }
+    }
+    first = false;
+    prev_time = e.time;
+    prev_icount = e.icount;
+    TraceEvent event;
+    event.time = time_high | e.time;
+    event.icount = icount_high | e.icount;
+    event.type = EntryType(e);
+    event.res = e.res_id;
+    event.payload = e.payload;
+    events.push_back(event);
+  }
+  return events;
+}
+
+std::vector<PowerInterval> ExtractPowerIntervals(
+    const std::vector<TraceEvent>& events, MicroJoules energy_per_pulse) {
+  std::vector<PowerInterval> intervals;
+  std::array<powerstate_t, kSinkCount> states{};
+  for (size_t s = 0; s < kSinkCount; ++s) {
+    states[s] = BaselineState(static_cast<SinkId>(s));
+  }
+  bool open = false;
+  Tick open_time = 0;
+  uint64_t open_icount = 0;
+
+  for (const TraceEvent& event : events) {
+    if (event.type != LogEntryType::kPowerState) {
+      continue;
+    }
+    if (!open) {
+      // The first power entry opens the observation window.
+      open = true;
+      open_time = event.time;
+      open_icount = event.icount;
+      if (event.res < kSinkCount) {
+        states[event.res] = event.payload;
+      }
+      continue;
+    }
+    if (event.time > open_time) {
+      PowerInterval interval;
+      interval.start = open_time;
+      interval.end = event.time;
+      interval.states = states;
+      interval.energy = static_cast<double>(event.icount - open_icount) *
+                        energy_per_pulse;
+      intervals.push_back(interval);
+      open_time = event.time;
+      open_icount = event.icount;
+    }
+    // Same-time changes collapse into the next interval's state vector.
+    if (event.res < kSinkCount) {
+      states[event.res] = event.payload;
+    }
+  }
+  return intervals;
+}
+
+std::string RegressionColumn::Name() const {
+  if (is_constant) {
+    return "Const.";
+  }
+  std::ostringstream os;
+  os << SinkName(sink) << "/" << StateName(sink, state);
+  return os.str();
+}
+
+int RegressionProblem::ColumnIndex(SinkId sink, powerstate_t state) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!columns[i].is_constant && columns[i].sink == sink &&
+        columns[i].state == state) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+RegressionProblem BuildRegressionProblem(
+    const std::vector<PowerInterval>& intervals, Tick min_group_time) {
+  RegressionProblem problem;
+
+  // Group intervals by their full state vector.
+  struct Group {
+    std::array<powerstate_t, kSinkCount> states;
+    Tick time = 0;
+    MicroJoules energy = 0.0;
+  };
+  std::map<std::array<powerstate_t, kSinkCount>, Group> groups;
+  for (const PowerInterval& interval : intervals) {
+    Group& g = groups[interval.states];
+    g.states = interval.states;
+    g.time += interval.end - interval.start;
+    g.energy += interval.energy;
+    problem.total_time += interval.end - interval.start;
+    problem.total_energy += interval.energy;
+  }
+
+  // Discover the observed non-baseline (sink, state) pairs; these are the
+  // regression columns (the constant column comes last).
+  std::map<std::pair<uint8_t, powerstate_t>, size_t> column_of;
+  for (const auto& [key, group] : groups) {
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      SinkId sink = static_cast<SinkId>(s);
+      powerstate_t st = group.states[s];
+      if (st != BaselineState(sink)) {
+        auto col_key = std::make_pair(static_cast<uint8_t>(s), st);
+        if (column_of.find(col_key) == column_of.end()) {
+          size_t idx = problem.columns.size();
+          column_of[col_key] = idx;
+          RegressionColumn col;
+          col.sink = sink;
+          col.state = st;
+          problem.columns.push_back(col);
+        }
+      }
+    }
+  }
+  RegressionColumn constant;
+  constant.is_constant = true;
+  size_t const_idx = problem.columns.size();
+  problem.columns.push_back(constant);
+
+  // Build X, Y, E, t over the groups that lasted long enough to trust.
+  size_t n = problem.columns.size();
+  std::vector<const Group*> kept;
+  for (const auto& [key, group] : groups) {
+    if (group.time >= min_group_time) {
+      kept.push_back(&group);
+    }
+  }
+  problem.x = Matrix(kept.size(), n);
+  problem.y.resize(kept.size());
+  problem.energy.resize(kept.size());
+  problem.seconds.resize(kept.size());
+  for (size_t j = 0; j < kept.size(); ++j) {
+    const Group& g = *kept[j];
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      SinkId sink = static_cast<SinkId>(s);
+      powerstate_t st = g.states[s];
+      if (st != BaselineState(sink)) {
+        auto it = column_of.find(
+            std::make_pair(static_cast<uint8_t>(s), st));
+        if (it != column_of.end()) {
+          problem.x.at(j, it->second) = 1.0;
+        }
+      }
+    }
+    problem.x.at(j, const_idx) = 1.0;
+    double secs = TicksToSeconds(g.time);
+    problem.seconds[j] = secs;
+    problem.energy[j] = g.energy;
+    problem.y[j] = secs > 0.0 ? g.energy / secs : 0.0;  // uJ/s == uW.
+  }
+  return problem;
+}
+
+}  // namespace quanto

@@ -1,0 +1,90 @@
+// Offline trace processing: from raw 12-byte log entries to the regression
+// inputs of Section 2.5.
+//
+// Stage 1 (TraceParser): unwrap the 32-bit time and iCount counters into
+// monotone 64-bit series.
+// Stage 2 (ExtractPowerIntervals): replay power-state entries into maximal
+// intervals of constant state vector, each with its quantized energy delta.
+// Stage 3 (BuildRegressionProblem): group intervals by state vector, form
+// y_j = E_j/t_j, the indicator matrix X (one column per observed
+// non-baseline (sink, state) plus the constant), and the sqrt(E*t) weights.
+#ifndef QUANTO_SRC_ANALYSIS_TRACE_H_
+#define QUANTO_SRC_ANALYSIS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/matrix.h"
+#include "src/core/log_entry.h"
+#include "src/hw/sinks.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+// A log entry with unwrapped 64-bit time and energy counters.
+struct TraceEvent {
+  Tick time;
+  uint64_t icount;
+  LogEntryType type;
+  res_id_t res;
+  uint16_t payload;
+};
+
+class TraceParser {
+ public:
+  // Parses entries in log order, unwrapping the 32-bit counters. `epoch`
+  // gives the 64-bit time of the first entry's era (normally 0).
+  static std::vector<TraceEvent> Parse(const std::vector<LogEntry>& entries);
+};
+
+// A maximal interval during which all power states are constant.
+struct PowerInterval {
+  Tick start = 0;
+  Tick end = 0;
+  std::array<powerstate_t, kSinkCount> states{};
+  MicroJoules energy = 0.0;  // Quantized meter energy over the interval.
+
+  double seconds() const { return TicksToSeconds(end - start); }
+};
+
+// Replays power-state events into intervals. States start at each sink's
+// baseline. Zero-length intervals are merged away.
+std::vector<PowerInterval> ExtractPowerIntervals(
+    const std::vector<TraceEvent>& events, MicroJoules energy_per_pulse);
+
+// One regression column: a non-baseline power state of a sink, or the
+// constant term.
+struct RegressionColumn {
+  bool is_constant = false;
+  SinkId sink = kSinkCpu;
+  powerstate_t state = 0;
+
+  std::string Name() const;
+};
+
+struct RegressionProblem {
+  Matrix x;                     // m observations x n columns.
+  std::vector<double> y;        // Average power per observation, microwatts.
+  std::vector<MicroJoules> energy;  // E_j.
+  std::vector<double> seconds;      // t_j.
+  std::vector<RegressionColumn> columns;
+  Tick total_time = 0;
+  MicroJoules total_energy = 0.0;
+
+  // Index of the column for (sink, state), or -1 if absent.
+  int ColumnIndex(SinkId sink, powerstate_t state) const;
+};
+
+// Groups intervals by state vector and builds the WLS problem. Intervals
+// shorter than `min_interval` are folded into their group but groups whose
+// total time is below `min_group_time` are dropped (too noisy to constrain
+// anything).
+RegressionProblem BuildRegressionProblem(
+    const std::vector<PowerInterval>& intervals,
+    Tick min_group_time = Microseconds(50));
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_TRACE_H_

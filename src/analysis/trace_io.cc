@@ -1,0 +1,144 @@
+#include "src/analysis/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/hw/sinks.h"
+
+namespace quanto {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'Q', 'N', 'T', 'O'};
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 4;
+constexpr size_t kEntryBytes = 12;
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xFF));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + entries.size() * kEntryBytes);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutU16(out, kVersion);
+  PutU16(out, 0);  // Reserved.
+  PutU32(out, static_cast<uint32_t>(entries.size()));
+  for (const LogEntry& e : entries) {
+    out.push_back(e.type);
+    out.push_back(e.res_id);
+    PutU32(out, e.time);
+    PutU32(out, e.icount);
+    PutU16(out, e.payload);
+  }
+  return out;
+}
+
+std::optional<std::vector<LogEntry>> DeserializeTrace(
+    const std::vector<uint8_t>& blob) {
+  if (blob.size() < kHeaderBytes) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (blob[static_cast<size_t>(i)] != kMagic[i]) {
+      return std::nullopt;
+    }
+  }
+  if (GetU16(blob.data() + 4) != kVersion) {
+    return std::nullopt;
+  }
+  uint32_t count = GetU32(blob.data() + 8);
+  if (blob.size() < kHeaderBytes + static_cast<size_t>(count) * kEntryBytes) {
+    return std::nullopt;  // Truncated dump.
+  }
+  std::vector<LogEntry> entries;
+  entries.reserve(count);
+  const uint8_t* p = blob.data() + kHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    LogEntry e;
+    e.type = p[0];
+    e.res_id = p[1];
+    e.time = GetU32(p + 2);
+    e.icount = GetU32(p + 6);
+    e.payload = GetU16(p + 10);
+    entries.push_back(e);
+    p += kEntryBytes;
+  }
+  return entries;
+}
+
+bool WriteTraceFile(const std::string& path,
+                    const std::vector<LogEntry>& entries) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  auto blob = SerializeTrace(entries);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return DeserializeTrace(blob);
+}
+
+std::string DumpTraceText(const std::vector<LogEntry>& entries,
+                          const ActivityRegistry& registry) {
+  std::ostringstream os;
+  for (const LogEntry& e : entries) {
+    os << e.time << " " << e.icount << " ";
+    SinkId sink = e.res_id < kSinkCount ? static_cast<SinkId>(e.res_id)
+                                        : kSinkCount;
+    const char* res_name = sink < kSinkCount ? SinkName(sink) : "?";
+    switch (EntryType(e)) {
+      case LogEntryType::kPowerState:
+        os << "POW " << res_name << " "
+           << (sink < kSinkCount ? StateName(sink, e.payload)
+                                 : std::to_string(e.payload));
+        break;
+      case LogEntryType::kActivitySet:
+        os << "ACT " << res_name << " " << registry.Name(e.payload);
+        break;
+      case LogEntryType::kActivityBind:
+        os << "BND " << res_name << " " << registry.Name(e.payload);
+        break;
+      case LogEntryType::kActivityAdd:
+        os << "ADD " << res_name << " " << registry.Name(e.payload);
+        break;
+      case LogEntryType::kActivityRemove:
+        os << "REM " << res_name << " " << registry.Name(e.payload);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace quanto

@@ -1,0 +1,49 @@
+// Trace serialization: the "get the data out of the node" step.
+//
+// The paper's prototype dumps its RAM buffer over the serial port or radio
+// and parses it offline with custom tools. This module is that pipeline's
+// host side: a compact binary container for raw 12-byte entries (with a
+// magic/version header so partial dumps are detected) and a human-readable
+// text dump for eyeballing, both round-trippable.
+#ifndef QUANTO_SRC_ANALYSIS_TRACE_IO_H_
+#define QUANTO_SRC_ANALYSIS_TRACE_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/activity_registry.h"
+#include "src/core/log_entry.h"
+
+namespace quanto {
+
+// --- Binary container ---------------------------------------------------------
+
+// Serializes entries into a self-describing byte blob:
+//   magic "QNTO" | u16 version | u16 reserved | u32 count | entries...
+// Entries are written little-endian field by field (not memcpy'd), so the
+// format is stable across hosts.
+std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries);
+
+// Parses a blob; returns nullopt on bad magic/version/truncation. A blob
+// whose count field exceeds the available bytes is rejected rather than
+// partially parsed (a truncated dump is a broken dump).
+std::optional<std::vector<LogEntry>> DeserializeTrace(
+    const std::vector<uint8_t>& blob);
+
+// File convenience wrappers. Return false / nullopt on I/O failure.
+bool WriteTraceFile(const std::string& path,
+                    const std::vector<LogEntry>& entries);
+std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path);
+
+// --- Text dump ------------------------------------------------------------------
+
+// One line per entry:
+//   <time> <icount> <POW|ACT|BND|ADD|REM> <resource-name> <payload-name>
+std::string DumpTraceText(const std::vector<LogEntry>& entries,
+                          const ActivityRegistry& registry);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_TRACE_IO_H_

@@ -1,0 +1,35 @@
+#include "src/apps/blink.h"
+
+namespace quanto {
+
+BlinkApp::BlinkApp(Mote* mote) : BlinkApp(mote, Config()) {}
+
+BlinkApp::BlinkApp(Mote* mote, const Config& config)
+    : mote_(mote), config_(config) {}
+
+void BlinkApp::RegisterActivities(ActivityRegistry* registry) {
+  registry->RegisterName(kActRed, "Red");
+  registry->RegisterName(kActGreen, "Green");
+  registry->RegisterName(kActBlue, "Blue");
+}
+
+void BlinkApp::Start() {
+  StartColor(kActRed, config_.red_interval, 0);
+  StartColor(kActGreen, config_.green_interval, 1);
+  StartColor(kActBlue, config_.blue_interval, 2);
+  // Application boot code is done; the CPU returns to idle.
+  mote_->cpu().activity().set(mote_->Label(kActIdle));
+}
+
+void BlinkApp::StartColor(act_id_t activity, Tick interval, int led) {
+  // "Paint" the CPU before starting the logical activity (Figure 7's
+  // pattern); the timer saves this label and every future callback runs —
+  // and paints its LED — under it.
+  mote_->cpu().activity().set(mote_->Label(activity));
+  mote_->timers().StartPeriodic(interval, config_.toggle_cost, [this, led] {
+    ++toggles_[led];
+    mote_->led(led).Toggle();
+  });
+}
+
+}  // namespace quanto

@@ -1,0 +1,48 @@
+// Blink — "the hello world application in TinyOS" (Section 4.2.1).
+//
+// Three independent timers with intervals of 1, 2 and 4 seconds toggle the
+// red, green and blue LEDs, so over 8 seconds the application passes
+// through all 8 LED on/off combinations. Quanto activities: Red, Green and
+// Blue own the toggling work and the lit time of their LEDs; the timer
+// subsystem's work appears as VTimer and the int_TIMER proxy.
+#ifndef QUANTO_SRC_APPS_BLINK_H_
+#define QUANTO_SRC_APPS_BLINK_H_
+
+#include "src/apps/mote.h"
+#include "src/core/activity_registry.h"
+
+namespace quanto {
+
+class BlinkApp {
+ public:
+  static constexpr act_id_t kActRed = 1;
+  static constexpr act_id_t kActGreen = 2;
+  static constexpr act_id_t kActBlue = 3;
+
+  struct Config {
+    Tick red_interval = Seconds(1);
+    Tick green_interval = Seconds(2);
+    Tick blue_interval = Seconds(4);
+    Cycles toggle_cost = 30;
+  };
+
+  explicit BlinkApp(Mote* mote);
+  BlinkApp(Mote* mote, const Config& config);
+
+  void Start();
+
+  static void RegisterActivities(ActivityRegistry* registry);
+
+  uint64_t toggles(int led) const { return toggles_[led]; }
+
+ private:
+  void StartColor(act_id_t activity, Tick interval, int led);
+
+  Mote* mote_;
+  Config config_;
+  uint64_t toggles_[3] = {0, 0, 0};
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_BLINK_H_

@@ -1,0 +1,53 @@
+#include "src/apps/bounce.h"
+
+namespace quanto {
+
+BounceApp::BounceApp(Mote* mote, const Config& config)
+    : mote_(mote), config_(config) {}
+
+void BounceApp::RegisterActivities(ActivityRegistry* registry) {
+  registry->RegisterName(kActBounce, "BounceApp");
+}
+
+void BounceApp::Start(bool originate) {
+  mote_->am().RegisterHandler(
+      kAmType, [this](const Packet& packet) { OnReceive(packet); });
+  if (originate) {
+    // The packet's label is stamped from the CPU activity at submission.
+    mote_->cpu().activity().set(mote_->Label(kActBounce));
+    Packet packet;
+    packet.dst = config_.peer;
+    packet.am_type = kAmType;
+    packet.payload.assign(10, 0xBB);
+    mote_->am().Send(packet);
+    mote_->cpu().activity().set(mote_->Label(kActIdle));
+  }
+}
+
+void BounceApp::OnReceive(const Packet& packet) {
+  // Runs under the packet's activity (the AM layer bound pxy_RX to it):
+  // from here on, this node works for the originating node's activity.
+  ++bounces_;
+  // Possession LED: LED2 for our own packet, LED1 for the peer's
+  // (Figure 12: node 1 turns LED1 on for the 4:BounceApp packet).
+  int led = ActivityOrigin(packet.activity) == mote_->id() ? 2 : 1;
+  mote_->led(led).On();
+
+  Packet bounced = packet;
+  bounced.dst = config_.peer;
+  // Hold the packet, then send it back. The timer saves the current
+  // (remote) activity; the send and the LED-off run under it.
+  mote_->timers().StartOneShot(
+      config_.hold_time, config_.handler_cost,
+      [this, bounced, led] { SendPacket(bounced, led); });
+}
+
+void BounceApp::SendPacket(const Packet& packet, int led) {
+  Packet p = packet;
+  mote_->am().Send(p, [this, led](bool ok) {
+    (void)ok;
+    mote_->led(led).Off();
+  });
+}
+
+}  // namespace quanto

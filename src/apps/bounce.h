@@ -1,0 +1,51 @@
+// Bounce — the two-node activity-tracking example of Section 4.2.2.
+//
+// "Two nodes keep exchanging two packets, each one originating from one of
+// the nodes. ... All of the work done by node 1 to receive, process, and
+// send node 4's original packet is attributed to the '4:BounceApp'
+// activity." Each node lights one LED while it has "possession" of each
+// packet: the LED for a packet is painted with the packet's originating
+// activity, so node 4's packet spends node 1's LED energy on node 4's
+// books.
+#ifndef QUANTO_SRC_APPS_BOUNCE_H_
+#define QUANTO_SRC_APPS_BOUNCE_H_
+
+#include "src/apps/mote.h"
+#include "src/core/activity_registry.h"
+
+namespace quanto {
+
+class BounceApp {
+ public:
+  static constexpr act_id_t kActBounce = 1;
+  static constexpr uint8_t kAmType = 0x42;
+
+  struct Config {
+    node_id_t peer = 0;
+    // How long a node holds a packet before bouncing it back.
+    Tick hold_time = Milliseconds(250);
+    Cycles handler_cost = 80;
+  };
+
+  BounceApp(Mote* mote, const Config& config);
+
+  // Starts the app; when `originate` is true this node injects its own
+  // packet into the exchange.
+  void Start(bool originate);
+
+  static void RegisterActivities(ActivityRegistry* registry);
+
+  uint64_t bounces() const { return bounces_; }
+
+ private:
+  void OnReceive(const Packet& packet);
+  void SendPacket(const Packet& packet, int led);
+
+  Mote* mote_;
+  Config config_;
+  uint64_t bounces_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_BOUNCE_H_

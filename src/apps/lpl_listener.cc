@@ -1,0 +1,34 @@
+#include "src/apps/lpl_listener.h"
+
+namespace quanto {
+
+LplListenerApp::LplListenerApp(Mote* mote)
+    : LplListenerApp(mote, Config()) {}
+
+LplListenerApp::LplListenerApp(Mote* mote, const Config& config)
+    : mote_(mote) {
+  lpl_ = std::make_unique<LowPowerListening>(&mote->node(), &mote->radio(),
+                                             config.lpl);
+  // A decoded frame during a detection window marks the wake-up genuine.
+  mote_->am().SetPromiscuousListener(
+      [this](const Packet&) { lpl_->NotifyFrameReceived(); });
+}
+
+void LplListenerApp::Start() {
+  started_at_ = mote_->queue().Now();
+  energy_at_start_ = mote_->meter().TrueEnergy();
+  lpl_->Start();
+}
+
+void LplListenerApp::Stop() { lpl_->Stop(); }
+
+double LplListenerApp::AveragePowerMilliwatts() {
+  Tick elapsed = mote_->queue().Now() - started_at_;
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  MicroJoules spent = mote_->meter().TrueEnergy() - energy_at_start_;
+  return MicroWattsToMilliWatts(spent / TicksToSeconds(elapsed));
+}
+
+}  // namespace quanto

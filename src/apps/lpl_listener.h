@@ -1,0 +1,41 @@
+// The low-power-listening node of the 802.11 interference case study
+// (Section 4.3, Figures 13 and 14): an LPL receiver sampling its channel
+// every 500 ms next to a Wi-Fi access point, with per-run statistics on
+// false wake-ups, radio duty cycle and average power draw.
+#ifndef QUANTO_SRC_APPS_LPL_LISTENER_H_
+#define QUANTO_SRC_APPS_LPL_LISTENER_H_
+
+#include <memory>
+
+#include "src/apps/mote.h"
+#include "src/radio/lpl.h"
+
+namespace quanto {
+
+class LplListenerApp {
+ public:
+  struct Config {
+    LowPowerListening::Config lpl;
+  };
+
+  explicit LplListenerApp(Mote* mote);
+  LplListenerApp(Mote* mote, const Config& config);
+
+  void Start();
+  void Stop();
+
+  LowPowerListening& lpl() { return *lpl_; }
+
+  // Average power over the app's lifetime, from the meter, milliwatts.
+  double AveragePowerMilliwatts();
+
+ private:
+  Mote* mote_;
+  std::unique_ptr<LowPowerListening> lpl_;
+  Tick started_at_ = 0;
+  MicroJoules energy_at_start_ = 0.0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_LPL_LISTENER_H_

@@ -1,0 +1,121 @@
+#include "src/apps/mote.h"
+
+namespace quanto {
+
+Mote::Mote(EventQueue* queue, Medium* medium, const Config& config)
+    : config_(config) {
+  Node::Config node_cfg;
+  node_cfg.id = config.id;
+  node_cfg.cpu.cpu_resource = kSinkCpu;
+  node_cfg.cpu.active_state = kCpuActive;
+  node_cfg.cpu.sleep_state = kCpuLpm3;
+  node_cfg.timers.hw_timer_resource = kSinkHwTimer;
+  node_ = std::make_unique<Node>(queue, node_cfg);
+
+  power_model_ = std::make_unique<PowerModel>(config.supply);
+  meter_ = std::make_unique<IcountMeter>(queue, power_model_.get(),
+                                         config.meter);
+  if (config.with_oscilloscope) {
+    scope_ = std::make_unique<Oscilloscope>(queue, power_model_.get());
+  }
+  logger_ = std::make_unique<QuantoLogger>(&node_->clock(), meter_.get(),
+                                           config.log_capacity,
+                                           config.log_mode);
+  if (config.charge_logging) {
+    logger_->SetCpuChargeHook(&node_->cpu());
+  }
+
+  // --- Wiring: every tracked component feeds the logger; every power
+  // component also feeds the power model (which feeds the meter/scope). ---
+  WirePower(node_->cpu().power_state());
+  WireSingle(node_->cpu().activity());
+  WireMulti(node_->timers().hw_device());
+
+  SinkId led_sinks[3] = {kSinkLed0, kSinkLed1, kSinkLed2};
+  for (int i = 0; i < 3; ++i) {
+    leds_[i] = std::make_unique<LedDriver>(&node_->cpu(), led_sinks[i]);
+    WirePower(leds_[i]->power_state());
+    WireSingle(leds_[i]->activity());
+  }
+
+  sensor_ = std::make_unique<Sht11Sensor>(queue, &node_->cpu(),
+                                          config.sensor);
+  WirePower(sensor_->power_state());
+  WireSingle(sensor_->activity());
+
+  flash_ = std::make_unique<ExternalFlash>(queue, &node_->cpu(),
+                                           config.flash);
+  WirePower(flash_->power_state());
+  WireSingle(flash_->activity());
+
+  internal_adc_ = std::make_unique<InternalAdc>(queue, &node_->cpu());
+  WirePower(internal_adc_->vref_power());
+  WirePower(internal_adc_->adc_power());
+  WirePower(internal_adc_->temp_power());
+  WireSingle(internal_adc_->activity());
+
+  if (medium != nullptr) {
+    radio_ = std::make_unique<Cc2420>(node_.get(), medium, config.radio);
+    WirePower(radio_->regulator_power());
+    WirePower(radio_->control_power());
+    WirePower(radio_->rx_power());
+    WirePower(radio_->tx_power());
+    WireSingle(radio_->tx_activity());
+    WireMulti(radio_->rx_activity());
+    am_ = std::make_unique<ActiveMessageLayer>(node_.get(), radio_.get());
+  }
+}
+
+void Mote::WirePower(PowerStateComponent& component) {
+  component.AddListener(&logger_->power_track());
+  component.AddListener(power_model_.get());
+  power_components_.push_back(&component);
+}
+
+void Mote::WireSingle(SingleActivityDevice& device) {
+  device.AddListener(&logger_->single_track());
+  single_devices_.push_back(&device);
+}
+
+void Mote::WireMulti(MultiActivityDevice& device) {
+  device.AddListener(&logger_->multi_track());
+  multi_devices_.push_back(&device);
+}
+
+OnlineAccumulators& Mote::EnableOnlineAccounting(StaticPowerFn power_table) {
+  OnlineAccumulators::Config cfg;
+  cfg.energy_per_pulse = config_.meter.energy_per_pulse;
+  online_ = std::make_unique<OnlineAccumulators>(
+      &node_->clock(), meter_.get(), std::move(power_table), cfg);
+  if (config_.charge_logging) {
+    online_->SetCpuChargeHook(&node_->cpu());
+  }
+  for (PowerStateComponent* component : power_components_) {
+    component->AddListener(&online_->power_track());
+  }
+  for (SingleActivityDevice* device : single_devices_) {
+    device->AddListener(&online_->single_track());
+  }
+  for (MultiActivityDevice* device : multi_devices_) {
+    device->AddListener(&online_->multi_track());
+  }
+  return *online_;
+}
+
+void Mote::EnableContinuousDrain(size_t batch) {
+  node_->cpu().SetIdleHook([this, batch] {
+    // Wake only for a full batch: the drain itself logs a few activity and
+    // power-state transitions, so draining single entries would re-fill the
+    // buffer as fast as it empties and pin the CPU awake.
+    if (logger_->buffered() < batch) {
+      return;
+    }
+    // Drain a batch under the Logger activity, charging the per-entry
+    // drain cost — Quanto accounting for its own logging, like top.
+    node_->cpu().PostTaskWithActivity(
+        node_->Label(kActLogger), kDrainCyclesPerEntry * batch,
+        [this, batch] { logger_->Drain(batch); });
+  });
+}
+
+}  // namespace quanto

@@ -1,0 +1,30 @@
+#include "src/apps/relay.h"
+
+namespace quanto {
+
+RelayApp::RelayApp(Mote* mote, const Config& config)
+    : mote_(mote), config_(config) {}
+
+void RelayApp::Start() {
+  mote_->am().RegisterHandler(
+      config_.am_type, [this](const Packet& packet) { OnReceive(packet); });
+}
+
+void RelayApp::OnReceive(const Packet& packet) {
+  // Running under the packet's (origin's) activity already. Hop-by-hop
+  // addressing: a node with no next hop is the chain's sink.
+  if (config_.next_hop == 0) {
+    ++delivered_;
+    last_payload_ = packet.payload;
+    return;
+  }
+  ++forwarded_;
+  mote_->cpu().ChargeCycles(config_.forward_cost);
+  Packet forward = packet;
+  forward.dst = config_.next_hop;
+  // Send() restamps the hidden field from the CPU activity — which is the
+  // origin's label, so the chain continues unbroken.
+  mote_->am().Send(forward);
+}
+
+}  // namespace quanto

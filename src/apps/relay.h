@@ -1,0 +1,49 @@
+// Static multihop relay — the "tracking butterfly effects" scenario of
+// Section 5.3: "an action at one node can have network-wide effects ...
+// Quanto can trace the causal chain from small, local cause to large,
+// network-wide effect."
+//
+// A relay node forwards matching packets to its next hop. Because the AM
+// layer binds the CPU to the packet's activity before the handler runs,
+// and Send() stamps the outgoing packet from the CPU activity, the origin's
+// label flows through every hop with no relay-specific instrumentation —
+// each relay's radio, CPU and queue time lands on the originator's books.
+#ifndef QUANTO_SRC_APPS_RELAY_H_
+#define QUANTO_SRC_APPS_RELAY_H_
+
+#include "src/apps/mote.h"
+
+namespace quanto {
+
+class RelayApp {
+ public:
+  struct Config {
+    uint8_t am_type = 0x52;
+    // Next hop for forwarded packets; packets addressed to us stop here.
+    node_id_t next_hop = 0;
+    Cycles forward_cost = 70;
+  };
+
+  RelayApp(Mote* mote, const Config& config);
+
+  void Start();
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t delivered() const { return delivered_; }
+
+  // Last payload delivered to this node (for end-to-end checks).
+  const std::vector<uint8_t>& last_payload() const { return last_payload_; }
+
+ private:
+  void OnReceive(const Packet& packet);
+
+  Mote* mote_;
+  Config config_;
+  uint64_t forwarded_ = 0;
+  uint64_t delivered_ = 0;
+  std::vector<uint8_t> last_payload_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_RELAY_H_

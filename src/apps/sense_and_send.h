@@ -1,0 +1,54 @@
+// The sense-and-send application of Figure 7 (modeled on Klues et al.'s
+// driver-architecture paper): a periodic task samples humidity and
+// temperature, then sends the readings. The application programmer paints
+// the CPU with ACT_HUM / ACT_TEMP / ACT_PKT before each logical phase; the
+// arbiter, sensor driver, timer subsystem and AM layer propagate the labels
+// from there.
+#ifndef QUANTO_SRC_APPS_SENSE_AND_SEND_H_
+#define QUANTO_SRC_APPS_SENSE_AND_SEND_H_
+
+#include "src/apps/mote.h"
+#include "src/core/activity_registry.h"
+
+namespace quanto {
+
+class SenseAndSendApp {
+ public:
+  static constexpr act_id_t kActHum = 1;
+  static constexpr act_id_t kActTemp = 2;
+  static constexpr act_id_t kActPkt = 3;
+  static constexpr uint8_t kAmType = 0x53;
+
+  struct Config {
+    Tick sample_interval = Seconds(5);
+    node_id_t sink_node = 0;
+    Cycles task_cost = 60;
+    bool store_to_flash = false;  // Also log readings to external flash.
+  };
+
+  SenseAndSendApp(Mote* mote, const Config& config);
+
+  void Start();
+
+  static void RegisterActivities(ActivityRegistry* registry);
+
+  uint64_t samples_sent() const { return samples_sent_; }
+  uint64_t flash_writes() const { return flash_writes_; }
+
+ private:
+  void SensorTask();
+  void SendIfDone();
+
+  Mote* mote_;
+  Config config_;
+  bool humidity_done_ = false;
+  bool temperature_done_ = false;
+  uint16_t humidity_ = 0;
+  uint16_t temperature_ = 0;
+  uint64_t samples_sent_ = 0;
+  uint64_t flash_writes_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_SENSE_AND_SEND_H_

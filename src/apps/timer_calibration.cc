@@ -1,0 +1,34 @@
+#include "src/apps/timer_calibration.h"
+
+namespace quanto {
+
+TimerCalibrationApp::TimerCalibrationApp(Mote* mote)
+    : TimerCalibrationApp(mote, Config()) {}
+
+TimerCalibrationApp::TimerCalibrationApp(Mote* mote, const Config& config)
+    : mote_(mote), config_(config) {}
+
+void TimerCalibrationApp::RegisterActivities(ActivityRegistry* registry) {
+  registry->RegisterName(kActA, "ActA");
+  registry->RegisterName(kActB, "ActB");
+}
+
+void TimerCalibrationApp::Start() {
+  mote_->cpu().activity().set(mote_->Label(kActA));
+  mote_->timers().StartPeriodic(config_.act_a_interval, config_.toggle_cost,
+                                [this] { mote_->led(0).Toggle(); });
+  mote_->cpu().activity().set(mote_->Label(kActB));
+  mote_->timers().StartPeriodic(config_.act_b_interval, config_.toggle_cost,
+                                [this] { mote_->led(2).Toggle(); });
+  mote_->cpu().activity().set(mote_->Label(kActIdle));
+
+  if (config_.dco_calibration_enabled) {
+    // The OS quietly keeps TimerA1 firing at 16 Hz for DCO calibration.
+    dco_ = std::make_unique<PeriodicInterrupt>(
+        &mote_->queue(), &mote_->cpu(), kActIntTimerA1,
+        config_.dco_calibration_period, config_.dco_handler_cost);
+    dco_->Start();
+  }
+}
+
+}  // namespace quanto

@@ -1,0 +1,51 @@
+// The "unexpected result" application of Figure 15: a simple two-activity
+// timer app instrumented with Quanto, which revealed that the TimerA1
+// interrupt was firing 16 times per second to calibrate the digital
+// oscillator — "even when such calibration was unnecessary", invisible
+// without activity tracking.
+#ifndef QUANTO_SRC_APPS_TIMER_CALIBRATION_H_
+#define QUANTO_SRC_APPS_TIMER_CALIBRATION_H_
+
+#include <memory>
+
+#include "src/apps/mote.h"
+#include "src/core/activity_registry.h"
+#include "src/sim/virtual_timers.h"
+
+namespace quanto {
+
+class TimerCalibrationApp {
+ public:
+  static constexpr act_id_t kActA = 1;
+  static constexpr act_id_t kActB = 2;
+
+  struct Config {
+    Tick act_a_interval = Milliseconds(250);
+    Tick act_b_interval = Seconds(1);
+    // The DCO calibration interrupt: 16 Hz, always on, surprising everyone.
+    Tick dco_calibration_period = Microseconds(62500);
+    Cycles dco_handler_cost = 90;
+    Cycles toggle_cost = 30;
+    bool dco_calibration_enabled = true;
+  };
+
+  explicit TimerCalibrationApp(Mote* mote);
+  TimerCalibrationApp(Mote* mote, const Config& config);
+
+  void Start();
+
+  static void RegisterActivities(ActivityRegistry* registry);
+
+  uint64_t dco_fires() const {
+    return dco_ != nullptr ? dco_->fires() : 0;
+  }
+
+ private:
+  Mote* mote_;
+  Config config_;
+  std::unique_ptr<PeriodicInterrupt> dco_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_TIMER_CALIBRATION_H_

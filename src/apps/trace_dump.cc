@@ -1,0 +1,159 @@
+#include "src/apps/trace_dump.h"
+
+namespace quanto {
+
+namespace {
+
+// Raw 12-byte little-endian records in the payload (no container header;
+// the AM type identifies the format and the src field identifies the node).
+void AppendEntry(std::vector<uint8_t>& out, const LogEntry& e) {
+  out.push_back(e.type);
+  out.push_back(e.res_id);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((e.time >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((e.icount >> (8 * i)) & 0xFF));
+  }
+  out.push_back(static_cast<uint8_t>(e.payload & 0xFF));
+  out.push_back(static_cast<uint8_t>(e.payload >> 8));
+}
+
+bool ParseEntry(const std::vector<uint8_t>& in, size_t offset, LogEntry* e) {
+  if (offset + 12 > in.size()) {
+    return false;
+  }
+  const uint8_t* p = in.data() + offset;
+  e->type = p[0];
+  e->res_id = p[1];
+  e->time = 0;
+  e->icount = 0;
+  for (int i = 0; i < 4; ++i) {
+    e->time |= static_cast<uint32_t>(p[2 + i]) << (8 * i);
+    e->icount |= static_cast<uint32_t>(p[6 + i]) << (8 * i);
+  }
+  e->payload = static_cast<uint16_t>(p[10] | (p[11] << 8));
+  return true;
+}
+
+}  // namespace
+
+TraceDumpService::TraceDumpService(Mote* mote, const Config& config)
+    : mote_(mote), config_(config) {}
+
+void TraceDumpService::Start() {
+  if (timer_ != VirtualTimers::kInvalidTimer) {
+    return;
+  }
+  // The flush timer belongs to the Logger activity: the profiler's own
+  // radio traffic is charged to itself.
+  act_t prev = mote_->cpu().activity().get();
+  mote_->cpu().activity().set(mote_->Label(kActLogger));
+  timer_ = mote_->timers().StartPeriodic(config_.flush_interval, 30,
+                                         [this] { OnTimer(); });
+  mote_->cpu().activity().set(prev);
+}
+
+void TraceDumpService::Stop() {
+  if (timer_ != VirtualTimers::kInvalidTimer) {
+    mote_->timers().Stop(timer_);
+    timer_ = VirtualTimers::kInvalidTimer;
+  }
+}
+
+void TraceDumpService::OnTimer() {
+  if (mote_->logger().buffered() >= config_.min_batch) {
+    ShipBatch(mote_->logger().buffered());
+  }
+}
+
+void TraceDumpService::Flush() { ShipBatch(mote_->logger().buffered()); }
+
+void TraceDumpService::ShipBatch(size_t max_entries) {
+  if (in_flight_ || max_entries == 0 || !mote_->has_radio()) {
+    return;
+  }
+  in_flight_ = true;
+  // Paper, Section 4.4 (RAM mode): "periodically stops the logging, and
+  // dumps the information to the serial port or to the radio" — logging
+  // pauses during the dump so the dump's own events don't re-fill the
+  // buffer faster than it drains.
+  mote_->logger().SetEnabled(false);
+
+  // Chain one packet per batch until the buffer is empty.
+  auto send_next = std::make_shared<std::function<void()>>();
+  *send_next = [this, send_next] {
+    // Pull up to kEntriesPerPacket entries out of the node's RAM buffer
+    // (they leave the node; Drain+archive models exactly that, with the
+    // archive standing in for "bits already on the air").
+    size_t batch = mote_->logger().buffered() < kEntriesPerPacket
+                       ? mote_->logger().buffered()
+                       : kEntriesPerPacket;
+    if (batch == 0) {
+      mote_->logger().SetEnabled(true);
+      in_flight_ = false;
+      return;
+    }
+    size_t start = mote_->logger().archived();
+    mote_->logger().Drain(batch);
+    Packet packet;
+    packet.dst = config_.collector;
+    packet.am_type = kAmType;
+    auto all = mote_->logger().Trace();
+    for (size_t i = start; i < start + batch; ++i) {
+      AppendEntry(packet.payload, all[i]);
+    }
+    mote_->cpu().ChargeCycles(config_.marshal_cost);
+    act_t prev = mote_->cpu().activity().get();
+    mote_->cpu().activity().set(mote_->Label(kActLogger));
+    bool queued = mote_->am().Send(packet, [this, send_next](bool ok) {
+      if (ok) {
+        ++packets_sent_;
+        entries_shipped_ += kEntriesPerPacket;  // Upper bound; last may be short.
+      }
+      (*send_next)();
+    });
+    mote_->cpu().activity().set(prev);
+    if (!queued) {
+      // Radio queue full; try again at the next flush.
+      mote_->logger().SetEnabled(true);
+      in_flight_ = false;
+    }
+  };
+  (*send_next)();
+}
+
+TraceCollector::TraceCollector(Mote* mote) : mote_(mote) {}
+
+void TraceCollector::Start() {
+  mote_->am().RegisterHandler(
+      TraceDumpService::kAmType,
+      [this](const Packet& packet) { OnPacket(packet); });
+}
+
+void TraceCollector::OnPacket(const Packet& packet) {
+  ++packets_received_;
+  std::vector<LogEntry>& trace = traces_[packet.src];
+  for (size_t offset = 0; offset + 12 <= packet.payload.size();
+       offset += 12) {
+    LogEntry e;
+    if (ParseEntry(packet.payload, offset, &e)) {
+      trace.push_back(e);
+    }
+  }
+}
+
+const std::vector<LogEntry>& TraceCollector::TraceFrom(node_id_t node) const {
+  auto it = traces_.find(node);
+  return it != traces_.end() ? it->second : empty_;
+}
+
+std::vector<node_id_t> TraceCollector::Nodes() const {
+  std::vector<node_id_t> out;
+  for (const auto& [node, trace] : traces_) {
+    out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace quanto

@@ -1,0 +1,84 @@
+// Trace exfiltration over the radio (Section 4.4: the prototype
+// "periodically stops the logging, and dumps the information to the serial
+// port or to the radio").
+//
+// TraceDumpService batches buffered log entries into Active Messages and
+// ships them to a collector node; the work runs under the Logger activity,
+// so — like everything else Quanto does — the profiler's own radio cost is
+// on the books. TraceCollector is the sink side: it reassembles per-node
+// entry streams that feed the normal offline analysis, turning one mote
+// into a network-wide profiler's measurement point.
+#ifndef QUANTO_SRC_APPS_TRACE_DUMP_H_
+#define QUANTO_SRC_APPS_TRACE_DUMP_H_
+
+#include <map>
+#include <vector>
+
+#include "src/apps/mote.h"
+
+namespace quanto {
+
+class TraceDumpService {
+ public:
+  static constexpr uint8_t kAmType = 0x7D;
+  // 12-byte entries; 8 per frame keeps the payload within an 802.15.4
+  // frame alongside the headers.
+  static constexpr size_t kEntriesPerPacket = 8;
+
+  struct Config {
+    node_id_t collector = 0;
+    // How often to check for dumpable entries.
+    Tick flush_interval = Milliseconds(500);
+    // Don't bother sending until this many entries are waiting (a final
+    // Flush() sends stragglers).
+    size_t min_batch = kEntriesPerPacket;
+    Cycles marshal_cost = 90;
+  };
+
+  TraceDumpService(Mote* mote, const Config& config);
+
+  void Start();
+  void Stop();
+
+  // Sends any remaining buffered entries regardless of batch size.
+  void Flush();
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t entries_shipped() const { return entries_shipped_; }
+
+ private:
+  void OnTimer();
+  void ShipBatch(size_t max_entries);
+
+  Mote* mote_;
+  Config config_;
+  VirtualTimers::TimerId timer_ = VirtualTimers::kInvalidTimer;
+  bool in_flight_ = false;
+  uint64_t packets_sent_ = 0;
+  uint64_t entries_shipped_ = 0;
+};
+
+// Sink-side reassembly: collects dump packets from any number of nodes.
+class TraceCollector {
+ public:
+  explicit TraceCollector(Mote* mote);
+
+  void Start();
+
+  // Entries received from `node`, in arrival order.
+  const std::vector<LogEntry>& TraceFrom(node_id_t node) const;
+  std::vector<node_id_t> Nodes() const;
+  uint64_t packets_received() const { return packets_received_; }
+
+ private:
+  void OnPacket(const Packet& packet);
+
+  Mote* mote_;
+  std::map<node_id_t, std::vector<LogEntry>> traces_;
+  std::vector<LogEntry> empty_;
+  uint64_t packets_received_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_TRACE_DUMP_H_

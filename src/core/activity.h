@@ -1,0 +1,99 @@
+// Activity labels: Quanto's resource principal (Section 3).
+//
+// An activity is "a logical set of operations whose resource usage should be
+// grouped together" (borrowed from Rialto / Resource Containers). Quanto
+// represents activities as 16-bit labels of the form <origin node : id>,
+// "sufficient for networks of up to 256 nodes with 256 distinct activity
+// ids" (Section 3.3). The same encoding is carried in the hidden per-packet
+// field, so it must stay exactly 16 bits wide.
+#ifndef QUANTO_SRC_CORE_ACTIVITY_H_
+#define QUANTO_SRC_CORE_ACTIVITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace quanto {
+
+// The wire/in-memory representation of an activity label.
+using act_t = uint16_t;
+
+// Node-local activity identifier (the low byte of a label).
+using act_id_t = uint8_t;
+
+// Node identifier (the high byte of a label).
+using node_id_t = uint8_t;
+
+// --- Reserved node-local activity ids -------------------------------------
+//
+// Application activities use ids in [1, kFirstSystemActivity). System
+// activities (the ones Quanto's OS instrumentation creates) and interrupt
+// proxy activities live in a reserved range so that analysis code can
+// recognise them without a registry lookup.
+
+// "No activity": the CPU idles under this label (Table 3 shows the CPU
+// spending 47.92 s of a 48 s Blink run in 1:Idle).
+inline constexpr act_id_t kActIdle = 0;
+
+// First id reserved for system-defined activities.
+inline constexpr act_id_t kFirstSystemActivity = 0xC0;
+
+// System activities created by the OS instrumentation.
+inline constexpr act_id_t kActVTimer = 0xC0;    // Virtual timer bookkeeping.
+inline constexpr act_id_t kActLogger = 0xC1;    // Continuous-drain logging.
+inline constexpr act_id_t kActScheduler = 0xC2; // Task-queue bookkeeping.
+
+// First id reserved for interrupt proxy activities (Section 3.3: "we
+// statically assign to each interrupt handling routine a fixed proxy
+// activity").
+inline constexpr act_id_t kFirstProxyActivity = 0xE0;
+
+inline constexpr act_id_t kActIntTimer = 0xE0;     // int_TIMER (compare 0).
+inline constexpr act_id_t kActIntTimerB0 = 0xE1;   // int_TIMERB0.
+inline constexpr act_id_t kActIntTimerB1 = 0xE2;   // int_TIMERB1.
+inline constexpr act_id_t kActIntTimerA1 = 0xE3;   // int_TIMERA1 (DCO cal).
+inline constexpr act_id_t kActIntUart0Rx = 0xE4;   // int_UART0RX (SPI bus).
+inline constexpr act_id_t kActIntDacDma = 0xE5;    // int_DACDMA (DMA done).
+inline constexpr act_id_t kActProxyRx = 0xE6;      // pxy_RX (radio receive).
+inline constexpr act_id_t kActIntAdc = 0xE7;       // int_ADC (sensor done).
+inline constexpr act_id_t kActIntSfd = 0xE8;       // int_SFD (radio frame).
+
+// Composes a label from its origin node and node-local id.
+constexpr act_t MakeActivity(node_id_t origin, act_id_t id) {
+  return static_cast<act_t>((static_cast<act_t>(origin) << 8) |
+                            static_cast<act_t>(id));
+}
+
+constexpr node_id_t ActivityOrigin(act_t label) {
+  return static_cast<node_id_t>(label >> 8);
+}
+
+constexpr act_id_t ActivityLocalId(act_t label) {
+  return static_cast<act_id_t>(label & 0xFF);
+}
+
+constexpr bool IsIdleActivity(act_t label) {
+  return ActivityLocalId(label) == kActIdle;
+}
+
+constexpr bool IsProxyActivity(act_t label) {
+  return ActivityLocalId(label) >= kFirstProxyActivity;
+}
+
+constexpr bool IsSystemActivity(act_t label) {
+  act_id_t id = ActivityLocalId(label);
+  return id >= kFirstSystemActivity && id < kFirstProxyActivity;
+}
+
+constexpr bool IsApplicationActivity(act_t label) {
+  act_id_t id = ActivityLocalId(label);
+  return id != kActIdle && id < kFirstSystemActivity;
+}
+
+// Human-readable rendering ("4:BounceApp", "1:int_TIMER", "1:pxy_RX") using
+// built-in names for reserved ids; application ids render numerically unless
+// the caller supplies a registry (see ActivityRegistry).
+std::string DefaultActivityName(act_t label);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_ACTIVITY_H_

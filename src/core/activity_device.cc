@@ -1,0 +1,86 @@
+#include "src/core/activity_device.h"
+
+namespace quanto {
+
+SingleActivityDevice::SingleActivityDevice(res_id_t resource, act_t initial)
+    : resource_(resource), activity_(initial) {}
+
+void SingleActivityDevice::AddListener(SingleActivityTrack* listener) {
+  listeners_.push_back(listener);
+}
+
+void SingleActivityDevice::set(act_t new_activity) {
+  if (new_activity == activity_) {
+    return;
+  }
+  activity_ = new_activity;
+  for (SingleActivityTrack* listener : listeners_) {
+    listener->changed(resource_, activity_);
+  }
+}
+
+void SingleActivityDevice::bind(act_t new_activity) {
+  // A bind both transfers the previous activity's usage to the new one and
+  // switches the device to the new activity. Listeners see the bind even
+  // when the label value is unchanged, because the binding itself is the
+  // information (the accounting layer folds the proxy's usage).
+  activity_ = new_activity;
+  for (SingleActivityTrack* listener : listeners_) {
+    listener->bound(resource_, activity_);
+  }
+}
+
+MultiActivityDevice::MultiActivityDevice(res_id_t resource)
+    : resource_(resource) {
+  for (size_t i = 0; i < kMaxActivities; ++i) {
+    slots_[i] = 0;
+  }
+}
+
+void MultiActivityDevice::AddListener(MultiActivityTrack* listener) {
+  listeners_.push_back(listener);
+}
+
+bool MultiActivityDevice::contains(act_t activity) const {
+  for (size_t i = 0; i < count_; ++i) {
+    if (slots_[i] == activity) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<act_t> MultiActivityDevice::activities() const {
+  return std::vector<act_t>(slots_, slots_ + count_);
+}
+
+bool MultiActivityDevice::add(act_t activity) {
+  if (count_ == kMaxActivities || contains(activity)) {
+    return false;
+  }
+  slots_[count_++] = activity;
+  for (MultiActivityTrack* listener : listeners_) {
+    listener->added(resource_, activity);
+  }
+  return true;
+}
+
+bool MultiActivityDevice::remove(act_t activity) {
+  for (size_t i = 0; i < count_; ++i) {
+    if (slots_[i] == activity) {
+      // Preserve insertion order of the remaining labels so accounting
+      // replays see a stable set.
+      for (size_t j = i + 1; j < count_; ++j) {
+        slots_[j - 1] = slots_[j];
+      }
+      --count_;
+      for (MultiActivityTrack* listener : listeners_) {
+        listener->removed(resource_, activity);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace quanto

@@ -1,0 +1,95 @@
+// Single- and MultiActivityDevice (Figures 5, 6 and 9).
+//
+// Each hardware component is represented by one activity device that keeps
+// the component's current activity (or set of activities) globally
+// accessible. SingleActivityDevice models components that work on behalf of
+// one activity at a time (CPU, LEDs, radio transmit path); bind() indicates
+// that the previous activity's resource usage should be charged to the new
+// one, which is how interrupt proxy activities are resolved.
+// MultiActivityDevice models components that serve several activities
+// simultaneously (hardware timers, the radio receive path while listening).
+#ifndef QUANTO_SRC_CORE_ACTIVITY_DEVICE_H_
+#define QUANTO_SRC_CORE_ACTIVITY_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/activity.h"
+#include "src/core/log_entry.h"
+
+namespace quanto {
+
+// Figure 9: observer interfaces different accounting modules listen on.
+class SingleActivityTrack {
+ public:
+  virtual ~SingleActivityTrack() = default;
+  virtual void changed(res_id_t resource, act_t new_activity) = 0;
+  virtual void bound(res_id_t resource, act_t new_activity) = 0;
+};
+
+class MultiActivityTrack {
+ public:
+  virtual ~MultiActivityTrack() = default;
+  virtual void added(res_id_t resource, act_t activity) = 0;
+  virtual void removed(res_id_t resource, act_t activity) = 0;
+};
+
+// Figure 5.
+class SingleActivityDevice {
+ public:
+  SingleActivityDevice(res_id_t resource, act_t initial);
+
+  // Returns the current activity.
+  act_t get() const { return activity_; }
+
+  // Sets the current activity. Idempotent sets do not notify.
+  void set(act_t new_activity);
+
+  // Sets the current activity and indicates that the previous activity's
+  // resource usage should be charged to the new one.
+  void bind(act_t new_activity);
+
+  res_id_t resource() const { return resource_; }
+
+  void AddListener(SingleActivityTrack* listener);
+
+ private:
+  res_id_t resource_;
+  act_t activity_;
+  std::vector<SingleActivityTrack*> listeners_;
+};
+
+// Figure 6. The device capacity is bounded (embedded system: no dynamic
+// growth at run time); add() fails with false when full or duplicated,
+// remove() fails when absent, mirroring the error_t results in the paper.
+class MultiActivityDevice {
+ public:
+  static constexpr size_t kMaxActivities = 8;
+
+  explicit MultiActivityDevice(res_id_t resource);
+
+  // Adds an activity to the set of current activities for this device.
+  bool add(act_t activity);
+
+  // Removes an activity from the set of current activities.
+  bool remove(act_t activity);
+
+  bool contains(act_t activity) const;
+  size_t size() const { return count_; }
+  res_id_t resource() const { return resource_; }
+
+  // Snapshot of the current activity set.
+  std::vector<act_t> activities() const;
+
+  void AddListener(MultiActivityTrack* listener);
+
+ private:
+  res_id_t resource_;
+  act_t slots_[kMaxActivities];
+  size_t count_ = 0;
+  std::vector<MultiActivityTrack*> listeners_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_ACTIVITY_DEVICE_H_

@@ -1,0 +1,87 @@
+#include "src/core/activity_registry.h"
+
+#include <sstream>
+
+namespace quanto {
+
+namespace {
+
+const char* BuiltinName(act_id_t id) {
+  switch (id) {
+    case kActIdle:
+      return "Idle";
+    case kActVTimer:
+      return "VTimer";
+    case kActLogger:
+      return "Logger";
+    case kActScheduler:
+      return "Sched";
+    case kActIntTimer:
+      return "int_TIMER";
+    case kActIntTimerB0:
+      return "int_TIMERB0";
+    case kActIntTimerB1:
+      return "int_TIMERB1";
+    case kActIntTimerA1:
+      return "int_TIMERA1";
+    case kActIntUart0Rx:
+      return "int_UART0RX";
+    case kActIntDacDma:
+      return "int_DACDMA";
+    case kActProxyRx:
+      return "pxy_RX";
+    case kActIntAdc:
+      return "int_ADC";
+    case kActIntSfd:
+      return "int_SFD";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string DefaultActivityName(act_t label) {
+  std::ostringstream os;
+  os << static_cast<int>(ActivityOrigin(label)) << ":";
+  const char* builtin = BuiltinName(ActivityLocalId(label));
+  if (builtin != nullptr) {
+    os << builtin;
+  } else {
+    os << "act" << static_cast<int>(ActivityLocalId(label));
+  }
+  return os.str();
+}
+
+ActivityRegistry::ActivityRegistry() = default;
+
+void ActivityRegistry::RegisterName(act_id_t id, const std::string& name) {
+  names_[id] = name;
+}
+
+bool ActivityRegistry::HasName(act_id_t id) const {
+  return names_.count(id) > 0 || BuiltinName(id) != nullptr;
+}
+
+std::string ActivityRegistry::LocalName(act_id_t id) const {
+  auto it = names_.find(id);
+  if (it != names_.end()) {
+    return it->second;
+  }
+  const char* builtin = BuiltinName(id);
+  if (builtin != nullptr) {
+    return builtin;
+  }
+  std::ostringstream os;
+  os << "act" << static_cast<int>(id);
+  return os.str();
+}
+
+std::string ActivityRegistry::Name(act_t label) const {
+  std::ostringstream os;
+  os << static_cast<int>(ActivityOrigin(label)) << ":"
+     << LocalName(ActivityLocalId(label));
+  return os.str();
+}
+
+}  // namespace quanto

@@ -1,0 +1,36 @@
+// Maps activity ids to the programmer-facing names that appear in Quanto's
+// plots and tables ("1:Red", "4:BounceApp", "1:VTimer"). The paper's
+// activity ids are "statically defined integers" (Section 3.2); the registry
+// is the naming side-channel the offline tools use when rendering traces.
+#ifndef QUANTO_SRC_CORE_ACTIVITY_REGISTRY_H_
+#define QUANTO_SRC_CORE_ACTIVITY_REGISTRY_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/activity.h"
+
+namespace quanto {
+
+class ActivityRegistry {
+ public:
+  ActivityRegistry();
+
+  // Registers a name for a node-local activity id (applies to every node).
+  void RegisterName(act_id_t id, const std::string& name);
+
+  // Renders a full label as "<origin>:<name>".
+  std::string Name(act_t label) const;
+
+  // Renders just the node-local part.
+  std::string LocalName(act_id_t id) const;
+
+  bool HasName(act_id_t id) const;
+
+ private:
+  std::map<act_id_t, std::string> names_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_ACTIVITY_REGISTRY_H_

@@ -1,0 +1,64 @@
+#include "src/core/energy_governor.h"
+
+namespace quanto {
+
+EnergyGovernor::EnergyGovernor(const OnlineAccumulators* accumulators,
+                               Clock* clock)
+    : EnergyGovernor(accumulators, clock, Config()) {}
+
+EnergyGovernor::EnergyGovernor(const OnlineAccumulators* accumulators,
+                               Clock* clock, const Config& config)
+    : accumulators_(accumulators), clock_(clock), config_(config) {
+  epoch_start_ = clock_->Now();
+}
+
+void EnergyGovernor::SetBudget(act_t activity, MicroJoules budget) {
+  budgets_[activity] = budget;
+  baseline_[activity] = accumulators_->EnergyForActivity(activity);
+}
+
+MicroJoules EnergyGovernor::Spent(act_t activity) const {
+  MicroJoules now = accumulators_->EnergyForActivity(activity);
+  auto it = baseline_.find(activity);
+  MicroJoules base = it != baseline_.end() ? it->second : 0.0;
+  return now > base ? now - base : 0.0;
+}
+
+MicroJoules EnergyGovernor::Remaining(act_t activity) const {
+  auto it = budgets_.find(activity);
+  MicroJoules budget =
+      it != budgets_.end() ? it->second : config_.default_budget;
+  if (budget <= 0.0) {
+    return 1e18;  // Unlimited.
+  }
+  MicroJoules spent = Spent(activity);
+  return spent < budget ? budget - spent : 0.0;
+}
+
+bool EnergyGovernor::MayRun(act_t activity) const {
+  bool ok = Remaining(activity) > 0.0;
+  if (!ok) {
+    ++denials_;
+  }
+  return ok;
+}
+
+void EnergyGovernor::AssignEqualShares(const std::vector<act_t>& activities,
+                                       MicroJoules total_budget) {
+  if (activities.empty()) {
+    return;
+  }
+  MicroJoules share = total_budget / static_cast<double>(activities.size());
+  for (act_t act : activities) {
+    SetBudget(act, share);
+  }
+}
+
+void EnergyGovernor::ResetEpoch() {
+  epoch_start_ = clock_->Now();
+  for (auto& [act, base] : baseline_) {
+    base = accumulators_->EnergyForActivity(act);
+  }
+}
+
+}  // namespace quanto

@@ -1,0 +1,72 @@
+// Energy-aware policy extension (Section 5.3, "Energy-Aware Scheduling"):
+// "Since Quanto already tracks energy usage by activity, an extension to
+// the operating system scheduler would enable energy-aware policies like
+// equal-energy scheduling for threads, rather than equal-time scheduling."
+//
+// The EnergyGovernor consumes the OnlineAccumulators' per-activity energy
+// counters and answers admission questions: has an activity exhausted its
+// budget over the current accounting epoch? Applications consult it before
+// starting discretionary work (the sense-and-send example skips sensor
+// rounds for over-budget activities), and the equal-energy share helper
+// implements the paper's suggested policy.
+#ifndef QUANTO_SRC_CORE_ENERGY_GOVERNOR_H_
+#define QUANTO_SRC_CORE_ENERGY_GOVERNOR_H_
+
+#include <map>
+
+#include "src/core/activity.h"
+#include "src/core/hooks.h"
+#include "src/core/online_accounting.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class EnergyGovernor {
+ public:
+  struct Config {
+    // Accounting epoch: budgets refer to energy spent since the last
+    // ResetEpoch() (deployments reset daily, on harvest events, etc.).
+    MicroJoules default_budget = 0.0;  // 0 = unlimited.
+  };
+
+  EnergyGovernor(const OnlineAccumulators* accumulators, Clock* clock);
+  EnergyGovernor(const OnlineAccumulators* accumulators, Clock* clock,
+                 const Config& config);
+
+  // Assigns a per-epoch budget (microjoules) to a node-local activity id.
+  void SetBudget(act_t activity, MicroJoules budget);
+
+  // Energy the activity has spent in the current epoch.
+  MicroJoules Spent(act_t activity) const;
+
+  // Remaining budget (clamped at zero); unlimited when no budget set and
+  // default_budget == 0.
+  MicroJoules Remaining(act_t activity) const;
+
+  // True when the activity may start more discretionary work.
+  bool MayRun(act_t activity) const;
+
+  // Divides a total epoch budget equally among the given activities —
+  // the paper's "equal-energy scheduling" policy.
+  void AssignEqualShares(const std::vector<act_t>& activities,
+                         MicroJoules total_budget);
+
+  // Starts a new epoch: spending baselines reset to current counters.
+  void ResetEpoch();
+
+  Tick epoch_start() const { return epoch_start_; }
+  uint64_t denials() const { return denials_; }
+
+ private:
+  const OnlineAccumulators* accumulators_;
+  Clock* clock_;
+  Config config_;
+  std::map<act_t, MicroJoules> budgets_;
+  std::map<act_t, MicroJoules> baseline_;  // Spend at epoch start.
+  Tick epoch_start_ = 0;
+  mutable uint64_t denials_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_ENERGY_GOVERNOR_H_

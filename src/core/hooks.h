@@ -1,0 +1,40 @@
+// Abstract hooks the Quanto core uses to reach the platform it runs on.
+//
+// The core (labels, trackers, logger) is substrate-agnostic: it reads time
+// through Clock, reads cumulative energy through EnergyCounter (the iCount
+// meter), and charges its own CPU overhead through CpuChargeHook. The
+// simulator and the meter implement these; unit tests supply fakes.
+#ifndef QUANTO_SRC_CORE_HOOKS_H_
+#define QUANTO_SRC_CORE_HOOKS_H_
+
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace quanto {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Tick Now() const = 0;
+};
+
+// Interface to the energy meter: a free-running cumulative pulse counter
+// that is "as cheap as reading a counter" to sample (Section 1).
+class EnergyCounter {
+ public:
+  virtual ~EnergyCounter() = default;
+  virtual uint32_t ReadPulses() = 0;
+};
+
+// Lets the logger charge its own synchronous cost (102 cycles per sample,
+// Table 4) to the CPU so that Quanto accounts for itself, like Unix top.
+class CpuChargeHook {
+ public:
+  virtual ~CpuChargeHook() = default;
+  virtual void ChargeCycles(Cycles cycles) = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_HOOKS_H_

@@ -1,0 +1,52 @@
+// The Quanto log record (Figure 17 of the paper).
+//
+// Each power-state or activity event is recorded synchronously as one
+// 12-byte entry: type, hardware resource id, 32-bit local time, 32-bit
+// cumulative iCount energy reading, and a 16-bit payload that is either an
+// activity label or a power state, depending on the type. Both the time and
+// the energy counter are free-running 32-bit values that wrap; the analysis
+// layer (src/analysis/interval_extractor) unwraps them.
+#ifndef QUANTO_SRC_CORE_LOG_ENTRY_H_
+#define QUANTO_SRC_CORE_LOG_ENTRY_H_
+
+#include <cstdint>
+
+namespace quanto {
+
+// Hardware resource identifier (an energy sink / device index; the catalog
+// lives in src/hw/sinks.h but the core treats it as opaque).
+using res_id_t = uint8_t;
+
+enum class LogEntryType : uint8_t {
+  kPowerState = 0,     // payload = new power state of resource res_id.
+  kActivitySet = 1,    // payload = new activity of a SingleActivityDevice.
+  kActivityBind = 2,   // payload = real activity the previous one binds to.
+  kActivityAdd = 3,    // payload = activity added to a MultiActivityDevice.
+  kActivityRemove = 4, // payload = activity removed from a multi device.
+};
+
+// Packed to exactly 12 bytes, matching the paper's RAM footprint claim
+// ("each sample takes ... 12 bytes of RAM").
+#pragma pack(push, 1)
+struct LogEntry {
+  uint8_t type;        // LogEntryType.
+  res_id_t res_id;     // Hardware resource the entry refers to.
+  uint32_t time;       // Local node time, wraps (ticks truncated to 32 bit).
+  uint32_t icount;     // Cumulative iCount pulse counter, wraps.
+  uint16_t payload;    // act_t or powerstate_t, by type.
+};
+#pragma pack(pop)
+
+static_assert(sizeof(LogEntry) == 12, "LogEntry must pack to 12 bytes");
+
+inline constexpr LogEntryType EntryType(const LogEntry& e) {
+  return static_cast<LogEntryType>(e.type);
+}
+
+inline constexpr bool IsActivityEntry(const LogEntry& e) {
+  return EntryType(e) != LogEntryType::kPowerState;
+}
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_LOG_ENTRY_H_

@@ -1,0 +1,57 @@
+#include "src/core/logger.h"
+
+namespace quanto {
+
+QuantoLogger::QuantoLogger(Clock* clock, EnergyCounter* meter, size_t capacity,
+                           Mode mode)
+    : clock_(clock),
+      meter_(meter),
+      mode_(mode),
+      buffer_(capacity, RingBuffer<LogEntry>::OverflowPolicy::kDropNewest) {}
+
+void QuantoLogger::Append(LogEntryType type, res_id_t resource,
+                          uint16_t payload) {
+  if (!enabled_) {
+    return;
+  }
+  LogEntry entry;
+  entry.type = static_cast<uint8_t>(type);
+  entry.res_id = resource;
+  // Recording time and energy must happen synchronously, as close to the
+  // event as possible (Section 4.4). Both are free-running 32-bit counters.
+  entry.time = static_cast<uint32_t>(clock_->Now());
+  entry.icount = meter_->ReadPulses();
+  entry.payload = payload;
+
+  if (buffer_.Push(entry)) {
+    ++entries_logged_;
+  } else {
+    ++entries_dropped_;
+  }
+
+  sync_cycles_spent_ += costs_.total();
+  if (charge_hook_ != nullptr) {
+    charge_hook_->ChargeCycles(costs_.total());
+  }
+}
+
+size_t QuantoLogger::Drain(size_t max_entries) {
+  size_t moved = 0;
+  while (moved < max_entries && !buffer_.empty()) {
+    archive_.push_back(buffer_.Pop());
+    ++moved;
+  }
+  return moved;
+}
+
+size_t QuantoLogger::DumpAll() { return Drain(buffer_.size()); }
+
+std::vector<LogEntry> QuantoLogger::Trace() const {
+  std::vector<LogEntry> out = archive_;
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_.At(i));
+  }
+  return out;
+}
+
+}  // namespace quanto

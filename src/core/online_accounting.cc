@@ -1,0 +1,159 @@
+#include "src/core/online_accounting.h"
+
+namespace quanto {
+
+OnlineAccumulators::OnlineAccumulators(Clock* clock, EnergyCounter* meter,
+                                       StaticPowerFn power_table,
+                                       const Config& config)
+    : clock_(clock),
+      meter_(meter),
+      power_table_(std::move(power_table)),
+      config_(config) {
+  last_update_ = clock_->Now();
+  base_pulses_ = meter_->ReadPulses();
+  last_pulses_ = base_pulses_;
+}
+
+OnlineAccumulators::ResourceState* OnlineAccumulators::StateFor(
+    res_id_t res) {
+  auto it = resources_.find(res);
+  if (it != resources_.end()) {
+    return &it->second;
+  }
+  if (resources_.size() >= config_.max_resources) {
+    return nullptr;  // Fixed memory: excess resources are not tracked.
+  }
+  ResourceState state;
+  state.in_use = true;
+  return &resources_.emplace(res, std::move(state)).first->second;
+}
+
+void OnlineAccumulators::Accumulate() {
+  Tick now = clock_->Now();
+  Tick dt = now - last_update_;
+  if (dt == 0) {
+    return;
+  }
+  // Split the interval's *modelled* static power by resource; this is the
+  // per-activity charge. (The metered aggregate is tracked separately for
+  // totals; per-activity fidelity rests on the static table, which is the
+  // price of not logging.)
+  for (auto& [res, state] : resources_) {
+    MicroWatts p = power_table_ ? power_table_(res, state.state) : 0.0;
+    MicroJoules e = p * TicksToSeconds(dt);
+    size_t n = state.acts.empty() ? 0 : state.acts.size();
+    if (n == 0) {
+      continue;
+    }
+    double share = 1.0 / static_cast<double>(n);
+    for (act_t act : state.acts) {
+      time_[{res, act}] += static_cast<Tick>(static_cast<double>(dt) * share);
+      if (e != 0.0) {
+        energy_[{res, act}] += e * share;
+      }
+    }
+  }
+  last_update_ = now;
+}
+
+void OnlineAccumulators::OnEvent(LogEntryType type, res_id_t res,
+                                 uint16_t payload) {
+  Accumulate();
+  last_pulses_ = meter_->ReadPulses();
+  ++updates_;
+  update_cycles_spent_ += config_.update_cost;
+  if (charge_hook_ != nullptr) {
+    charge_hook_->ChargeCycles(config_.update_cost);
+  }
+  ResourceState* state = StateFor(res);
+  if (state == nullptr) {
+    return;
+  }
+  switch (type) {
+    case LogEntryType::kPowerState:
+      state->state = payload;
+      break;
+    case LogEntryType::kActivitySet:
+    case LogEntryType::kActivityBind:
+      // Online mode cannot re-attribute history, so a bind simply switches
+      // the label going forward; proxy usage stays on the proxy (the
+      // fidelity gap the ablation bench measures).
+      state->acts = {static_cast<act_t>(payload)};
+      break;
+    case LogEntryType::kActivityAdd: {
+      act_t act = static_cast<act_t>(payload);
+      bool present = false;
+      for (act_t a : state->acts) {
+        present = present || a == act;
+      }
+      if (!present) {
+        state->acts.push_back(act);
+      }
+      break;
+    }
+    case LogEntryType::kActivityRemove: {
+      act_t act = static_cast<act_t>(payload);
+      for (size_t i = 0; i < state->acts.size(); ++i) {
+        if (state->acts[i] == act) {
+          state->acts.erase(state->acts.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+void OnlineAccumulators::Flush() { Accumulate(); }
+
+Tick OnlineAccumulators::TimeFor(res_id_t res, act_t act) const {
+  auto it = time_.find({res, act});
+  return it != time_.end() ? it->second : 0;
+}
+
+MicroJoules OnlineAccumulators::EnergyForActivity(act_t act) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy_) {
+    if (key.second == act) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+MicroJoules OnlineAccumulators::EnergyForResource(res_id_t res) const {
+  MicroJoules total = 0.0;
+  for (const auto& [key, e] : energy_) {
+    if (key.first == res) {
+      total += e;
+    }
+  }
+  return total;
+}
+
+std::vector<act_t> OnlineAccumulators::Activities() const {
+  std::vector<act_t> out;
+  for (const auto& [key, t] : time_) {
+    bool seen = false;
+    for (act_t a : out) {
+      seen = seen || a == key.second;
+    }
+    if (!seen) {
+      out.push_back(key.second);
+    }
+  }
+  return out;
+}
+
+MicroJoules OnlineAccumulators::TotalMeteredEnergy() const {
+  return static_cast<double>(last_pulses_ - base_pulses_) *
+         config_.energy_per_pulse;
+}
+
+size_t OnlineAccumulators::MemoryBytes() const {
+  // Fixed-table equivalent: each (res, act) slot holds a time and an
+  // energy counter (8 + 8 bytes) plus the key (3 bytes packed).
+  return time_.size() * (8 + 8 + 3) + resources_.size() * 16;
+}
+
+}  // namespace quanto

@@ -1,0 +1,41 @@
+#include "src/core/power_state.h"
+
+namespace quanto {
+
+PowerStateComponent::PowerStateComponent(res_id_t resource,
+                                         powerstate_t initial)
+    : resource_(resource), value_(initial) {}
+
+void PowerStateComponent::AddListener(PowerStateTrack* listener) {
+  listeners_.push_back(listener);
+}
+
+void PowerStateComponent::set(powerstate_t value) {
+  if (value == value_) {
+    ++suppressed_sets_;
+    return;
+  }
+  Commit(value);
+}
+
+void PowerStateComponent::setBits(powerstate_t mask, uint8_t offset,
+                                  powerstate_t value) {
+  powerstate_t shifted_mask = static_cast<powerstate_t>(mask << offset);
+  powerstate_t next = static_cast<powerstate_t>(
+      (value_ & ~shifted_mask) |
+      (static_cast<powerstate_t>(value << offset) & shifted_mask));
+  if (next == value_) {
+    ++suppressed_sets_;
+    return;
+  }
+  Commit(next);
+}
+
+void PowerStateComponent::Commit(powerstate_t value) {
+  value_ = value;
+  for (PowerStateTrack* listener : listeners_) {
+    listener->changed(resource_, value_);
+  }
+}
+
+}  // namespace quanto

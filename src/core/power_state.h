@@ -1,0 +1,74 @@
+// The PowerState / PowerStateTrack interfaces (Figures 1 and 3).
+//
+// Device drivers are modified to expose hardware power states through the
+// PowerState interface; a generic component implements it, de-duplicates
+// idempotent sets, and notifies PowerStateTrack listeners (the OS logger,
+// the power model, applications) only when an actual state change occurs.
+#ifndef QUANTO_SRC_CORE_POWER_STATE_H_
+#define QUANTO_SRC_CORE_POWER_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/log_entry.h"
+
+namespace quanto {
+
+// A power state value. For simple devices this is a small enum (LED: 0/1);
+// for composite sinks drivers may pack bit fields, which setBits supports.
+using powerstate_t = uint16_t;
+
+// Figure 1: the interface device drivers call to signal state changes.
+class PowerState {
+ public:
+  virtual ~PowerState() = default;
+
+  // Sets the power state to `value`. Idempotent: re-signalling the current
+  // state does not notify listeners.
+  virtual void set(powerstate_t value) = 0;
+
+  // Sets the bits selected by `mask` (shifted by `offset`) to `value`,
+  // for drivers that expose several independent sub-state fields.
+  virtual void setBits(powerstate_t mask, uint8_t offset,
+                       powerstate_t value) = 0;
+};
+
+// Figure 3: the observer interface for real-time power state changes.
+class PowerStateTrack {
+ public:
+  virtual ~PowerStateTrack() = default;
+  virtual void changed(res_id_t resource, powerstate_t value) = 0;
+};
+
+// The generic component the paper provides: glue between device drivers
+// (PowerState) and the OS (PowerStateTrack).
+class PowerStateComponent : public PowerState {
+ public:
+  PowerStateComponent(res_id_t resource, powerstate_t initial = 0);
+
+  void set(powerstate_t value) override;
+  void setBits(powerstate_t mask, uint8_t offset, powerstate_t value) override;
+
+  powerstate_t value() const { return value_; }
+  res_id_t resource() const { return resource_; }
+
+  // Registers a listener; listeners are notified in registration order.
+  // Listeners are borrowed, not owned, and must outlive this component.
+  void AddListener(PowerStateTrack* listener);
+
+  // Number of calls that were suppressed because they signalled the
+  // current state (exercised by tests of the idempotency contract).
+  uint64_t suppressed_sets() const { return suppressed_sets_; }
+
+ private:
+  void Commit(powerstate_t value);
+
+  res_id_t resource_;
+  powerstate_t value_;
+  std::vector<PowerStateTrack*> listeners_;
+  uint64_t suppressed_sets_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_POWER_STATE_H_

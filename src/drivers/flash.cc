@@ -1,0 +1,86 @@
+#include "src/drivers/flash.h"
+
+#include <utility>
+
+namespace quanto {
+
+ExternalFlash::ExternalFlash(EventQueue* queue, CpuScheduler* cpu)
+    : ExternalFlash(queue, cpu, Config()) {}
+
+ExternalFlash::ExternalFlash(EventQueue* queue, CpuScheduler* cpu,
+                             const Config& config)
+    : queue_(queue),
+      cpu_(cpu),
+      config_(config),
+      power_(kSinkExternalFlash, kExtFlashPowerDown),
+      activity_(kSinkExternalFlash, MakeActivity(cpu->node_id(), kActIdle)),
+      arbiter_(cpu, &activity_) {}
+
+Tick ExternalFlash::PagesDuration(size_t bytes, Tick per_page) const {
+  size_t pages = (bytes + config_.page_size - 1) / config_.page_size;
+  if (pages == 0) {
+    pages = 1;
+  }
+  return per_page * pages;
+}
+
+void ExternalFlash::Write(size_t bytes, std::function<void()> done) {
+  StartOperation(kExtFlashWrite, PagesDuration(bytes, config_.page_write_time),
+                 std::move(done));
+}
+
+void ExternalFlash::Read(size_t bytes, std::function<void()> done) {
+  StartOperation(kExtFlashRead, PagesDuration(bytes, config_.page_read_time),
+                 std::move(done));
+}
+
+void ExternalFlash::Erase(std::function<void()> done) {
+  StartOperation(kExtFlashErase, config_.block_erase_time, std::move(done));
+}
+
+void ExternalFlash::StartOperation(powerstate_t busy_state, Tick duration,
+                                   std::function<void()> done) {
+  arbiter_.Request(
+      config_.start_cost,
+      [this, busy_state, duration, done = std::move(done)]() mutable {
+        act_t owner = arbiter_.owner_activity();
+        // Handshake phase 1: chip enable asserted, device leaves deep
+        // sleep and raises ready.
+        Tick wake = power_.value() == kExtFlashPowerDown
+                        ? config_.wakeup_time
+                        : Tick{0};
+        power_.set(kExtFlashStandby);
+        queue_->ScheduleAfter(
+            wake + config_.command_time,
+            [this, busy_state, duration, owner, done = std::move(done)] {
+              // Phase 2: command issued; the chip asserts busy and the
+              // driver shadows the corresponding power state.
+              power_.set(busy_state);
+              queue_->ScheduleAfter(duration, [this, owner, done] {
+                // Phase 3: ready line interrupt; proxy bound to the stored
+                // owner activity.
+                cpu_->RaiseInterrupt(
+                    kActIntUart0Rx, config_.irq_cost, [this, owner, done] {
+                      cpu_->activity().bind(owner);
+                      cpu_->PostTaskWithActivity(
+                          owner, config_.completion_cost, [this, done] {
+                            power_.set(kExtFlashStandby);
+                            ++operations_completed_;
+                            arbiter_.Release();
+                            if (done) {
+                              done();
+                            }
+                          });
+                    });
+              });
+            });
+      });
+}
+
+void ExternalFlash::PowerDown() {
+  if (!arbiter_.busy()) {
+    power_.set(kExtFlashPowerDown);
+  }
+}
+
+}  // namespace quanto

@@ -1,0 +1,72 @@
+// AT45DB-style external NOR flash driver.
+//
+// Section 2.4 uses the flash as the example of a device whose "power state
+// can change outside of direct CPU control": a write goes through a
+// chip-enable / command / busy / ready handshake during which the
+// transitions are visible to the processor but not driven by it. The driver
+// shadows the hardware state machine and exposes each phase through its
+// PowerState component — exactly the "monitor hardware handshake lines ...
+// to shadow and expose the hardware power state" discipline the paper
+// prescribes.
+#ifndef QUANTO_SRC_DRIVERS_FLASH_H_
+#define QUANTO_SRC_DRIVERS_FLASH_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/sim/arbiter.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+
+class ExternalFlash {
+ public:
+  struct Config {
+    Tick wakeup_time = Microseconds(35);       // POWER_DOWN -> STANDBY.
+    Tick page_write_time = Milliseconds(3);    // Per 256-byte page program.
+    Tick page_read_time = Microseconds(300);   // Per 256-byte page read.
+    Tick block_erase_time = Milliseconds(45);
+    Tick command_time = Microseconds(40);      // Serial command framing.
+    Cycles start_cost = 80;
+    Cycles completion_cost = 60;
+    Cycles irq_cost = 18;                      // Ready-line interrupt.
+    size_t page_size = 256;
+  };
+
+  ExternalFlash(EventQueue* queue, CpuScheduler* cpu);
+  ExternalFlash(EventQueue* queue, CpuScheduler* cpu, const Config& config);
+
+  // Asynchronous operations; `done` is posted under the caller's activity.
+  void Write(size_t bytes, std::function<void()> done);
+  void Read(size_t bytes, std::function<void()> done);
+  void Erase(std::function<void()> done);
+
+  // Drops the chip back to its deep POWER_DOWN state.
+  void PowerDown();
+
+  bool busy() const { return arbiter_.busy(); }
+  PowerStateComponent& power_state() { return power_; }
+  SingleActivityDevice& activity() { return activity_; }
+  uint64_t operations_completed() const { return operations_completed_; }
+
+ private:
+  void StartOperation(powerstate_t busy_state, Tick duration,
+                      std::function<void()> done);
+  Tick PagesDuration(size_t bytes, Tick per_page) const;
+
+  EventQueue* queue_;
+  CpuScheduler* cpu_;
+  Config config_;
+  PowerStateComponent power_;
+  SingleActivityDevice activity_;
+  Arbiter arbiter_;
+  uint64_t operations_completed_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_DRIVERS_FLASH_H_

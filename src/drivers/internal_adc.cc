@@ -1,0 +1,61 @@
+#include "src/drivers/internal_adc.h"
+
+#include <utility>
+
+namespace quanto {
+
+InternalAdc::InternalAdc(EventQueue* queue, CpuScheduler* cpu)
+    : InternalAdc(queue, cpu, Config()) {}
+
+InternalAdc::InternalAdc(EventQueue* queue, CpuScheduler* cpu,
+                         const Config& config)
+    : queue_(queue),
+      cpu_(cpu),
+      config_(config),
+      vref_(kSinkVoltageRef, kVrefOff),
+      adc_(kSinkAdc, kAdcOff),
+      temp_(kSinkTempSensor, kTempOff),
+      activity_(kSinkAdc, MakeActivity(cpu->node_id(), kActIdle)),
+      arbiter_(cpu, &activity_),
+      noise_(config.noise_seed) {}
+
+void InternalAdc::ReadTemperature(std::function<void(uint16_t)> done) {
+  arbiter_.Request(
+      config_.start_cost, [this, done = std::move(done)]() mutable {
+        act_t owner = arbiter_.owner_activity();
+        // Phase 1: reference settles, on alone.
+        vref_.set(kVrefOn);
+        queue_->ScheduleAfter(
+            config_.vref_settle,
+            [this, owner, done = std::move(done)] {
+              // Phase 2: conversion with the temperature sensor routed in.
+              adc_.set(kAdcConverting);
+              temp_.set(kTempSample);
+              queue_->ScheduleAfter(
+                  config_.conversion_time, [this, owner, done] {
+                    // Conversion-complete interrupt, bound to the stored
+                    // owner activity.
+                    cpu_->RaiseInterrupt(
+                        kActIntAdc, config_.irq_cost, [this, owner, done] {
+                          cpu_->activity().bind(owner);
+                          uint16_t raw = static_cast<uint16_t>(
+                              noise_.Gaussian(2950.0, 4.0));
+                          cpu_->PostTaskWithActivity(
+                              owner, config_.completion_cost,
+                              [this, raw, done] {
+                                temp_.set(kTempOff);
+                                adc_.set(kAdcOff);
+                                vref_.set(kVrefOff);
+                                ++conversions_;
+                                arbiter_.Release();
+                                if (done) {
+                                  done(raw);
+                                }
+                              });
+                        });
+                  });
+            });
+      });
+}
+
+}  // namespace quanto

@@ -1,0 +1,66 @@
+// MSP430 internal ADC driver: temperature sampling via the on-chip sensor.
+//
+// A conversion involves three of Table 1's microcontroller energy sinks at
+// once — the voltage reference (500 uA while ON), the ADC (800 uA while
+// CONVERTING) and the internal temperature sensor (60 uA while SAMPLE) —
+// making it the in-MCU counterpart of the external SHT11: several sinks
+// switching together under one activity, resolved by the regression only
+// because the reference has a settling period during which it is on alone.
+#ifndef QUANTO_SRC_DRIVERS_INTERNAL_ADC_H_
+#define QUANTO_SRC_DRIVERS_INTERNAL_ADC_H_
+
+#include <functional>
+
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/sim/arbiter.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace quanto {
+
+class InternalAdc {
+ public:
+  struct Config {
+    // The reference must settle before sampling (on alone during this
+    // window — which is what lets the regression separate its draw).
+    Tick vref_settle = Microseconds(17000);
+    Tick conversion_time = Microseconds(1300);  // 13-bit SAR @ ~10 kHz.
+    Cycles start_cost = 50;
+    Cycles completion_cost = 40;
+    Cycles irq_cost = 16;
+    uint64_t noise_seed = 0xADC;
+  };
+
+  InternalAdc(EventQueue* queue, CpuScheduler* cpu);
+  InternalAdc(EventQueue* queue, CpuScheduler* cpu, const Config& config);
+
+  // Samples the internal temperature sensor; `done(raw)` is posted under
+  // the caller's activity.
+  void ReadTemperature(std::function<void(uint16_t)> done);
+
+  bool busy() const { return arbiter_.busy(); }
+  PowerStateComponent& vref_power() { return vref_; }
+  PowerStateComponent& adc_power() { return adc_; }
+  PowerStateComponent& temp_power() { return temp_; }
+  SingleActivityDevice& activity() { return activity_; }
+  uint64_t conversions() const { return conversions_; }
+
+ private:
+  EventQueue* queue_;
+  CpuScheduler* cpu_;
+  Config config_;
+  PowerStateComponent vref_;
+  PowerStateComponent adc_;
+  PowerStateComponent temp_;
+  SingleActivityDevice activity_;
+  Arbiter arbiter_;
+  Rng noise_;
+  uint64_t conversions_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_DRIVERS_INTERNAL_ADC_H_

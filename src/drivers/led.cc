@@ -1,0 +1,30 @@
+#include "src/drivers/led.h"
+
+namespace quanto {
+
+LedDriver::LedDriver(CpuScheduler* cpu, SinkId sink)
+    : cpu_(cpu),
+      power_(sink, kLedOff),
+      activity_(sink, MakeActivity(cpu->node_id(), kActIdle)) {}
+
+void LedDriver::On() {
+  // Transfer the CPU's activity to the device ("painting" it), then signal
+  // the power state, mirroring Figure 2's call order.
+  activity_.set(cpu_->activity().get());
+  power_.set(kLedOn);
+}
+
+void LedDriver::Off() {
+  power_.set(kLedOff);
+  activity_.set(MakeActivity(cpu_->node_id(), kActIdle));
+}
+
+void LedDriver::Toggle() {
+  if (is_on()) {
+    Off();
+  } else {
+    On();
+  }
+}
+
+}  // namespace quanto

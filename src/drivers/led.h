@@ -1,0 +1,40 @@
+// LED device driver with Quanto instrumentation (Figure 2).
+//
+// "For a simple device like the LED which only has two states and whose
+// power states are under complete control of the processor, exposing the
+// power state is a simple and relatively low-overhead matter." The driver
+// signals on/off through its PowerState component and is painted with the
+// CPU's current activity whenever it is turned on, so its energy is charged
+// to the activity that lit it.
+#ifndef QUANTO_SRC_DRIVERS_LED_H_
+#define QUANTO_SRC_DRIVERS_LED_H_
+
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/sim/cpu.h"
+
+namespace quanto {
+
+class LedDriver {
+ public:
+  // `sink` selects which LED this instance drives (kSinkLed0..kSinkLed2).
+  LedDriver(CpuScheduler* cpu, SinkId sink);
+
+  void On();
+  void Off();
+  void Toggle();
+  bool is_on() const { return power_.value() == kLedOn; }
+
+  PowerStateComponent& power_state() { return power_; }
+  SingleActivityDevice& activity() { return activity_; }
+
+ private:
+  CpuScheduler* cpu_;
+  PowerStateComponent power_;
+  SingleActivityDevice activity_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_DRIVERS_LED_H_

@@ -1,0 +1,73 @@
+#include "src/drivers/sht11.h"
+
+#include <utility>
+
+namespace quanto {
+
+Sht11Sensor::Sht11Sensor(EventQueue* queue, CpuScheduler* cpu)
+    : Sht11Sensor(queue, cpu, Config()) {}
+
+Sht11Sensor::Sht11Sensor(EventQueue* queue, CpuScheduler* cpu,
+                         const Config& config)
+    : queue_(queue),
+      cpu_(cpu),
+      config_(config),
+      power_(kSinkSht11, kSht11Off),
+      activity_(kSinkSht11, MakeActivity(cpu->node_id(), kActIdle)),
+      arbiter_(cpu, &activity_),
+      noise_(config.noise_seed) {}
+
+void Sht11Sensor::Read(Channel channel, std::function<void(uint16_t)> done) {
+  // The arbiter captures the requester's activity and paints the sensor
+  // with it when granting.
+  arbiter_.Request(
+      config_.start_cost,
+      [this, channel, done = std::move(done)]() mutable {
+        act_t owner = arbiter_.owner_activity();
+        power_.set(kSht11Measure);
+        Tick conversion = channel == Channel::kHumidity
+                              ? config_.humidity_conversion
+                              : config_.temperature_conversion;
+        queue_->ScheduleAfter(
+            conversion, [this, channel, owner, done = std::move(done)] {
+              // Data-ready interrupt: runs under the int_ADC proxy, then
+              // binds the proxy to the stored owner activity.
+              cpu_->RaiseInterrupt(
+                  kActIntAdc, config_.irq_cost,
+                  [this, channel, owner, done] {
+                    cpu_->activity().bind(owner);
+                    OnConversionDone(channel, owner, done);
+                  });
+            });
+      });
+}
+
+void Sht11Sensor::OnConversionDone(Channel channel, act_t owner,
+                                   std::function<void(uint16_t)> done) {
+  uint16_t value = Sample(channel);
+  cpu_->PostTaskWithActivity(
+      owner, config_.completion_cost, [this, value, done = std::move(done)] {
+        power_.set(kSht11Off);
+        ++reads_completed_;
+        arbiter_.Release();
+        if (done) {
+          done(value);
+        }
+      });
+}
+
+uint16_t Sht11Sensor::Sample(Channel channel) {
+  // Synthetic environment: mild diurnal-ish wander around a midpoint, in
+  // raw ADC units approximating the real chip's transfer function.
+  double base = channel == Channel::kHumidity ? 1800.0 : 6200.0;
+  double swing = channel == Channel::kHumidity ? 40.0 : 25.0;
+  double t = TicksToSeconds(queue_->Now());
+  double wander = swing * (0.5 + 0.5 * (t - static_cast<uint64_t>(t)));
+  double noisy = noise_.Gaussian(base + wander, 3.0);
+  if (noisy < 0.0) {
+    noisy = 0.0;
+  }
+  return static_cast<uint16_t>(noisy);
+}
+
+}  // namespace quanto

@@ -1,0 +1,70 @@
+// SHT11 humidity/temperature sensor driver (one of the paper's
+// representative instrumented device drivers, Table 5).
+//
+// Access is mediated by a TinyOS Arbiter, which Quanto instruments to
+// transfer activity labels to and from the managed device automatically
+// (Section 3.3). A measurement is asynchronous: the driver starts the
+// conversion, the chip signals completion with an interrupt, and —
+// following Section 3.3's interrupt discipline — the driver "will have
+// stored locally both the state required to process the interrupt and the
+// activity to which this processing should be assigned", binding the proxy
+// activity to it.
+#ifndef QUANTO_SRC_DRIVERS_SHT11_H_
+#define QUANTO_SRC_DRIVERS_SHT11_H_
+
+#include <functional>
+
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/sim/arbiter.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace quanto {
+
+class Sht11Sensor {
+ public:
+  enum class Channel { kHumidity, kTemperature };
+
+  struct Config {
+    Tick humidity_conversion = Milliseconds(75);
+    Tick temperature_conversion = Milliseconds(210);
+    Cycles start_cost = 120;     // Command the chip over the 2-wire bus.
+    Cycles completion_cost = 90; // Read out the result registers.
+    Cycles irq_cost = 20;        // Data-ready interrupt handler.
+    uint64_t noise_seed = 0x5817;
+  };
+
+  Sht11Sensor(EventQueue* queue, CpuScheduler* cpu);
+  Sht11Sensor(EventQueue* queue, CpuScheduler* cpu, const Config& config);
+
+  // Asynchronous read; `done(raw_value)` is posted as a task under the
+  // activity that was current when Read was called.
+  void Read(Channel channel, std::function<void(uint16_t)> done);
+
+  bool busy() const { return arbiter_.busy(); }
+  PowerStateComponent& power_state() { return power_; }
+  SingleActivityDevice& activity() { return activity_; }
+  Arbiter& arbiter() { return arbiter_; }
+  uint64_t reads_completed() const { return reads_completed_; }
+
+ private:
+  void OnConversionDone(Channel channel, act_t owner,
+                        std::function<void(uint16_t)> done);
+  uint16_t Sample(Channel channel);
+
+  EventQueue* queue_;
+  CpuScheduler* cpu_;
+  Config config_;
+  PowerStateComponent power_;
+  SingleActivityDevice activity_;
+  Arbiter arbiter_;
+  Rng noise_;
+  uint64_t reads_completed_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_DRIVERS_SHT11_H_

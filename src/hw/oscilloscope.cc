@@ -1,0 +1,73 @@
+#include "src/hw/oscilloscope.h"
+
+#include <algorithm>
+
+namespace quanto {
+
+Oscilloscope::Oscilloscope(const EventQueue* queue, PowerModel* model)
+    : queue_(queue), supply_(model->supply()) {
+  segments_.push_back(Segment{queue_->Now(), model->TotalCurrent()});
+  model->AddPowerListener([this](MicroWatts power) { OnPowerChanged(power); });
+}
+
+void Oscilloscope::OnPowerChanged(MicroWatts power) {
+  MicroAmps current = power / supply_;
+  Tick now = queue_->Now();
+  if (!segments_.empty() && segments_.back().start == now) {
+    // Multiple state changes at the same tick: keep the final value.
+    segments_.back().current = current;
+    return;
+  }
+  segments_.push_back(Segment{now, current});
+}
+
+MicroAmps Oscilloscope::CurrentAt(Tick t) const {
+  // Binary search for the last segment starting at or before t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Tick value, const Segment& seg) { return value < seg.start; });
+  if (it == segments_.begin()) {
+    return it->current;
+  }
+  return std::prev(it)->current;
+}
+
+MicroJoules Oscilloscope::Energy(Tick t0, Tick t1) const {
+  if (t1 <= t0 || segments_.empty()) {
+    return 0.0;
+  }
+  MicroJoules total = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    Tick seg_start = segments_[i].start;
+    Tick seg_end =
+        (i + 1 < segments_.size()) ? segments_[i + 1].start : t1;
+    Tick lo = std::max(seg_start, t0);
+    Tick hi = std::min(seg_end, t1);
+    if (hi > lo) {
+      total += EnergyOver(segments_[i].current, supply_, hi - lo);
+    }
+  }
+  return total;
+}
+
+MicroAmps Oscilloscope::MeanCurrent(Tick t0, Tick t1) const {
+  if (t1 <= t0) {
+    return 0.0;
+  }
+  MicroJoules energy = Energy(t0, t1);
+  return energy / (supply_ * TicksToSeconds(t1 - t0));
+}
+
+std::vector<Oscilloscope::Sample> Oscilloscope::Resample(Tick t0, Tick t1,
+                                                         Tick step) const {
+  std::vector<Sample> out;
+  if (step == 0) {
+    return out;
+  }
+  for (Tick t = t0; t < t1; t += step) {
+    out.push_back(Sample{t, CurrentAt(t)});
+  }
+  return out;
+}
+
+}  // namespace quanto

@@ -1,0 +1,58 @@
+// The ground-truth probe standing in for the paper's Tektronix MSO4104.
+//
+// Section 4.1 calibrates Quanto against an oscilloscope measuring the
+// current into the mote. In the simulation the oscilloscope is a perfect
+// observer of the PowerModel: it records the exact piecewise-constant
+// current waveform (no quantization, no read latency) so experiments can
+// compare what Quanto *measured* against what the hardware *drew*.
+#ifndef QUANTO_SRC_HW_OSCILLOSCOPE_H_
+#define QUANTO_SRC_HW_OSCILLOSCOPE_H_
+
+#include <vector>
+
+#include "src/hw/power_model.h"
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class Oscilloscope {
+ public:
+  struct Segment {
+    Tick start;
+    MicroAmps current;
+  };
+  struct Sample {
+    Tick time;
+    MicroAmps current;
+  };
+
+  // Attaches to the model; records from the current simulation time.
+  Oscilloscope(const EventQueue* queue, PowerModel* model);
+
+  // Mean current over [t0, t1), microamperes.
+  MicroAmps MeanCurrent(Tick t0, Tick t1) const;
+
+  // Energy drawn over [t0, t1) at the model's supply voltage, microjoules.
+  MicroJoules Energy(Tick t0, Tick t1) const;
+
+  // Uniformly resampled waveform over [t0, t1) with the given step.
+  std::vector<Sample> Resample(Tick t0, Tick t1, Tick step) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  Tick recording_start() const { return segments_.front().start; }
+
+ private:
+  void OnPowerChanged(MicroWatts power);
+  // Current at absolute time t (within the recorded span).
+  MicroAmps CurrentAt(Tick t) const;
+
+  const EventQueue* queue_;
+  Volts supply_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_HW_OSCILLOSCOPE_H_

@@ -1,0 +1,73 @@
+#include "src/hw/power_model.h"
+
+namespace quanto {
+
+PowerModel::PowerModel(Volts supply) : supply_(supply) {
+  InitDefaults();
+}
+
+void PowerModel::InitDefaults() {
+  for (size_t s = 0; s < kSinkCount; ++s) {
+    SinkId sink = static_cast<SinkId>(s);
+    states_[s] = BaselineState(sink);
+    size_t n = SinkStateCount(sink);
+    currents_[s].resize(n);
+    for (size_t st = 0; st < n; ++st) {
+      currents_[s][st] = NominalCurrent(sink, static_cast<powerstate_t>(st));
+    }
+  }
+}
+
+void PowerModel::SetActualCurrent(SinkId sink, powerstate_t state,
+                                  MicroAmps current) {
+  if (sink >= kSinkCount || state >= currents_[sink].size()) {
+    return;
+  }
+  currents_[sink][state] = current;
+}
+
+void PowerModel::NotifyPowerChanged() {
+  MicroWatts power = TotalPower();
+  for (auto& listener : listeners_) {
+    listener(power);
+  }
+}
+
+MicroAmps PowerModel::ActualCurrent(SinkId sink, powerstate_t state) const {
+  if (sink >= kSinkCount || state >= currents_[sink].size()) {
+    return 0.0;
+  }
+  return currents_[sink][state];
+}
+
+void PowerModel::changed(res_id_t resource, powerstate_t value) {
+  if (resource >= kSinkCount) {
+    return;
+  }
+  if (value >= currents_[resource].size()) {
+    // Unknown state index: clamp to baseline so the model stays defined.
+    value = BaselineState(static_cast<SinkId>(resource));
+  }
+  if (states_[resource] == value) {
+    return;
+  }
+  states_[resource] = value;
+  MicroWatts power = TotalPower();
+  for (auto& listener : listeners_) {
+    listener(power);
+  }
+}
+
+MicroAmps PowerModel::TotalCurrent() const {
+  MicroAmps total = floor_current_;
+  for (size_t s = 0; s < kSinkCount; ++s) {
+    total += currents_[s][states_[s]];
+  }
+  return total;
+}
+
+void PowerModel::AddPowerListener(std::function<void(MicroWatts)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace quanto

@@ -1,0 +1,81 @@
+// The node's aggregate power draw as a function of its power-state vector.
+//
+// "At any given time, the aggregate power draw for a system is determined
+// by the set of active power states of its energy sinks" (Section 1). The
+// PowerModel is that ground truth for one simulated node: it listens to
+// every PowerStateComponent (implementing PowerStateTrack), maintains the
+// per-sink state vector, and exposes the total instantaneous current.
+//
+// Downstream observers — the iCount meter (quantized) and the oscilloscope
+// probe (exact) — subscribe to power-change notifications and integrate.
+//
+// The draw of each (sink, state) defaults to the Table 1 datasheet value
+// but can be overridden per instance with the "actual" hardware draw; the
+// regression's job is to recover the actual values without being told.
+#ifndef QUANTO_SRC_HW_POWER_MODEL_H_
+#define QUANTO_SRC_HW_POWER_MODEL_H_
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class PowerModel : public PowerStateTrack {
+ public:
+  explicit PowerModel(Volts supply = kSupplyVoltage);
+
+  // Overrides the actual current drawn by a sink in a state. Note: a
+  // change takes effect at the next power-state notification — the meter
+  // cannot see silent drift, exactly like the real hardware (Section 5.2's
+  // constant-per-state-draw assumption). Call NotifyPowerChanged() to
+  // model drift the meter *does* integrate (e.g. temperature-dependent
+  // draw) without a state transition.
+  void SetActualCurrent(SinkId sink, powerstate_t state, MicroAmps current);
+
+  // Pushes the current total power to all listeners without any state
+  // change — the drift-injection hook used to test the regression's
+  // constant-draw assumption.
+  void NotifyPowerChanged();
+
+  MicroAmps ActualCurrent(SinkId sink, powerstate_t state) const;
+
+  // A constant draw not attributable to any tracked sink (quiescent
+  // regulator current etc.); contributes to the regression's constant term.
+  void SetFloorCurrent(MicroAmps current) { floor_current_ = current; }
+  MicroAmps floor_current() const { return floor_current_; }
+
+  // PowerStateTrack: drivers' PowerStateComponents feed this.
+  void changed(res_id_t resource, powerstate_t value) override;
+
+  powerstate_t state(SinkId sink) const { return states_[sink]; }
+  const std::array<powerstate_t, kSinkCount>& states() const {
+    return states_;
+  }
+
+  MicroAmps TotalCurrent() const;
+  MicroWatts TotalPower() const { return TotalCurrent() * supply_; }
+  Volts supply() const { return supply_; }
+
+  // Registers an observer invoked with the new total power after any state
+  // change. Observers integrate energy themselves.
+  void AddPowerListener(std::function<void(MicroWatts)> listener);
+
+ private:
+  void InitDefaults();
+
+  Volts supply_;
+  MicroAmps floor_current_ = 0.0;
+  std::array<powerstate_t, kSinkCount> states_;
+  // Ragged per-sink current tables, flattened.
+  std::array<std::vector<MicroAmps>, kSinkCount> currents_;
+  std::vector<std::function<void(MicroWatts)>> listeners_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_HW_POWER_MODEL_H_

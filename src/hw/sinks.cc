@@ -1,0 +1,123 @@
+#include "src/hw/sinks.h"
+
+#include <sstream>
+
+namespace quanto {
+
+namespace {
+
+struct StateInfo {
+  const char* name;
+  MicroAmps current;
+};
+
+struct SinkInfo {
+  const char* name;
+  const StateInfo* states;
+  size_t state_count;
+  powerstate_t baseline;
+};
+
+constexpr StateInfo kCpuStates[] = {
+    {"LPM4", 0.2}, {"LPM3", 2.6},  {"LPM2", 17.0},
+    {"LPM1", 75.0}, {"LPM0", 75.0}, {"ACTIVE", 500.0},
+};
+constexpr StateInfo kHwTimerStates[] = {{"RUNNING", 0.0}};
+constexpr StateInfo kVrefStates[] = {{"OFF", 0.0}, {"ON", 500.0}};
+constexpr StateInfo kAdcStates[] = {{"OFF", 0.0}, {"CONVERTING", 800.0}};
+constexpr StateInfo kDacStates[] = {
+    {"OFF", 0.0},
+    {"CONVERTING-2", 50.0},
+    {"CONVERTING-5", 200.0},
+    {"CONVERTING-7", 700.0},
+};
+constexpr StateInfo kIntFlashStates[] = {
+    {"IDLE", 0.0}, {"PROGRAM", 3000.0}, {"ERASE", 3000.0}};
+constexpr StateInfo kTempStates[] = {{"OFF", 0.0}, {"SAMPLE", 60.0}};
+constexpr StateInfo kCompStates[] = {{"OFF", 0.0}, {"COMPARE", 45.0}};
+constexpr StateInfo kSupervisorStates[] = {{"OFF", 0.0}, {"ON", 15.0}};
+constexpr StateInfo kRegulatorStates[] = {
+    {"OFF", 1.0}, {"POWER_DOWN", 20.0}, {"ON", 22.0}};
+constexpr StateInfo kBattMonStates[] = {{"OFF", 0.0}, {"ENABLED", 30.0}};
+constexpr StateInfo kRadioControlStates[] = {{"OFF", 0.0}, {"IDLE", 426.0}};
+constexpr StateInfo kRadioRxStates[] = {{"OFF", 0.0}, {"RX(LISTEN)", 19700.0}};
+constexpr StateInfo kRadioTxStates[] = {
+    {"OFF", 0.0},          {"TX(+0dBm)", 17400.0}, {"TX(-1dBm)", 16500.0},
+    {"TX(-3dBm)", 15200.0}, {"TX(-5dBm)", 13900.0}, {"TX(-7dBm)", 12500.0},
+    {"TX(-10dBm)", 11200.0}, {"TX(-15dBm)", 9900.0}, {"TX(-25dBm)", 8500.0},
+};
+constexpr StateInfo kExtFlashStates[] = {
+    {"POWER_DOWN", 9.0}, {"STANDBY", 25.0}, {"READ", 7000.0},
+    {"WRITE", 12000.0},  {"ERASE", 12000.0},
+};
+constexpr StateInfo kLed0States[] = {{"OFF", 0.0}, {"ON", 4300.0}};
+constexpr StateInfo kLed1States[] = {{"OFF", 0.0}, {"ON", 3700.0}};
+constexpr StateInfo kLed2States[] = {{"OFF", 0.0}, {"ON", 1700.0}};
+constexpr StateInfo kSht11States[] = {{"OFF", 0.0}, {"MEASURE", 550.0}};
+
+constexpr SinkInfo kSinks[kSinkCount] = {
+    {"CPU", kCpuStates, 6, kCpuLpm3},
+    {"HwTimer", kHwTimerStates, 1, 0},
+    {"VoltageRef", kVrefStates, 2, kVrefOff},
+    {"ADC", kAdcStates, 2, kAdcOff},
+    {"DAC", kDacStates, 4, kDacOff},
+    {"IntFlash", kIntFlashStates, 3, kIntFlashIdle},
+    {"TempSensor", kTempStates, 2, kTempOff},
+    {"Comparator", kCompStates, 2, kCompOff},
+    {"Supervisor", kSupervisorStates, 2, kSupervisorOff},
+    {"RadioRegulator", kRegulatorStates, 3, kRegulatorOff},
+    {"RadioBattMon", kBattMonStates, 2, kBattMonOff},
+    {"RadioControl", kRadioControlStates, 2, kRadioControlOff},
+    {"RadioRx", kRadioRxStates, 2, kRadioRxOff},
+    {"RadioTx", kRadioTxStates, 9, kRadioTxOff},
+    {"ExtFlash", kExtFlashStates, 5, kExtFlashPowerDown},
+    {"LED0", kLed0States, 2, kLedOff},
+    {"LED1", kLed1States, 2, kLedOff},
+    {"LED2", kLed2States, 2, kLedOff},
+    {"SHT11", kSht11States, 2, kSht11Off},
+};
+
+}  // namespace
+
+size_t SinkStateCount(SinkId sink) {
+  return sink < kSinkCount ? kSinks[sink].state_count : 0;
+}
+
+MicroAmps NominalCurrent(SinkId sink, powerstate_t state) {
+  if (sink >= kSinkCount || state >= kSinks[sink].state_count) {
+    return 0.0;
+  }
+  return kSinks[sink].states[state].current;
+}
+
+powerstate_t BaselineState(SinkId sink) {
+  return sink < kSinkCount ? kSinks[sink].baseline : 0;
+}
+
+const char* SinkName(SinkId sink) {
+  return sink < kSinkCount ? kSinks[sink].name : "?";
+}
+
+std::function<MicroWatts(res_id_t, powerstate_t)> NominalPowerTable(
+    Volts supply) {
+  return [supply](res_id_t res, powerstate_t state) -> MicroWatts {
+    if (res >= kSinkCount) {
+      return 0.0;
+    }
+    SinkId sink = static_cast<SinkId>(res);
+    MicroAmps above =
+        NominalCurrent(sink, state) - NominalCurrent(sink, BaselineState(sink));
+    return above > 0.0 ? above * supply : 0.0;
+  };
+}
+
+std::string StateName(SinkId sink, powerstate_t state) {
+  if (sink >= kSinkCount || state >= kSinks[sink].state_count) {
+    std::ostringstream os;
+    os << "state" << state;
+    return os.str();
+  }
+  return kSinks[sink].states[state].name;
+}
+
+}  // namespace quanto

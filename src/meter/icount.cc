@@ -1,0 +1,83 @@
+#include "src/meter/icount.h"
+
+#include <cmath>
+
+namespace quanto {
+
+IcountMeter::IcountMeter(const EventQueue* queue, PowerModel* model)
+    : IcountMeter(queue, model, Config()) {}
+
+IcountMeter::IcountMeter(const EventQueue* queue, PowerModel* model,
+                         const Config& config)
+    : queue_(queue), config_(config) {
+  last_update_ = queue_->Now();
+  current_power_ = model->TotalPower();
+  history_.push_back(PowerSegment{last_update_, current_power_});
+  model->AddPowerListener([this](MicroWatts power) { OnPowerChanged(power); });
+}
+
+void IcountMeter::IntegrateTo(Tick now) {
+  if (now <= last_update_) {
+    return;
+  }
+  MicroJoules delta =
+      current_power_ * TicksToSeconds(now - last_update_);
+  energy_accum_ += delta * (1.0 + config_.gain_error);
+  last_update_ = now;
+}
+
+void IcountMeter::OnPowerChanged(MicroWatts power) {
+  Tick now = queue_->Now();
+  IntegrateTo(now);
+  current_power_ = power;
+  if (!history_.empty() && history_.back().start == now) {
+    history_.back().power = power;
+  } else {
+    history_.push_back(PowerSegment{now, power});
+  }
+}
+
+uint32_t IcountMeter::ReadPulses() {
+  IntegrateTo(queue_->Now());
+  ++reads_;
+  double pulses = std::floor(energy_accum_ / config_.energy_per_pulse);
+  // Free-running counter: wraps at 32 bits like the hardware register.
+  return static_cast<uint32_t>(static_cast<uint64_t>(pulses));
+}
+
+MicroJoules IcountMeter::TrueEnergy() {
+  IntegrateTo(queue_->Now());
+  return energy_accum_;
+}
+
+std::vector<Tick> IcountMeter::PulseTimes(Tick t0, Tick t1) {
+  IntegrateTo(queue_->Now());
+  std::vector<Tick> pulses;
+  double gain = 1.0 + config_.gain_error;
+  MicroJoules acc = 0.0;
+  double next_pulse = config_.energy_per_pulse;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    Tick seg_start = history_[i].start;
+    Tick seg_end =
+        (i + 1 < history_.size()) ? history_[i + 1].start : last_update_;
+    if (seg_end <= seg_start) {
+      continue;
+    }
+    MicroWatts power = history_[i].power * gain;
+    MicroJoules seg_energy = power * TicksToSeconds(seg_end - seg_start);
+    while (acc + seg_energy >= next_pulse) {
+      // Time within the segment when the accumulator crosses the threshold.
+      double frac = (next_pulse - acc) / seg_energy;
+      Tick t = seg_start +
+               static_cast<Tick>(frac * static_cast<double>(seg_end - seg_start));
+      if (t >= t0 && t <= t1) {
+        pulses.push_back(t);
+      }
+      next_pulse += config_.energy_per_pulse;
+    }
+    acc += seg_energy;
+  }
+  return pulses;
+}
+
+}  // namespace quanto

@@ -1,0 +1,87 @@
+// Simulated iCount energy meter (Dutta et al., IPSN'08; paper Section 2.2).
+//
+// iCount piggybacks on the mote's switching regulator: every regulator
+// switch cycle transfers a fixed quantum of energy, so counting switch
+// pulses meters energy. Section 4.1 measures the quantum on the HydroWatch
+// hardware at 8.33 uJ per pulse at 3 V, with the pulse frequency linear in
+// the load current (R^2 = 0.99995) and a maximum gain error of +/-15% over
+// five orders of magnitude of current draw.
+//
+// The simulation integrates the PowerModel's exact instantaneous power and
+// exposes only the quantized, wrapping 32-bit pulse counter — which is what
+// the Quanto logger samples. Quantization is therefore *real* in this
+// reproduction: a log entry's icount field has pulse resolution, and the
+// regression's sqrt(E*t) weighting exists precisely to cope with it.
+#ifndef QUANTO_SRC_METER_ICOUNT_H_
+#define QUANTO_SRC_METER_ICOUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/hooks.h"
+#include "src/hw/power_model.h"
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class IcountMeter : public EnergyCounter {
+ public:
+  struct Config {
+    // Energy per regulator switch pulse (measured in Section 4.1).
+    MicroJoules energy_per_pulse = 8.33;
+    // Multiplicative gain error (0.05 = reads 5% high). The hardware spec
+    // bounds |gain_error| at 0.15; experiments default to a calibrated 0.
+    double gain_error = 0.0;
+    // Counter read latency, charged by the logger (Table 4: 24 cycles).
+    Cycles read_latency = 24;
+  };
+
+  // Attaches to the power model; meters from the current simulation time.
+  IcountMeter(const EventQueue* queue, PowerModel* model);
+  IcountMeter(const EventQueue* queue, PowerModel* model,
+              const Config& config);
+
+  // EnergyCounter: the free-running, wrapping 32-bit pulse counter.
+  uint32_t ReadPulses() override;
+
+  // Exact accumulated energy (for tests and ground-truth comparisons; the
+  // real hardware cannot provide this).
+  MicroJoules TrueEnergy();
+
+  // Energy corresponding to the quantized counter.
+  MicroJoules MeteredEnergy() {
+    return static_cast<double>(ReadPulses()) * config_.energy_per_pulse;
+  }
+
+  // Times at which the meter emitted pulses within [t0, t1]. Reconstructed
+  // analytically from the recorded power segments (used to render the pulse
+  // train of Figure 10).
+  std::vector<Tick> PulseTimes(Tick t0, Tick t1);
+
+  const Config& config() const { return config_; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  void IntegrateTo(Tick now);
+  void OnPowerChanged(MicroWatts power);
+
+  const EventQueue* queue_;
+  Config config_;
+
+  Tick last_update_;
+  MicroWatts current_power_;
+  MicroJoules energy_accum_ = 0.0;  // Exact, with gain error applied.
+  uint64_t reads_ = 0;
+
+  // Piecewise-constant power history for pulse-train reconstruction.
+  struct PowerSegment {
+    Tick start;
+    MicroWatts power;
+  };
+  std::vector<PowerSegment> history_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_METER_ICOUNT_H_

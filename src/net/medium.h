@@ -1,0 +1,102 @@
+// The shared 2.4 GHz medium: 802.15.4 transmissions plus foreign
+// interference energy.
+//
+// This is the substitute for the paper's physical radio environment. Radios
+// register per channel; a transmission occupies its channel for its
+// airtime, is delivered to every other listening radio on the channel at
+// completion, and raises start-of-frame notifications at its beginning.
+// Clear-channel assessment (the input to low-power listening) reports
+// energy from both 802.15.4 transmissions and interference sources such as
+// the 802.11 b/g access point of Section 4.3 — which is how channel 17
+// "hears" the Wi-Fi network that channel 26 does not.
+#ifndef QUANTO_SRC_NET_MEDIUM_H_
+#define QUANTO_SRC_NET_MEDIUM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+// 802.15.4 channels are numbered 11..26 (2.405 + 5*(k-11) MHz centres).
+inline constexpr int kFirstZigbeeChannel = 11;
+inline constexpr int kLastZigbeeChannel = 26;
+
+// Centre frequency of an 802.15.4 channel in MHz.
+constexpr double ZigbeeCentreMhz(int channel) {
+  return 2405.0 + 5.0 * (channel - kFirstZigbeeChannel);
+}
+
+// Centre frequency of an 802.11 b/g channel in MHz (1..13).
+constexpr double WifiCentreMhz(int channel) { return 2407.0 + 5.0 * channel; }
+
+// Callbacks a radio registers with the medium.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+  virtual node_id_t NodeId() const = 0;
+  virtual int Channel() const = 0;
+  // True when the receive path is powered and listening (able to hear).
+  virtual bool Listening() const = 0;
+  // Raised at the first bit of a frame on the client's channel.
+  virtual void OnFrameStart(node_id_t sender) = 0;
+  // Raised at the last bit; the client may begin downloading the frame.
+  virtual void OnFrameComplete(const Packet& packet) = 0;
+};
+
+// An external energy source the medium consults for CCA (e.g. the Wi-Fi
+// interferer). `EnergyOn(channel, now)` returns true when the source
+// currently deposits detectable energy on the 802.15.4 channel.
+class InterferenceSource {
+ public:
+  virtual ~InterferenceSource() = default;
+  virtual bool EnergyOn(int channel, Tick now) const = 0;
+};
+
+class Medium {
+ public:
+  explicit Medium(EventQueue* queue);
+
+  void Register(MediumClient* client);
+  void Unregister(MediumClient* client);
+
+  void AddInterference(InterferenceSource* source);
+
+  // Starts a transmission: occupies `channel` for `airtime`, notifies
+  // listening peers of frame start now and frame completion at the end.
+  // Returns false (and sends nothing) if the sender collides with an
+  // ongoing 802.15.4 transmission on the channel.
+  bool BeginTransmit(node_id_t sender, int channel, const Packet& packet,
+                     Tick airtime);
+
+  // Clear-channel assessment: energy detected on `channel` right now,
+  // from either an in-flight 802.15.4 frame or an interference source.
+  bool EnergyDetected(int channel) const;
+
+  // Number of in-flight 802.15.4 transmissions on the channel.
+  size_t ActiveTransmissions(int channel) const;
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_delivered() const { return packets_delivered_; }
+  uint64_t collisions() const { return collisions_; }
+
+ private:
+  void CompleteTransmit(int channel, const Packet& packet);
+
+  EventQueue* queue_;
+  std::vector<MediumClient*> clients_;
+  std::vector<InterferenceSource*> interference_;
+  std::map<int, size_t> busy_count_;  // channel -> active transmissions.
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_delivered_ = 0;
+  uint64_t collisions_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_NET_MEDIUM_H_

@@ -1,0 +1,42 @@
+// 802.15.4-style frame carried by the simulated medium, including the
+// hidden Quanto activity field.
+//
+// Section 3.3: "we added a hidden field to the TinyOS Active Message (AM)
+// implementation ... When a packet is submitted to the OS for transmission,
+// the packet's activity field is set to the CPU's current activity ...
+// labels are 16-bit integers representing both the node id and the activity
+// id, which is sufficient for networks of up to 256 nodes with 256 distinct
+// activity ids."
+#ifndef QUANTO_SRC_NET_PACKET_H_
+#define QUANTO_SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/activity.h"
+
+namespace quanto {
+
+// Broadcast destination.
+inline constexpr node_id_t kBroadcastAddr = 0xFF;
+
+struct Packet {
+  node_id_t src = 0;
+  node_id_t dst = 0;
+  uint8_t am_type = 0;      // Active Message dispatch id.
+  act_t activity = 0;       // Hidden Quanto label (16 bits on the wire).
+  std::vector<uint8_t> payload;
+
+  // Bytes occupied on the air: 802.15.4 synchronisation header + PHY
+  // header (6), MAC header + FCS (11), the AM type byte, the hidden
+  // 2-byte activity field, and the payload.
+  size_t WireBytes() const { return 6 + 11 + 1 + 2 + payload.size(); }
+
+  // Bytes transferred over the SPI bus between MCU and radio FIFO (no
+  // preamble; length byte + MAC header/FCS + AM type + label + payload).
+  size_t FifoBytes() const { return 1 + 11 + 1 + 2 + payload.size(); }
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_NET_PACKET_H_

@@ -1,0 +1,68 @@
+#include "src/net/wifi_interferer.h"
+
+#include <cmath>
+
+namespace quanto {
+
+WifiInterferer::WifiInterferer(EventQueue* queue)
+    : WifiInterferer(queue, Config()) {}
+
+WifiInterferer::WifiInterferer(EventQueue* queue, const Config& config)
+    : queue_(queue), config_(config), rng_(config.seed) {}
+
+bool WifiInterferer::Overlaps(int zigbee_channel) const {
+  double zigbee_centre = ZigbeeCentreMhz(zigbee_channel);
+  double wifi_centre = WifiCentreMhz(config_.wifi_channel);
+  return std::abs(zigbee_centre - wifi_centre) <= config_.half_bandwidth_mhz;
+}
+
+void WifiInterferer::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  bursting_ = false;
+  ScheduleTransition();
+}
+
+void WifiInterferer::Stop() {
+  running_ = false;
+  bursting_ = false;
+  if (transition_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(transition_);
+    transition_ = EventQueue::kInvalidEvent;
+  }
+}
+
+void WifiInterferer::ScheduleTransition() {
+  Tick mean = bursting_ ? config_.mean_busy : config_.mean_idle;
+  Tick delay = static_cast<Tick>(
+      rng_.Exponential(static_cast<double>(mean)));
+  if (delay == 0) {
+    delay = 1;
+  }
+  transition_ = queue_->ScheduleAfter(delay, [this] {
+    transition_ = EventQueue::kInvalidEvent;
+    if (!running_) {
+      return;
+    }
+    bursting_ = !bursting_;
+    if (bursting_) {
+      ++bursts_;
+    }
+    ScheduleTransition();
+  });
+}
+
+bool WifiInterferer::EnergyOn(int channel, Tick now) const {
+  (void)now;  // The on/off state is advanced by the event queue itself.
+  return running_ && bursting_ && Overlaps(channel);
+}
+
+double WifiInterferer::BusyFraction() const {
+  double busy = static_cast<double>(config_.mean_busy);
+  double idle = static_cast<double>(config_.mean_idle);
+  return busy / (busy + idle);
+}
+
+}  // namespace quanto

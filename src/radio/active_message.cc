@@ -1,0 +1,80 @@
+#include "src/radio/active_message.h"
+
+#include <utility>
+
+namespace quanto {
+
+ActiveMessageLayer::ActiveMessageLayer(Node* node, Cc2420* radio)
+    : ActiveMessageLayer(node, radio, Config()) {}
+
+ActiveMessageLayer::ActiveMessageLayer(Node* node, Cc2420* radio,
+                                       const Config& config)
+    : node_(node), radio_(radio), config_(config) {
+  radio_->SetReceiveCallback(
+      [this](const Packet& packet) { OnRadioReceive(packet); });
+}
+
+void ActiveMessageLayer::RegisterHandler(uint8_t am_type, Handler handler) {
+  handlers_[am_type] = std::move(handler);
+}
+
+bool ActiveMessageLayer::Send(Packet packet, SendDone done) {
+  if (queue_.size() >= config_.send_queue_capacity) {
+    ++dropped_full_queue_;
+    return false;
+  }
+  node_->cpu().ChargeCycles(config_.submit_cost);
+  QueueEntry entry;
+  entry.packet = std::move(packet);
+  entry.packet.src = node_->id();
+  // The hidden field: stamp the submitting activity.
+  act_t current = node_->cpu().activity().get();
+  entry.packet.activity = current;
+  entry.saved_activity = current;
+  entry.done = std::move(done);
+  queue_.push_back(std::move(entry));
+  PumpQueue();
+  return true;
+}
+
+void ActiveMessageLayer::PumpQueue() {
+  if (pumping_ || queue_.empty() || radio_->sending()) {
+    return;
+  }
+  pumping_ = true;
+  QueueEntry entry = std::move(queue_.front());
+  queue_.pop_front();
+  // The forwarding queue is a control-flow deferral point: restore the
+  // saved label before handing the packet to the radio driver, so the
+  // TXFIFO load is painted correctly however late the dequeue happens.
+  node_->cpu().PostTaskWithActivity(
+      entry.saved_activity, 20,
+      [this, entry = std::move(entry)]() mutable {
+        radio_->Send(entry.packet,
+                     [this, done = std::move(entry.done)](bool ok) {
+                       ++sent_;
+                       pumping_ = false;
+                       if (done) {
+                         done(ok);
+                       }
+                       PumpQueue();
+                     });
+      });
+}
+
+void ActiveMessageLayer::OnRadioReceive(const Packet& packet) {
+  ++received_;
+  // Decode runs under pxy_RX (the radio posted us there). Terminate the
+  // proxy by binding it to the activity carried in the packet; from here
+  // on this node works on behalf of the originating node's activity.
+  node_->cpu().activity().bind(packet.activity);
+  if (promiscuous_) {
+    promiscuous_(packet);
+  }
+  auto it = handlers_.find(packet.am_type);
+  if (it != handlers_.end() && it->second) {
+    it->second(packet);
+  }
+}
+
+}  // namespace quanto

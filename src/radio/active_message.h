@@ -1,0 +1,86 @@
+// The Active Message layer with Quanto's hidden activity field
+// (Section 3.3, and the cross-node tracking of Figure 12).
+//
+// Sending: "When a packet is submitted to the OS for transmission, the
+// packet's activity field is set to the CPU's current activity." Sends that
+// arrive while the radio is busy wait in a forwarding queue instrumented to
+// save the submitter's label and restore it when the entry is serviced.
+//
+// Receiving: "Upon decoding a packet, the AM layer on the receiving node
+// sets the CPU activity to the activity in the packet, and binds resources
+// used between the interrupt for the packet reception and the decoding to
+// the same activity." The registered handler then runs under the remote
+// activity, so everything it triggers on this node is charged to the
+// originating node's activity.
+#ifndef QUANTO_SRC_RADIO_ACTIVE_MESSAGE_H_
+#define QUANTO_SRC_RADIO_ACTIVE_MESSAGE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "src/core/activity.h"
+#include "src/net/packet.h"
+#include "src/radio/cc2420.h"
+#include "src/sim/node.h"
+
+namespace quanto {
+
+class ActiveMessageLayer {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+  using SendDone = std::function<void(bool ok)>;
+
+  struct Config {
+    size_t send_queue_capacity = 8;
+    Cycles submit_cost = 30;  // AM header marshalling.
+  };
+
+  ActiveMessageLayer(Node* node, Cc2420* radio);
+  ActiveMessageLayer(Node* node, Cc2420* radio, const Config& config);
+
+  // Registers the receive handler for an AM type.
+  void RegisterHandler(uint8_t am_type, Handler handler);
+
+  // Invoked for every decoded frame regardless of AM type, before the
+  // per-type handler. The LPL layer uses this to learn that a detection
+  // window contained a real frame (not a false positive).
+  void SetPromiscuousListener(Handler listener) {
+    promiscuous_ = std::move(listener);
+  }
+
+  // Submits a packet. The hidden activity field is stamped from the CPU's
+  // current activity here, at submission time. Returns false if the send
+  // queue is full (done is not invoked in that case).
+  bool Send(Packet packet, SendDone done = nullptr);
+
+  size_t queued() const { return queue_.size(); }
+  uint64_t sent() const { return sent_; }
+  uint64_t received() const { return received_; }
+  uint64_t dropped_full_queue() const { return dropped_full_queue_; }
+
+ private:
+  struct QueueEntry {
+    Packet packet;
+    act_t saved_activity;  // Label restored when the entry is serviced.
+    SendDone done;
+  };
+
+  void PumpQueue();
+  void OnRadioReceive(const Packet& packet);
+
+  Node* node_;
+  Cc2420* radio_;
+  Config config_;
+  std::map<uint8_t, Handler> handlers_;
+  Handler promiscuous_;
+  std::deque<QueueEntry> queue_;
+  bool pumping_ = false;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  uint64_t dropped_full_queue_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_RADIO_ACTIVE_MESSAGE_H_

@@ -1,0 +1,189 @@
+#include "src/radio/cc2420.h"
+
+#include <utility>
+
+namespace quanto {
+
+Cc2420::Cc2420(Node* node, Medium* medium, const Config& config)
+    : node_(node),
+      medium_(medium),
+      config_(config),
+      spi_(&node->queue(), &node->cpu(), config.spi),
+      rng_(config.seed ^ node->id()),
+      regulator_ps_(kSinkRadioRegulator, kRegulatorOff),
+      control_ps_(kSinkRadioControl, kRadioControlOff),
+      rx_ps_(kSinkRadioRx, kRadioRxOff),
+      tx_ps_(kSinkRadioTx, kRadioTxOff),
+      tx_activity_(kSinkRadioTx, MakeActivity(node->id(), kActIdle)),
+      rx_activity_(kSinkRadioRx) {
+  medium_->Register(this);
+}
+
+Cc2420::~Cc2420() { medium_->Unregister(this); }
+
+node_id_t Cc2420::NodeId() const { return node_->id(); }
+
+void Cc2420::PowerOn(std::function<void()> ready) {
+  if (powered_) {
+    if (ready) {
+      ready();
+    }
+    return;
+  }
+  regulator_ps_.set(kRegulatorOn);
+  node_->queue().ScheduleAfter(
+      config_.regulator_startup + config_.oscillator_startup,
+      [this, ready = std::move(ready)] {
+        powered_ = true;
+        control_ps_.set(kRadioControlIdle);
+        if (ready) {
+          ready();
+        }
+      });
+}
+
+void Cc2420::PowerOff() {
+  StopListening();
+  powered_ = false;
+  control_ps_.set(kRadioControlOff);
+  regulator_ps_.set(kRegulatorOff);
+}
+
+void Cc2420::StartListening() {
+  if (!powered_ || listening_) {
+    return;
+  }
+  listening_ = true;
+  listen_since_ = node_->queue().Now();
+  rx_ps_.set(kRadioRxListen);
+}
+
+void Cc2420::StopListening() {
+  if (!listening_) {
+    return;
+  }
+  listening_ = false;
+  listen_accum_ += node_->queue().Now() - listen_since_;
+  rx_ps_.set(kRadioRxOff);
+}
+
+Tick Cc2420::ListenTime() const {
+  Tick total = listen_accum_;
+  if (listening_) {
+    total += node_->queue().Now() - listen_since_;
+  }
+  return total;
+}
+
+bool Cc2420::SampleCca() const {
+  return medium_->EnergyDetected(config_.channel);
+}
+
+void Cc2420::Send(const Packet& packet, SendDone done) {
+  if (!powered_ || sending_) {
+    ++send_failures_;
+    if (done) {
+      done(false);
+    }
+    return;
+  }
+  sending_ = true;
+  outgoing_ = packet;
+  send_done_ = std::move(done);
+  // Figure 8 (loadTXFIFO): paint the radio with the CPU's activity, then
+  // stream the frame into the TXFIFO over the SPI bus.
+  tx_owner_ = node_->cpu().activity().get();
+  tx_activity_.set(tx_owner_);
+  spi_.Transfer(outgoing_.FifoBytes(), kActIntUart0Rx, tx_owner_,
+                [this] { AttemptTransmit(config_.max_congestion_retries); });
+}
+
+void Cc2420::AttemptTransmit(int retries_left) {
+  // CSMA: wait a random initial backoff, then check the channel.
+  Tick backoff = config_.backoff_period * rng_.UniformInt(1, 32);
+  node_->queue().ScheduleAfter(backoff, [this, retries_left] {
+    if (medium_->EnergyDetected(config_.channel)) {
+      if (retries_left <= 0) {
+        // Channel never cleared: give up, as the real MAC eventually does.
+        sending_ = false;
+        tx_activity_.set(MakeActivity(node_->id(), kActIdle));
+        ++send_failures_;
+        if (send_done_) {
+          auto done = std::move(send_done_);
+          node_->cpu().PostTaskWithActivity(tx_owner_,
+                                            config_.senddone_task_cost,
+                                            [done] { done(false); });
+        }
+        return;
+      }
+      AttemptTransmit(retries_left - 1);
+      return;
+    }
+    Tick airtime = config_.byte_airtime * outgoing_.WireBytes();
+    tx_ps_.set(config_.tx_power);
+    medium_->BeginTransmit(node_->id(), config_.channel, outgoing_, airtime);
+    node_->queue().ScheduleAfter(airtime, [this] { FinishTransmit(); });
+  });
+}
+
+void Cc2420::FinishTransmit() {
+  tx_ps_.set(kRadioTxOff);
+  ++frames_sent_;
+  // Transmit-complete interrupt: the driver stored the owning activity when
+  // the send began; the proxy binds to it and sendDone is posted under it.
+  node_->cpu().RaiseInterrupt(
+      kActIntSfd, config_.txdone_irq_cost, [this] {
+        node_->cpu().activity().bind(tx_owner_);
+        act_t owner = tx_owner_;
+        auto done = std::move(send_done_);
+        send_done_ = nullptr;
+        sending_ = false;
+        tx_activity_.set(MakeActivity(node_->id(), kActIdle));
+        node_->cpu().PostTaskWithActivity(
+            owner, config_.senddone_task_cost, [done] {
+              if (done) {
+                done(true);
+              }
+            });
+      });
+}
+
+void Cc2420::OnFrameStart(node_id_t sender) {
+  (void)sender;
+  if (!listening_) {
+    return;
+  }
+  // Start-of-frame delimiter: a timer-capture interrupt under the receive
+  // proxy; the radio's receive path is painted with pxy_RX for the
+  // duration of the reception (Figure 12(b)).
+  rx_activity_.add(MakeActivity(node_->id(), kActProxyRx));
+  node_->cpu().RaiseInterrupt(kActIntSfd, config_.sfd_irq_cost, nullptr);
+}
+
+void Cc2420::OnFrameComplete(const Packet& packet) {
+  if (!listening_) {
+    rx_activity_.remove(MakeActivity(node_->id(), kActProxyRx));
+    return;
+  }
+  // Hardware address filtering.
+  if (packet.dst != kBroadcastAddr && packet.dst != node_->id()) {
+    rx_activity_.remove(MakeActivity(node_->id(), kActProxyRx));
+    return;
+  }
+  // Download the frame from the RXFIFO over the SPI bus; the real activity
+  // is unknown until decode, so the transfer stays under pxy_RX unbound.
+  spi_.Transfer(
+      packet.FifoBytes(), kActProxyRx, SpiBus::kUnbound, [this, packet] {
+        act_t proxy = MakeActivity(node_->id(), kActProxyRx);
+        node_->cpu().PostTaskWithActivity(
+            proxy, config_.decode_task_cost, [this, packet] {
+              rx_activity_.remove(MakeActivity(node_->id(), kActProxyRx));
+              ++frames_received_;
+              if (receive_cb_) {
+                receive_cb_(packet);
+              }
+            });
+      });
+}
+
+}  // namespace quanto

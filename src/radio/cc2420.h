@@ -1,0 +1,149 @@
+// CC2420 802.15.4 radio driver — the paper's most involved instrumentation
+// target ("it has several internal power states and does some processing
+// without the CPU intervention", Section 4.4).
+//
+// Energy sinks exposed (Table 1): the voltage regulator, the control path
+// (oscillator + digital logic, 426 uA when the chip is up), the receive
+// data path (19.7 mA while listening) and the transmit data path (one power
+// state per TX output level). Activity instrumentation follows Figure 8:
+// loading the TXFIFO paints the radio with the CPU's current activity; the
+// receive path runs under the pxy_RX proxy until the Active Message layer
+// decodes the frame's hidden label.
+//
+// Transmission timeline (visible in Figures 12(c) and 16): TXFIFO load over
+// the SPI bus (interrupt-driven or DMA), a CSMA backoff, the frame's
+// airtime at 250 kbps (32 us/byte), and a completion interrupt that binds
+// back to the sender's activity and posts sendDone.
+#ifndef QUANTO_SRC_RADIO_CC2420_H_
+#define QUANTO_SRC_RADIO_CC2420_H_
+
+#include <functional>
+
+#include "src/core/activity.h"
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+#include "src/hw/sinks.h"
+#include "src/net/medium.h"
+#include "src/net/packet.h"
+#include "src/radio/spi.h"
+#include "src/sim/node.h"
+#include "src/util/rng.h"
+
+namespace quanto {
+
+class Cc2420 : public MediumClient {
+ public:
+  struct Config {
+    int channel = 26;
+    RadioTxState tx_power = kRadioTx0dBm;
+    SpiBus::Config spi;
+    Tick regulator_startup = Microseconds(600);
+    Tick oscillator_startup = Microseconds(860);
+    Tick byte_airtime = Microseconds(32);  // 250 kbps.
+    // CSMA initial backoff: uniform over [1, 32] backoff periods.
+    Tick backoff_period = Microseconds(320);
+    int max_congestion_retries = 5;
+    Cycles sfd_irq_cost = 22;
+    Cycles txdone_irq_cost = 35;
+    Cycles senddone_task_cost = 45;
+    Cycles decode_task_cost = 110;  // Frame decode incl. AM dispatch.
+    uint64_t seed = 0xCC2420;
+  };
+
+  Cc2420(Node* node, Medium* medium, const Config& config);
+  ~Cc2420() override;
+
+  // --- Power control ---------------------------------------------------------
+
+  // Powers the chip (regulator + oscillator); `ready` fires when the
+  // control path is up. No-op when already powered.
+  void PowerOn(std::function<void()> ready);
+  void PowerOff();
+  bool powered() const { return powered_; }
+
+  // Receive path on/off. Requires the chip powered.
+  void StartListening();
+  void StopListening();
+
+  // Clear-channel assessment at this instant (requires listening).
+  bool SampleCca() const;
+
+  // --- Data path -------------------------------------------------------------
+
+  using SendDone = std::function<void(bool ok)>;
+  using ReceiveCallback = std::function<void(const Packet&)>;
+
+  // Loads and transmits one frame. The packet must already carry its
+  // hidden activity label (the AM layer stamps it). `done` is posted under
+  // the sender's activity. Fails immediately (done(false)) if a send is in
+  // flight or the chip is unpowered.
+  void Send(const Packet& packet, SendDone done);
+
+  // Invoked, in task context under the pxy_RX proxy, for every frame
+  // downloaded from the RXFIFO (address-filtered). The AM layer registers
+  // here and performs label decode + bind.
+  void SetReceiveCallback(ReceiveCallback cb) { receive_cb_ = std::move(cb); }
+
+  bool sending() const { return sending_; }
+
+  // --- MediumClient -----------------------------------------------------------
+  node_id_t NodeId() const override;
+  int Channel() const override { return config_.channel; }
+  bool Listening() const override { return listening_; }
+  void OnFrameStart(node_id_t sender) override;
+  void OnFrameComplete(const Packet& packet) override;
+
+  // --- Quanto surfaces ---------------------------------------------------------
+  PowerStateComponent& regulator_power() { return regulator_ps_; }
+  PowerStateComponent& control_power() { return control_ps_; }
+  PowerStateComponent& rx_power() { return rx_ps_; }
+  PowerStateComponent& tx_power() { return tx_ps_; }
+  SingleActivityDevice& tx_activity() { return tx_activity_; }
+  MultiActivityDevice& rx_activity() { return rx_activity_; }
+  SpiBus& spi() { return spi_; }
+
+  // Cumulative time the receive path has been listening (duty cycling
+  // statistics for the LPL experiments).
+  Tick ListenTime() const;
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t send_failures() const { return send_failures_; }
+
+ private:
+  void AttemptTransmit(int retries_left);
+  void FinishTransmit();
+
+  Node* node_;
+  Medium* medium_;
+  Config config_;
+  SpiBus spi_;
+  Rng rng_;
+
+  PowerStateComponent regulator_ps_;
+  PowerStateComponent control_ps_;
+  PowerStateComponent rx_ps_;
+  PowerStateComponent tx_ps_;
+  SingleActivityDevice tx_activity_;
+  MultiActivityDevice rx_activity_;
+
+  bool powered_ = false;
+  bool listening_ = false;
+  bool sending_ = false;
+  Packet outgoing_;
+  act_t tx_owner_ = 0;
+  SendDone send_done_;
+
+  // Listen-time integration.
+  Tick listen_since_ = 0;
+  Tick listen_accum_ = 0;
+
+  ReceiveCallback receive_cb_;
+  uint64_t frames_sent_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t send_failures_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_RADIO_CC2420_H_

@@ -1,0 +1,111 @@
+#include "src/radio/lpl.h"
+
+namespace quanto {
+
+LowPowerListening::LowPowerListening(Node* node, Cc2420* radio)
+    : LowPowerListening(node, radio, Config()) {}
+
+LowPowerListening::LowPowerListening(Node* node, Cc2420* radio,
+                                     const Config& config)
+    : node_(node), radio_(radio), config_(config) {}
+
+void LowPowerListening::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  started_at_ = node_->queue().Now();
+  // The periodic check belongs to the timer subsystem: arm it under the
+  // VTimer system activity so wake-up work is charged there (Figure 14).
+  act_t prev = node_->cpu().activity().get();
+  node_->cpu().activity().set(node_->Label(kActVTimer));
+  timer_ = node_->timers().StartPeriodic(config_.check_interval,
+                                         config_.wakeup_task_cost,
+                                         [this] { WakeUp(); });
+  node_->cpu().activity().set(prev);
+}
+
+void LowPowerListening::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  node_->timers().Stop(timer_);
+  timer_ = VirtualTimers::kInvalidTimer;
+  SleepRadio();
+}
+
+void LowPowerListening::WakeUp() {
+  if (!running_) {
+    return;
+  }
+  ++wakeups_;
+  frame_in_window_ = false;
+  radio_->PowerOn([this] {
+    if (!running_) {
+      SleepRadio();
+      return;
+    }
+    radio_->StartListening();
+    // Let the receiver integrate channel energy, then decide.
+    node_->queue().ScheduleAfter(config_.cca_listen_time, [this] {
+      node_->cpu().PostTaskWithActivity(node_->Label(kActVTimer),
+                                        config_.decision_task_cost,
+                                        [this] { Decide(); });
+    });
+  });
+}
+
+void LowPowerListening::Decide() {
+  if (!running_) {
+    SleepRadio();
+    return;
+  }
+  if (!radio_->SampleCca()) {
+    // Normal wake-up: nothing on the channel, back to sleep.
+    SleepRadio();
+    return;
+  }
+  // Energy detected: stay on to receive. The extended listen runs under
+  // the receive proxy; if no frame arrives the proxy never binds — the
+  // unbound pxy_RX of Figure 14.
+  ++detections_;
+  radio_->rx_activity().add(node_->Label(kActProxyRx));
+  node_->queue().ScheduleAfter(config_.detection_timeout, [this] {
+    node_->cpu().PostTaskWithActivity(node_->Label(kActProxyRx),
+                                      config_.decision_task_cost,
+                                      [this] { WindowExpired(); });
+  });
+}
+
+void LowPowerListening::WindowExpired() {
+  if (!frame_in_window_) {
+    ++false_positives_;
+  }
+  radio_->rx_activity().remove(node_->Label(kActProxyRx));
+  SleepRadio();
+}
+
+void LowPowerListening::SleepRadio() {
+  radio_->StopListening();
+  radio_->PowerOff();
+}
+
+double LowPowerListening::FalsePositiveRate() const {
+  if (wakeups_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(false_positives_) /
+         static_cast<double>(wakeups_);
+}
+
+double LowPowerListening::DutyCycle() const {
+  Tick elapsed = node_->queue().Now() - started_at_;
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(radio_->ListenTime()) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace quanto

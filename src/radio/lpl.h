@@ -1,0 +1,86 @@
+// Low-power listening (Polastre et al.'s B-MAC family, as studied in the
+// paper's first case study, Section 4.3).
+//
+// "The receiver stays mostly off, and periodically wakes up to detect
+// whether there is activity on the channel. If there is, it stays on to
+// receive packets, otherwise it goes back to sleep. ... A higher level of
+// energy in the channel, due to interference from other sources, can cause
+// the receiver to falsely detect activity, and stay on unnecessarily."
+//
+// The wake-up machinery runs inside the timer subsystem (Figure 14 shows
+// the VTimer activity scheduling wake-ups); a detection paints the radio's
+// receive path with the pxy_RX proxy, which — on a false positive — never
+// binds to any higher-level activity, exactly the unbound proxy the paper's
+// Figure 14 calls out.
+#ifndef QUANTO_SRC_RADIO_LPL_H_
+#define QUANTO_SRC_RADIO_LPL_H_
+
+#include <cstdint>
+
+#include "src/radio/cc2420.h"
+#include "src/sim/node.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class LowPowerListening {
+ public:
+  struct Config {
+    // Channel check period (the experiment samples every 500 ms).
+    Tick check_interval = Milliseconds(500);
+    // Listen window before the CCA decision (radio settling + RSSI
+    // integration); with the radio start-up time this sets the "normal
+    // wake-up" on-time and hence the baseline duty cycle.
+    Tick cca_listen_time = Milliseconds(9);
+    // How long a detection keeps the radio on waiting for a frame
+    // (Figure 14: "the CPU keeps the radio on for about 100 ms").
+    Tick detection_timeout = Milliseconds(100);
+    Cycles wakeup_task_cost = 60;
+    Cycles decision_task_cost = 40;
+  };
+
+  LowPowerListening(Node* node, Cc2420* radio);
+  LowPowerListening(Node* node, Cc2420* radio, const Config& config);
+
+  // Begins duty cycling. The radio must be off; LPL powers it per check.
+  void Start();
+  void Stop();
+
+  // A received frame during a detection window marks the wake-up as a true
+  // positive; the radio stays on until the timeout regardless (the MAC
+  // cannot know more frames are not coming).
+  void NotifyFrameReceived() { frame_in_window_ = true; }
+
+  uint64_t wakeups() const { return wakeups_; }
+  uint64_t detections() const { return detections_; }
+  uint64_t false_positives() const { return false_positives_; }
+  double FalsePositiveRate() const;
+
+  // Receive-path duty cycle so far (listen time / elapsed time).
+  double DutyCycle() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  void ScheduleNextCheck();
+  void WakeUp();
+  void Decide();
+  void WindowExpired();
+  void SleepRadio();
+
+  Node* node_;
+  Cc2420* radio_;
+  Config config_;
+  bool running_ = false;
+  bool frame_in_window_ = false;
+  Tick started_at_ = 0;
+  VirtualTimers::TimerId timer_ = VirtualTimers::kInvalidTimer;
+
+  uint64_t wakeups_ = 0;
+  uint64_t detections_ = 0;
+  uint64_t false_positives_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_RADIO_LPL_H_

@@ -1,0 +1,98 @@
+#include "src/radio/spi.h"
+
+#include <utility>
+
+namespace quanto {
+
+SpiBus::SpiBus(EventQueue* queue, CpuScheduler* cpu, const Config& config)
+    : queue_(queue), cpu_(cpu), config_(config) {}
+
+Tick SpiBus::TransferDuration(size_t bytes) const {
+  if (config_.mode == Mode::kDma) {
+    return config_.byte_time_dma * bytes;
+  }
+  return config_.byte_time_interrupt * bytes;
+}
+
+void SpiBus::Transfer(size_t bytes, act_id_t irq_proxy, act_t owner,
+                      std::function<void()> done) {
+  Pending request{bytes, irq_proxy, owner, std::move(done)};
+  if (busy_) {
+    // One physical bus: later requests wait for the current transfer.
+    pending_.push_back(std::move(request));
+    return;
+  }
+  Begin(std::move(request));
+}
+
+void SpiBus::Begin(Pending request) {
+  busy_ = true;
+  ++transfers_;
+  if (request.bytes == 0) {
+    Complete(request.owner, std::move(request.done));
+    return;
+  }
+  if (config_.mode == Mode::kDma) {
+    // CPU programs the DMA controller, then sleeps through the block
+    // transfer; one completion interrupt ends it.
+    cpu_->ChargeCycles(config_.dma_setup_cost);
+    queue_->ScheduleAfter(
+        TransferDuration(request.bytes),
+        [this, owner = request.owner, done = std::move(request.done)] {
+          ++irqs_raised_;
+          cpu_->RaiseInterrupt(kActIntDacDma, config_.dma_irq_cost,
+                               [this, owner, done] {
+                                 if (owner != kUnbound) {
+                                   cpu_->activity().bind(owner);
+                                 }
+                                 Complete(owner, done);
+                               });
+        });
+    return;
+  }
+  InterruptChunk(request.bytes, request.irq_proxy, request.owner,
+                 std::move(request.done));
+}
+
+void SpiBus::Complete(act_t owner, std::function<void()> done) {
+  (void)owner;
+  busy_ = false;
+  if (done) {
+    done();
+  }
+  if (!busy_ && !pending_.empty()) {
+    // The done callback may have started a new transfer already (busy_
+    // true again); only pump the queue if the bus is actually free.
+    Pending next = std::move(pending_.front());
+    pending_.pop_front();
+    Begin(std::move(next));
+  }
+}
+
+void SpiBus::InterruptChunk(size_t remaining, act_id_t irq_proxy, act_t owner,
+                            std::function<void()> done) {
+  // Each interrupt moves up to 2 bytes (the paper: "This transfer uses an
+  // interrupt for every 2 bytes").
+  size_t chunk = remaining < 2 ? remaining : 2;
+  Tick chunk_time = config_.byte_time_interrupt * chunk;
+  queue_->ScheduleAfter(
+      chunk_time,
+      [this, remaining, chunk, irq_proxy, owner, done = std::move(done)] {
+        ++irqs_raised_;
+        size_t left = remaining - chunk;
+        if (left > 0) {
+          cpu_->RaiseInterrupt(irq_proxy, config_.irq_cost, nullptr);
+          InterruptChunk(left, irq_proxy, owner, std::move(done));
+          return;
+        }
+        cpu_->RaiseInterrupt(irq_proxy, config_.irq_cost,
+                             [this, owner, done] {
+                               if (owner != kUnbound) {
+                                 cpu_->activity().bind(owner);
+                               }
+                               Complete(owner, done);
+                             });
+      });
+}
+
+}  // namespace quanto

@@ -1,0 +1,50 @@
+#include "src/sim/arbiter.h"
+
+#include <utility>
+
+namespace quanto {
+
+Arbiter::Arbiter(CpuScheduler* cpu, SingleActivityDevice* device)
+    : cpu_(cpu),
+      device_(device),
+      owner_activity_(MakeActivity(cpu->node_id(), kActIdle)) {}
+
+void Arbiter::Request(Cycles grant_cost, std::function<void()> granted) {
+  Waiter waiter;
+  // Capture the requester's activity now; the grant may happen much later,
+  // under an unrelated CPU activity.
+  waiter.activity = cpu_->activity().get();
+  waiter.grant_cost = grant_cost;
+  waiter.granted = std::move(granted);
+  if (busy_) {
+    waiters_.push_back(std::move(waiter));
+    return;
+  }
+  Grant(std::move(waiter));
+}
+
+void Arbiter::Grant(Waiter waiter) {
+  busy_ = true;
+  owner_activity_ = waiter.activity;
+  // Transfer the label to the managed device.
+  device_->set(waiter.activity);
+  cpu_->PostTaskWithActivity(waiter.activity, waiter.grant_cost,
+                             std::move(waiter.granted));
+}
+
+void Arbiter::Release() {
+  if (!busy_) {
+    return;
+  }
+  if (!waiters_.empty()) {
+    Waiter next = std::move(waiters_.front());
+    waiters_.pop_front();
+    Grant(std::move(next));
+    return;
+  }
+  busy_ = false;
+  owner_activity_ = MakeActivity(cpu_->node_id(), kActIdle);
+  device_->set(owner_activity_);
+}
+
+}  // namespace quanto

@@ -1,0 +1,57 @@
+// The TinyOS Arbiter abstraction (Klues et al., SOSP'07), instrumented as
+// Section 3.3 describes: the arbiter "automatically transfers activity
+// labels to and from the managed device". A client requests the shared
+// resource; when granted (immediately or after the current holder releases),
+// the managed device is painted with the activity that was current when the
+// client requested, and the client's granted callback is posted as a task
+// under that same label.
+#ifndef QUANTO_SRC_SIM_ARBITER_H_
+#define QUANTO_SRC_SIM_ARBITER_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/core/activity.h"
+#include "src/core/activity_device.h"
+#include "src/sim/cpu.h"
+
+namespace quanto {
+
+class Arbiter {
+ public:
+  // `device` is the activity device of the managed hardware resource; the
+  // arbiter paints it on grant and repaints it (to idle) on final release.
+  Arbiter(CpuScheduler* cpu, SingleActivityDevice* device);
+
+  // Requests the resource. `granted` is posted as a task (cost
+  // `grant_cost`) when the resource becomes available; requests are served
+  // in FCFS order. Returns immediately.
+  void Request(Cycles grant_cost, std::function<void()> granted);
+
+  // Releases the resource held by the current owner, granting the next
+  // queued request if any.
+  void Release();
+
+  bool busy() const { return busy_; }
+  size_t queue_length() const { return waiters_.size(); }
+  act_t owner_activity() const { return owner_activity_; }
+
+ private:
+  struct Waiter {
+    act_t activity;
+    Cycles grant_cost;
+    std::function<void()> granted;
+  };
+
+  void Grant(Waiter waiter);
+
+  CpuScheduler* cpu_;
+  SingleActivityDevice* device_;
+  bool busy_ = false;
+  act_t owner_activity_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_SIM_ARBITER_H_

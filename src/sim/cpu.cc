@@ -1,0 +1,205 @@
+#include "src/sim/cpu.h"
+
+#include <utility>
+
+namespace quanto {
+
+CpuScheduler::CpuScheduler(EventQueue* queue, const Config& config)
+    : queue_(queue),
+      config_(config),
+      activity_(config.cpu_resource, MakeActivity(config.node_id, kActIdle)),
+      power_(config.cpu_resource, config.sleep_state) {}
+
+bool CpuScheduler::in_interrupt() const {
+  return !frames_.empty() && frames_.back().is_irq;
+}
+
+Tick CpuScheduler::ActiveTime(Tick now) const {
+  Tick total = active_accum_;
+  if (awake_ && now > awake_since_) {
+    total += now - awake_since_;
+  }
+  return total;
+}
+
+void CpuScheduler::PostTask(Cycles cost, std::function<void()> body) {
+  // Quanto instrumentation of the TinyOS scheduler: save the current CPU
+  // activity when a task is posted.
+  PostTaskWithActivity(activity_.get(), cost, std::move(body));
+}
+
+void CpuScheduler::PostTaskWithActivity(act_t activity, Cycles cost,
+                                        std::function<void()> body) {
+  task_queue_.push_back(
+      Task{activity, cost + config_.task_dispatch_overhead, std::move(body)});
+  ScheduleDispatch();
+}
+
+void CpuScheduler::ScheduleDispatch() {
+  if (dispatch_scheduled_) {
+    return;
+  }
+  dispatch_scheduled_ = true;
+  queue_->Schedule(queue_->Now(), [this] {
+    dispatch_scheduled_ = false;
+    MaybeDispatchTask();
+  });
+}
+
+void CpuScheduler::MaybeDispatchTask() {
+  if (!frames_.empty() || task_queue_.empty()) {
+    return;
+  }
+  Task task = std::move(task_queue_.front());
+  task_queue_.pop_front();
+  BeginTaskFrame(std::move(task));
+}
+
+void CpuScheduler::WakeUp() {
+  if (!awake_) {
+    awake_ = true;
+    awake_since_ = queue_->Now();
+    power_.set(config_.active_state);
+  }
+}
+
+void CpuScheduler::GoIdle() {
+  if (awake_) {
+    active_accum_ += queue_->Now() - awake_since_;
+    awake_ = false;
+  }
+  // The idle CPU belongs to the Idle pseudo-activity (Table 3 charges the
+  // CPU's 47.9 idle seconds of Blink to 1:Idle).
+  activity_.set(Label(kActIdle));
+  power_.set(config_.sleep_state);
+  if (idle_hook_) {
+    idle_hook_();
+  }
+}
+
+void CpuScheduler::BeginTaskFrame(Task task) {
+  WakeUp();
+  ++tasks_run_;
+  frames_.push_back(Frame{});
+  Frame& frame = frames_.back();
+  frame.activity = task.activity;
+  frame.is_irq = false;
+  frame.end = queue_->Now() + task.cost;
+  // Restore the saved label just before giving control to the task.
+  activity_.set(task.activity);
+  if (task.body) {
+    task.body();
+  }
+  // The body may have charged cycles (extending frame.end) or raised
+  // interrupts (pausing this frame); only schedule completion if the frame
+  // is still running.
+  Frame& current = frames_.front();
+  if (!current.paused && current.completion == EventQueue::kInvalidEvent) {
+    ScheduleCompletion(&current);
+  }
+}
+
+void CpuScheduler::RaiseInterrupt(act_id_t proxy_id, Cycles cost,
+                                  std::function<void()> body) {
+  if (in_interrupt()) {
+    // Non-reentrant interrupts: pend until the in-service handler returns.
+    pending_irqs_.push_back(PendingIrq{proxy_id, cost, std::move(body)});
+    return;
+  }
+  BeginIrqFrame(PendingIrq{proxy_id, cost, std::move(body)});
+}
+
+void CpuScheduler::BeginIrqFrame(PendingIrq irq) {
+  // Preempt the running task frame, if any.
+  if (!frames_.empty()) {
+    Frame& top = frames_.back();
+    Tick now = queue_->Now();
+    top.remaining = top.end > now ? top.end - now : 0;
+    top.paused = true;
+    if (top.completion != EventQueue::kInvalidEvent) {
+      queue_->Cancel(top.completion);
+      top.completion = EventQueue::kInvalidEvent;
+    }
+  }
+  WakeUp();
+  ++interrupts_run_;
+  frames_.push_back(Frame{});
+  Frame& frame = frames_.back();
+  frame.activity = Label(irq.proxy_id);
+  frame.interrupted = activity_.get();
+  frame.is_irq = true;
+  frame.end = queue_->Now() + irq.cost;
+  // An interrupt routine temporarily sets the CPU activity to its own proxy
+  // activity (Section 3.3).
+  activity_.set(frame.activity);
+  if (irq.body) {
+    irq.body();
+  }
+  Frame& current = frames_.back();
+  if (current.is_irq && current.completion == EventQueue::kInvalidEvent) {
+    ScheduleCompletion(&current);
+  }
+}
+
+void CpuScheduler::ScheduleCompletion(Frame* frame) {
+  Tick end = frame->end;
+  if (end < queue_->Now()) {
+    end = queue_->Now();
+  }
+  frame->completion = queue_->Schedule(end, [this] { OnFrameComplete(); });
+}
+
+void CpuScheduler::ChargeCycles(Cycles cycles) {
+  if (frames_.empty()) {
+    idle_charged_cycles_ += cycles;
+    return;
+  }
+  Frame& top = frames_.back();
+  top.end += cycles;
+  if (!top.paused && top.completion != EventQueue::kInvalidEvent) {
+    queue_->Cancel(top.completion);
+    top.completion = EventQueue::kInvalidEvent;
+    ScheduleCompletion(&top);
+  }
+}
+
+void CpuScheduler::OnFrameComplete() {
+  Frame finished = frames_.back();
+  frames_.pop_back();
+
+  if (finished.is_irq) {
+    // Return from interrupt: restore the label the handler preempted.
+    activity_.set(finished.interrupted);
+  }
+
+  // Interrupts pended during the handler run next (hardware priority over
+  // the task the handler interrupted).
+  if (!pending_irqs_.empty() && !in_interrupt()) {
+    PendingIrq irq = std::move(pending_irqs_.front());
+    pending_irqs_.pop_front();
+    BeginIrqFrame(std::move(irq));
+    return;
+  }
+
+  if (!frames_.empty()) {
+    // Resume the preempted frame.
+    Frame& top = frames_.back();
+    top.paused = false;
+    top.end = queue_->Now() + top.remaining;
+    top.remaining = 0;
+    activity_.set(top.activity);
+    ScheduleCompletion(&top);
+    return;
+  }
+
+  if (!task_queue_.empty()) {
+    Task task = std::move(task_queue_.front());
+    task_queue_.pop_front();
+    BeginTaskFrame(std::move(task));
+    return;
+  }
+
+  GoIdle();
+}
+
+}  // namespace quanto

@@ -1,0 +1,160 @@
+// The simulated MCU execution engine: a TinyOS-style single-stack scheduler.
+//
+// TinyOS multiplexes parallel activities over one stack: the schedulable
+// unit is a task; tasks run to completion and do not preempt each other, but
+// are preempted by interrupts (which are not reentrant on the MSP430, so a
+// raised interrupt waits for the in-service one to finish).
+//
+// Execution is modelled as *frames*. Dispatching a unit (task or IRQ) opens
+// a frame: the unit's body runs immediately (posting tasks, painting
+// devices, toggling power states), and the frame then occupies the CPU for
+// the unit's declared cycle cost. While any frame is open the CPU power
+// state is ACTIVE; when the frame stack empties and no task is pending, the
+// CPU drops to its sleep state and its activity becomes <node>:Idle.
+//
+// Quanto's TinyOS scheduler instrumentation is reproduced here: posting a
+// task saves the current CPU activity, and the saved label is restored just
+// before the task body runs (Section 3.3); interrupt frames run under their
+// statically assigned proxy activity and restore the interrupted activity
+// on return.
+#ifndef QUANTO_SRC_SIM_CPU_H_
+#define QUANTO_SRC_SIM_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/core/activity.h"
+#include "src/core/activity_device.h"
+#include "src/core/hooks.h"
+#include "src/core/power_state.h"
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class CpuScheduler : public CpuChargeHook {
+ public:
+  struct Config {
+    node_id_t node_id = 1;
+    res_id_t cpu_resource = 0;
+    // Power state values logged for the CPU sink; defaults follow
+    // src/hw/sinks.h (kCpuActive = 5, kCpuLpm3 = 1 on the MSP430 sink).
+    powerstate_t active_state = 5;
+    powerstate_t sleep_state = 1;
+    // Fixed dispatch overhead added to every task (queue pop, jump).
+    Cycles task_dispatch_overhead = 6;
+  };
+
+  CpuScheduler(EventQueue* queue, const Config& config);
+
+  // --- TinyOS task interface ------------------------------------------------
+
+  // `post`: enqueues a run-to-completion task. The current CPU activity is
+  // saved with the task and restored when it runs (Quanto instrumentation).
+  void PostTask(Cycles cost, std::function<void()> body);
+
+  // Posts a task that runs under an explicitly saved label. Control-flow
+  // deferral mechanisms (timers, forwarding queues) use this to carry the
+  // label they captured at deferral time.
+  void PostTaskWithActivity(act_t activity, Cycles cost,
+                            std::function<void()> body);
+
+  // --- Interrupts -----------------------------------------------------------
+
+  // Raises an interrupt whose handler runs under the node-local proxy
+  // activity `proxy_id`. If another interrupt is in service the new one is
+  // pended (MSP430 interrupts are not reentrant); otherwise it preempts the
+  // running task immediately.
+  void RaiseInterrupt(act_id_t proxy_id, Cycles cost,
+                      std::function<void()> body);
+
+  // --- Quanto hook ----------------------------------------------------------
+
+  // Extends the currently executing frame by `cycles` (used by the logger to
+  // charge its 102-cycle synchronous cost). Charges arriving while the CPU
+  // is idle are only accounted statistically (idle_charged_cycles) — in the
+  // real system every log call runs in some CPU context, but simulator
+  // bookkeeping can fire while no frame is open.
+  void ChargeCycles(Cycles cycles) override;
+
+  // --- State and instrumentation accessors ----------------------------------
+
+  SingleActivityDevice& activity() { return activity_; }
+  PowerStateComponent& power_state() { return power_; }
+  node_id_t node_id() const { return config_.node_id; }
+
+  bool idle() const { return frames_.empty(); }
+  size_t pending_tasks() const { return task_queue_.size(); }
+  bool in_interrupt() const;
+
+  // Label for a node-local activity id on this node.
+  act_t Label(act_id_t id) const { return MakeActivity(config_.node_id, id); }
+
+  // Total time the CPU has spent with at least one frame open, up to `now`.
+  Tick ActiveTime(Tick now) const;
+
+  uint64_t tasks_run() const { return tasks_run_; }
+  uint64_t interrupts_run() const { return interrupts_run_; }
+  Cycles idle_charged_cycles() const { return idle_charged_cycles_; }
+
+  // Invoked every time the CPU transitions to idle with an empty task queue
+  // (the continuous-logging drain hook; Section 4.4 runs the drain "only
+  // when the CPU would otherwise be idle").
+  void SetIdleHook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+ private:
+  struct Task {
+    act_t activity;
+    Cycles cost;
+    std::function<void()> body;
+  };
+  struct PendingIrq {
+    act_id_t proxy_id;
+    Cycles cost;
+    std::function<void()> body;
+  };
+  struct Frame {
+    act_t activity;          // Label the frame runs under.
+    act_t interrupted;       // Label to restore (IRQ frames only).
+    bool is_irq = false;
+    Tick end = 0;            // Completion time while running.
+    Tick remaining = 0;      // Residual cost while preempted.
+    bool paused = false;
+    EventQueue::EventId completion = EventQueue::kInvalidEvent;
+  };
+
+  void ScheduleDispatch();
+  void MaybeDispatchTask();
+  void BeginTaskFrame(Task task);
+  void BeginIrqFrame(PendingIrq irq);
+  void ScheduleCompletion(Frame* frame);
+  void OnFrameComplete();
+  void WakeUp();
+  void GoIdle();
+
+  EventQueue* queue_;
+  Config config_;
+  SingleActivityDevice activity_;
+  PowerStateComponent power_;
+
+  std::deque<Task> task_queue_;
+  std::deque<PendingIrq> pending_irqs_;
+  std::vector<Frame> frames_;
+  bool dispatch_scheduled_ = false;
+
+  // Active-time integration.
+  bool awake_ = false;
+  Tick awake_since_ = 0;
+  Tick active_accum_ = 0;
+
+  uint64_t tasks_run_ = 0;
+  uint64_t interrupts_run_ = 0;
+  Cycles idle_charged_cycles_ = 0;
+  std::function<void()> idle_hook_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_SIM_CPU_H_

@@ -1,0 +1,89 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace quanto {
+
+EventQueue::EventId EventQueue::Schedule(Tick time, std::function<void()> fn) {
+  if (time < now_) {
+    time = now_;
+  }
+  EventId id = next_id_++;
+  heap_.push(Item{time, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventQueue::EventId EventQueue::ScheduleAfter(Tick delay,
+                                              std::function<void()> fn) {
+  return Schedule(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (live_.erase(id) == 0) {
+    return false;  // Never issued, already run, or already cancelled.
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::PopNext(Item* out) {
+  while (!heap_.empty()) {
+    Item item = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(item.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    live_.erase(item.id);
+    *out = std::move(item);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::RunNext() {
+  Item item;
+  if (!PopNext(&item)) {
+    return false;
+  }
+  now_ = item.time;
+  ++executed_count_;
+  item.fn();
+  return true;
+}
+
+size_t EventQueue::RunUntil(Tick end) {
+  size_t executed = 0;
+  while (!heap_.empty()) {
+    const Item& top = heap_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.time > end) {
+      break;
+    }
+    Item item = heap_.top();
+    heap_.pop();
+    live_.erase(item.id);
+    now_ = item.time;
+    ++executed_count_;
+    ++executed;
+    item.fn();
+  }
+  now_ = end;
+  return executed;
+}
+
+size_t EventQueue::RunAll() {
+  size_t executed = 0;
+  while (RunNext()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace quanto

@@ -1,0 +1,14 @@
+#include "src/sim/node.h"
+
+namespace quanto {
+
+Node::Node(EventQueue* queue, const Config& config)
+    : queue_(queue), config_(config), clock_(queue) {
+  Config fixed = config_;
+  fixed.cpu.node_id = fixed.id;
+  config_ = fixed;
+  cpu_ = std::make_unique<CpuScheduler>(queue_, config_.cpu);
+  timers_ = std::make_unique<VirtualTimers>(queue_, cpu_.get(), config_.timers);
+}
+
+}  // namespace quanto

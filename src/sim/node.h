@@ -1,0 +1,61 @@
+// A simulated mote's OS kernel: CPU scheduler + virtual timers + clock,
+// sharing one global EventQueue with every other node in the network.
+//
+// The node layer is substrate-only: power modelling, metering, radios and
+// drivers attach on top (see src/apps/mote.h for the full HydroWatch
+// assembly). Keeping Node free of those dependencies mirrors the paper's
+// layering, where TinyOS core primitives are instrumented independently of
+// any particular device driver.
+#ifndef QUANTO_SRC_SIM_NODE_H_
+#define QUANTO_SRC_SIM_NODE_H_
+
+#include <memory>
+
+#include "src/core/activity.h"
+#include "src/core/hooks.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/virtual_timers.h"
+
+namespace quanto {
+
+// Clock adapter giving core components read access to virtual time.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(const EventQueue* queue) : queue_(queue) {}
+  Tick Now() const override { return queue_->Now(); }
+
+ private:
+  const EventQueue* queue_;
+};
+
+class Node {
+ public:
+  struct Config {
+    node_id_t id = 1;
+    CpuScheduler::Config cpu;
+    VirtualTimers::Config timers;
+  };
+
+  Node(EventQueue* queue, const Config& config);
+
+  node_id_t id() const { return config_.id; }
+  EventQueue& queue() { return *queue_; }
+  SimClock& clock() { return clock_; }
+  CpuScheduler& cpu() { return *cpu_; }
+  VirtualTimers& timers() { return *timers_; }
+
+  // Label for a node-local activity id on this node.
+  act_t Label(act_id_t id) const { return MakeActivity(config_.id, id); }
+
+ private:
+  EventQueue* queue_;
+  Config config_;
+  SimClock clock_;
+  std::unique_ptr<CpuScheduler> cpu_;
+  std::unique_ptr<VirtualTimers> timers_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_SIM_NODE_H_

@@ -1,0 +1,157 @@
+#include "src/sim/virtual_timers.h"
+
+#include <utility>
+#include <vector>
+
+namespace quanto {
+
+VirtualTimers::VirtualTimers(EventQueue* queue, CpuScheduler* cpu,
+                             const Config& config)
+    : queue_(queue),
+      cpu_(cpu),
+      config_(config),
+      hw_device_(config.hw_timer_resource) {}
+
+VirtualTimers::TimerId VirtualTimers::StartPeriodic(
+    Tick interval, Cycles callback_cost, std::function<void()> callback) {
+  return Start(interval, interval, callback_cost, std::move(callback));
+}
+
+VirtualTimers::TimerId VirtualTimers::StartOneShot(
+    Tick delay, Cycles callback_cost, std::function<void()> callback) {
+  return Start(delay, 0, callback_cost, std::move(callback));
+}
+
+VirtualTimers::TimerId VirtualTimers::Start(Tick delay, Tick interval,
+                                            Cycles callback_cost,
+                                            std::function<void()> callback) {
+  TimerId id = next_id_++;
+  Timer timer;
+  timer.deadline = queue_->Now() + delay;
+  timer.interval = interval;
+  timer.callback_cost = callback_cost;
+  // Save the activity of the code arming the timer; the callback will run
+  // under it.
+  timer.saved_activity = cpu_->activity().get();
+  timer.callback = std::move(callback);
+  hw_device_.add(timer.saved_activity);
+  timers_.emplace(id, std::move(timer));
+  UpdateCompare();
+  return id;
+}
+
+void VirtualTimers::Stop(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) {
+    return;
+  }
+  hw_device_.remove(it->second.saved_activity);
+  timers_.erase(it);
+  UpdateCompare();
+}
+
+void VirtualTimers::UpdateCompare() {
+  Tick earliest = 0;
+  bool have = false;
+  for (const auto& [id, timer] : timers_) {
+    if (!have || timer.deadline < earliest) {
+      earliest = timer.deadline;
+      have = true;
+    }
+  }
+  if (!have) {
+    if (compare_event_ != EventQueue::kInvalidEvent) {
+      queue_->Cancel(compare_event_);
+      compare_event_ = EventQueue::kInvalidEvent;
+    }
+    return;
+  }
+  if (compare_event_ != EventQueue::kInvalidEvent) {
+    if (compare_deadline_ == earliest) {
+      return;
+    }
+    queue_->Cancel(compare_event_);
+  }
+  compare_deadline_ = earliest;
+  compare_event_ =
+      queue_->Schedule(earliest, [this] { OnCompareInterrupt(); });
+}
+
+void VirtualTimers::OnCompareInterrupt() {
+  compare_event_ = EventQueue::kInvalidEvent;
+  // The hardware compare raises int_TIMER; its handler posts the VTimer
+  // task, which runs under the VTimer system activity.
+  cpu_->RaiseInterrupt(config_.irq_proxy, config_.irq_cost, [this] {
+    cpu_->PostTaskWithActivity(cpu_->Label(kActVTimer),
+                               config_.vtimer_fire_cost,
+                               [this] { VTimerTask(); });
+  });
+}
+
+void VirtualTimers::VTimerTask() {
+  Tick now = queue_->Now();
+  // Collect expired timers first: firing callbacks may restart or stop
+  // timers and must not invalidate the iteration.
+  std::vector<TimerId> expired;
+  for (const auto& [id, timer] : timers_) {
+    if (timer.deadline <= now) {
+      expired.push_back(id);
+    }
+  }
+  for (TimerId id : expired) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      continue;
+    }
+    Timer& timer = it->second;
+    ++fires_;
+    // The timer carries and restores the saved activity (Section 4.2.2:
+    // "the timer carries and restores the activity").
+    cpu_->PostTaskWithActivity(timer.saved_activity, timer.callback_cost,
+                               timer.callback);
+    if (timer.interval > 0) {
+      timer.deadline += timer.interval;
+    } else {
+      hw_device_.remove(timer.saved_activity);
+      timers_.erase(it);
+    }
+  }
+  // Trailing bookkeeping under the VTimer activity (the second VTimer block
+  // in Figure 11(b)): recompute the hardware compare deadline.
+  cpu_->PostTaskWithActivity(cpu_->Label(kActVTimer),
+                             config_.vtimer_bookkeeping_cost,
+                             [this] { UpdateCompare(); });
+}
+
+PeriodicInterrupt::PeriodicInterrupt(EventQueue* queue, CpuScheduler* cpu,
+                                     act_id_t proxy_id, Tick period,
+                                     Cycles handler_cost)
+    : queue_(queue),
+      cpu_(cpu),
+      proxy_id_(proxy_id),
+      period_(period),
+      handler_cost_(handler_cost) {}
+
+PeriodicInterrupt::~PeriodicInterrupt() { Stop(); }
+
+void PeriodicInterrupt::Start() {
+  if (event_ != EventQueue::kInvalidEvent) {
+    return;
+  }
+  event_ = queue_->ScheduleAfter(period_, [this] { Fire(); });
+}
+
+void PeriodicInterrupt::Stop() {
+  if (event_ != EventQueue::kInvalidEvent) {
+    queue_->Cancel(event_);
+    event_ = EventQueue::kInvalidEvent;
+  }
+}
+
+void PeriodicInterrupt::Fire() {
+  ++fires_;
+  cpu_->RaiseInterrupt(proxy_id_, handler_cost_, nullptr);
+  event_ = queue_->ScheduleAfter(period_, [this] { Fire(); });
+}
+
+}  // namespace quanto

@@ -1,0 +1,115 @@
+// The virtualised timer subsystem (TinyOS VirtualizeTimerC analogue).
+//
+// Many logical timers are multiplexed over one hardware compare register.
+// When the compare fires, the int_TIMER interrupt posts the VTimer task,
+// which dispatches expired logical timers and then performs bookkeeping
+// (computing the next deadline) — the structure visible in Figure 11(b):
+// int_TIMER proxy, then VTimer, then the fired activities, then VTimer
+// again.
+//
+// Quanto instrumentation (Section 3.3): each logical timer saves the CPU
+// activity current when it was started, and its callback task is posted
+// under that saved label. Started timers also add their label to the
+// hardware timer's MultiActivityDevice while armed.
+#ifndef QUANTO_SRC_SIM_VIRTUAL_TIMERS_H_
+#define QUANTO_SRC_SIM_VIRTUAL_TIMERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/core/activity.h"
+#include "src/core/activity_device.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class VirtualTimers {
+ public:
+  using TimerId = uint32_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  struct Config {
+    res_id_t hw_timer_resource = 1;
+    // Proxy activity of the compare interrupt (int_TIMER in Figure 11).
+    act_id_t irq_proxy = kActIntTimer;
+    Cycles irq_cost = 25;         // Compare-interrupt handler.
+    Cycles vtimer_fire_cost = 40; // VTimer task: scan the timer table.
+    Cycles vtimer_bookkeeping_cost = 35;  // Recompute next deadline.
+  };
+
+  VirtualTimers(EventQueue* queue, CpuScheduler* cpu, const Config& config);
+
+  // Starts a periodic timer firing every `interval`; the callback runs as a
+  // task of `callback_cost` cycles under the activity saved now.
+  TimerId StartPeriodic(Tick interval, Cycles callback_cost,
+                        std::function<void()> callback);
+
+  // One-shot variant.
+  TimerId StartOneShot(Tick delay, Cycles callback_cost,
+                       std::function<void()> callback);
+
+  // Stops a timer; safe to call on an already-fired one-shot.
+  void Stop(TimerId id);
+
+  size_t armed_count() const { return timers_.size(); }
+  MultiActivityDevice& hw_device() { return hw_device_; }
+  uint64_t fires() const { return fires_; }
+
+ private:
+  struct Timer {
+    Tick deadline;
+    Tick interval;  // 0 for one-shot.
+    Cycles callback_cost;
+    act_t saved_activity;
+    std::function<void()> callback;
+  };
+
+  TimerId Start(Tick delay, Tick interval, Cycles callback_cost,
+                std::function<void()> callback);
+  void UpdateCompare();
+  void OnCompareInterrupt();
+  void VTimerTask();
+
+  EventQueue* queue_;
+  CpuScheduler* cpu_;
+  Config config_;
+  MultiActivityDevice hw_device_;
+  std::map<TimerId, Timer> timers_;
+  TimerId next_id_ = 1;
+  EventQueue::EventId compare_event_ = EventQueue::kInvalidEvent;
+  Tick compare_deadline_ = 0;
+  uint64_t fires_ = 0;
+};
+
+// A raw periodic hardware interrupt with no virtual-timer layering, used to
+// model effects like the MSP430 DCO-calibration interrupt the paper's
+// Figure 15 caught firing 16 times per second.
+class PeriodicInterrupt {
+ public:
+  PeriodicInterrupt(EventQueue* queue, CpuScheduler* cpu, act_id_t proxy_id,
+                    Tick period, Cycles handler_cost);
+  ~PeriodicInterrupt();
+
+  void Start();
+  void Stop();
+  bool running() const { return event_ != EventQueue::kInvalidEvent; }
+  uint64_t fires() const { return fires_; }
+
+ private:
+  void Fire();
+
+  EventQueue* queue_;
+  CpuScheduler* cpu_;
+  act_id_t proxy_id_;
+  Tick period_;
+  Cycles handler_cost_;
+  EventQueue::EventId event_ = EventQueue::kInvalidEvent;
+  uint64_t fires_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_SIM_VIRTUAL_TIMERS_H_

@@ -1,0 +1,104 @@
+// Fixed-capacity ring buffer.
+//
+// The Quanto logger stores samples in a statically sized RAM buffer (800
+// entries in the paper's prototype, Table 4). This container mirrors that
+// constraint: no allocation after construction, O(1) push/pop, and an
+// explicit overflow policy selected by the caller (drop-newest, matching the
+// paper's "stop logging when the buffer fills" RAM mode, or overwrite-oldest
+// for continuous tails).
+#ifndef QUANTO_SRC_UTIL_RING_BUFFER_H_
+#define QUANTO_SRC_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace quanto {
+
+template <typename T>
+class RingBuffer {
+ public:
+  enum class OverflowPolicy {
+    kDropNewest,       // Reject pushes once full (paper's RAM logging mode).
+    kOverwriteOldest,  // Keep the most recent `capacity` items.
+  };
+
+  explicit RingBuffer(size_t capacity,
+                      OverflowPolicy policy = OverflowPolicy::kDropNewest)
+      : storage_(capacity), policy_(policy) {}
+
+  size_t capacity() const { return storage_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == storage_.size(); }
+
+  // Number of pushes rejected (kDropNewest) or items clobbered
+  // (kOverwriteOldest) since construction or the last Clear().
+  size_t dropped() const { return dropped_; }
+
+  // Appends an item. Returns false if the item was rejected because the
+  // buffer is full under kDropNewest.
+  bool Push(const T& item) {
+    if (full()) {
+      ++dropped_;
+      if (policy_ == OverflowPolicy::kDropNewest) {
+        return false;
+      }
+      // Overwrite the oldest element.
+      storage_[head_] = item;
+      head_ = Advance(head_);
+      tail_ = Advance(tail_);
+      return true;
+    }
+    storage_[tail_] = item;
+    tail_ = Advance(tail_);
+    ++size_;
+    return true;
+  }
+
+  // Removes and returns the oldest item. Behaviour is undefined when empty;
+  // callers must check empty() first.
+  T Pop() {
+    T item = storage_[head_];
+    head_ = Advance(head_);
+    --size_;
+    return item;
+  }
+
+  const T& Front() const { return storage_[head_]; }
+
+  // Random access by age: index 0 is the oldest retained element.
+  const T& At(size_t index) const {
+    return storage_[(head_ + index) % storage_.size()];
+  }
+
+  void Clear() {
+    head_ = 0;
+    tail_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+  // Copies the retained elements, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(At(i));
+    }
+    return out;
+  }
+
+ private:
+  size_t Advance(size_t i) const { return (i + 1) % storage_.size(); }
+
+  std::vector<T> storage_;
+  OverflowPolicy policy_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
+  size_t dropped_ = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_RING_BUFFER_H_

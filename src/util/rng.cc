@@ -1,0 +1,70 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace quanto {
+
+Rng::Rng(uint64_t seed) { Seed(seed); }
+
+void Rng::Seed(uint64_t seed) {
+  // Avoid the all-zero fixed point of xorshift.
+  state_ = seed != 0 ? seed : 0x9E3779B97F4A7C15ULL;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  uint64_t span = hi - lo + 1;
+  if (span == 0) {
+    // [lo, hi] covers the whole 64-bit range.
+    return Next();
+  }
+  return lo + Next() % span;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Irwin-Hall approximation: the sum of 12 uniforms has variance 1 and
+  // mean 6; good enough for simulated measurement jitter.
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    sum += NextDouble();
+  }
+  return mean + stddev * (sum - 6.0);
+}
+
+}  // namespace quanto

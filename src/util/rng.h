@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic element of the reproduction (CSMA backoff, 802.11
+// interferer burst lengths, sensor noise) draws from a seeded Rng so that
+// experiments are exactly reproducible run-to-run, which the paper's
+// hardware testbed could not guarantee but which makes regression tests
+// meaningful.
+#ifndef QUANTO_SRC_UTIL_RNG_H_
+#define QUANTO_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace quanto {
+
+// xorshift64* generator: tiny state, good statistical quality for
+// simulation workloads, and trivially portable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Approximately normal value (sum of uniforms), mean/stddev given.
+  double Gaussian(double mean, double stddev);
+
+  // Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_RNG_H_

@@ -1,0 +1,132 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+
+namespace quanto {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sum_ = 0.0;
+}
+
+double Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) {
+    acc += x * x;
+  }
+  return std::sqrt(acc);
+}
+
+double RelativeError(const std::vector<double>& y,
+                     const std::vector<double>& yhat) {
+  double ny = Norm(y);
+  if (ny == 0.0) {
+    return 0.0;
+  }
+  std::vector<double> diff(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    diff[i] = y[i] - (i < yhat.size() ? yhat[i] : 0.0);
+  }
+  return Norm(diff) / ny;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  size_t n = x.size() < y.size() ? x.size() : y.size();
+  if (n < 2) {
+    return fit;
+  }
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    fit.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  return fit;
+}
+
+}  // namespace quanto

@@ -1,0 +1,62 @@
+// Streaming statistics helpers used by the analysis pipeline and the
+// benchmark harnesses (duty-cycle means, confidence-style spreads, the
+// R^2 / relative-error figures the paper reports).
+#ifndef QUANTO_SRC_UTIL_STATS_H_
+#define QUANTO_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace quanto {
+
+// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Euclidean norm of a vector.
+double Norm(const std::vector<double>& v);
+
+// Relative error ||y - yhat|| / ||y||, the metric Table 2 reports (0.83%).
+// Returns 0 when ||y|| is zero.
+double RelativeError(const std::vector<double>& y,
+                     const std::vector<double>& yhat);
+
+// Pearson correlation between two equal-length vectors, as used to compare
+// the Quanto regression against the oscilloscope regression (0.99988 in
+// Section 4.2.1). Returns 0 when either vector has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+// Coefficient of determination of a simple linear fit y = a*x + b, the R^2
+// the paper reports for the iCount frequency/current linearity (0.99995).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_STATS_H_

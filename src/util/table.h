@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// regenerates one of the paper's tables or figure series; this formatter
+// keeps their output aligned and diff-friendly.
+#ifndef QUANTO_SRC_UTIL_TABLE_H_
+#define QUANTO_SRC_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace quanto {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; missing cells render empty, extra cells are kept (the table
+  // widens to the longest row).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Emits a "key: value" style header line for bench output sections.
+void PrintSection(std::ostream& os, const std::string& title);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_TABLE_H_

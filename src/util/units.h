@@ -1,0 +1,65 @@
+// Units and fundamental quantities used throughout the Quanto reproduction.
+//
+// The simulated platform mirrors the paper's HydroWatch mote: a 16-bit
+// MSP430F1611 clocked at 1 MHz. At that clock, one CPU cycle is exactly one
+// microsecond, which is why the paper freely interchanges "102 cycles" and
+// "~102 us". We adopt the same equivalence: the simulator's base tick is one
+// microsecond, and cycle costs charged to the CPU are expressed in ticks.
+#ifndef QUANTO_SRC_UTIL_UNITS_H_
+#define QUANTO_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace quanto {
+
+// Virtual time, in microseconds since simulation start.
+// At the simulated 1 MHz CPU clock, 1 tick == 1 us == 1 CPU cycle.
+using Tick = uint64_t;
+
+// Cycle counts (CPU work) are expressed in the same unit as ticks.
+using Cycles = uint64_t;
+
+inline constexpr Tick kTicksPerMicrosecond = 1;
+inline constexpr Tick kTicksPerMillisecond = 1000;
+inline constexpr Tick kTicksPerSecond = 1000 * 1000;
+
+// CPU clock of the simulated MSP430F1611 (Section 2.2 of the paper).
+inline constexpr uint64_t kCpuClockHz = 1000 * 1000;
+
+constexpr Tick Microseconds(uint64_t us) { return us * kTicksPerMicrosecond; }
+constexpr Tick Milliseconds(uint64_t ms) { return ms * kTicksPerMillisecond; }
+constexpr Tick Seconds(uint64_t s) { return s * kTicksPerSecond; }
+
+constexpr double TicksToSeconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+constexpr double TicksToMilliseconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerMillisecond);
+}
+
+// Electrical quantities. Currents are carried in microamperes, matching the
+// resolution of the paper's Table 1; power in microwatts; energy in
+// microjoules (the iCount meter's native resolution is ~1 uJ).
+using MicroAmps = double;
+using Volts = double;
+using MicroWatts = double;
+using MicroJoules = double;
+
+// Supply voltage of the HydroWatch platform measured in Section 4.1.
+inline constexpr Volts kSupplyVoltage = 3.0;
+
+constexpr MicroWatts CurrentToPower(MicroAmps ua, Volts v) { return ua * v; }
+
+constexpr double MicroAmpsToMilliAmps(MicroAmps ua) { return ua / 1000.0; }
+constexpr double MicroWattsToMilliWatts(MicroWatts uw) { return uw / 1000.0; }
+constexpr double MicroJoulesToMilliJoules(MicroJoules uj) { return uj / 1000.0; }
+
+// Energy spent by a constant current draw over an interval.
+constexpr MicroJoules EnergyOver(MicroAmps ua, Volts v, Tick dt) {
+  // uA * V = uW; uW * s = uJ.
+  return CurrentToPower(ua, v) * TicksToSeconds(dt);
+}
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_UNITS_H_

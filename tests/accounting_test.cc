@@ -1,0 +1,235 @@
+// Tests of the activity accountant (Section 3.4): single-device time
+// partitioning, multi-device split policies, and proxy binding semantics.
+
+#include "src/analysis/accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+constexpr node_id_t kNode = 1;
+
+TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint16_t payload) {
+  TraceEvent e;
+  e.time = time;
+  e.icount = 0;
+  e.type = type;
+  e.res = res;
+  e.payload = payload;
+  return e;
+}
+
+// Simple power function: LED0 on draws 1000 uW above baseline; everything
+// else 0.
+MicroWatts LedPower(SinkId sink, powerstate_t state) {
+  if (sink == kSinkLed0 && state == kLedOn) {
+    return 1000.0;
+  }
+  return 0.0;
+}
+
+TEST(AccountingTest, SingleDevicePartitionsTime) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, MakeActivity(kNode, 1)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(2),
+         MakeActivity(kNode, 2)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(5),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, MakeActivity(kNode, 1)), Seconds(2));
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, MakeActivity(kNode, 2)), Seconds(3));
+  EXPECT_EQ(accounts.duration(), Seconds(5));
+}
+
+TEST(AccountingTest, EnergyFollowsPowerStateAndActivity) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkLed0, 0, MakeActivity(kNode, 1)),
+      Ev(LogEntryType::kPowerState, kSinkLed0, 0, kLedOn),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(3), kLedOff),
+      Ev(LogEntryType::kActivitySet, kSinkLed0, Seconds(3),
+         MakeActivity(kNode, kActIdle)),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(4), kLedOff),
+  };
+  ActivityAccountant accountant(LedPower, {});
+  auto accounts = accountant.Run(events, kNode);
+  // 3 s at 1000 uW = 3000 uJ charged to activity 1 on LED0.
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, MakeActivity(kNode, 1)), 3000.0,
+              1e-9);
+  EXPECT_NEAR(accounts.EnergyByActivity(MakeActivity(kNode, 1)), 3000.0,
+              1e-9);
+  EXPECT_NEAR(accounts.EnergyByResource(kSinkLed0), 3000.0, 1e-9);
+}
+
+TEST(AccountingTest, MultiDeviceSplitsEqually) {
+  act_t a = MakeActivity(kNode, 1);
+  act_t b = MakeActivity(kNode, 2);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kPowerState, kSinkLed0, 0, kLedOn),
+      Ev(LogEntryType::kActivityAdd, kSinkLed0, 0, a),
+      Ev(LogEntryType::kActivityAdd, kSinkLed0, 0, b),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(4), kLedOff),
+  };
+  ActivityAccountant accountant(LedPower, {});
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, a), 2000.0, 1e-9);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, b), 2000.0, 1e-9);
+  EXPECT_EQ(accounts.TimeFor(kSinkLed0, a), Seconds(2));
+}
+
+TEST(AccountingTest, CustomSplitPolicy) {
+  // A policy that charges each member fully (total > 100%, like a
+  // "blame everyone" policy; the paper says other policies are possible).
+  act_t a = MakeActivity(kNode, 1);
+  act_t b = MakeActivity(kNode, 2);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kPowerState, kSinkLed0, 0, kLedOn),
+      Ev(LogEntryType::kActivityAdd, kSinkLed0, 0, a),
+      Ev(LogEntryType::kActivityAdd, kSinkLed0, 0, b),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(4), kLedOff),
+  };
+  ActivityAccountant::Options options;
+  options.split = [](size_t) { return 1.0; };
+  ActivityAccountant accountant(LedPower, options);
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, a), 4000.0, 1e-9);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, b), 4000.0, 1e-9);
+}
+
+TEST(AccountingTest, EmptyMultiSetChargesIdle) {
+  act_t a = MakeActivity(kNode, 1);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kPowerState, kSinkLed0, 0, kLedOn),
+      Ev(LogEntryType::kActivityAdd, kSinkLed0, Seconds(1), a),
+      Ev(LogEntryType::kActivityRemove, kSinkLed0, Seconds(2), a),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(3), kLedOff),
+  };
+  ActivityAccountant accountant(LedPower, {});
+  auto accounts = accountant.Run(events, kNode);
+  act_t idle = MakeActivity(kNode, kActIdle);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, idle), 2000.0, 1e-9);
+  EXPECT_NEAR(accounts.EnergyFor(kSinkLed0, a), 1000.0, 1e-9);
+}
+
+TEST(AccountingTest, ProxyUsageFoldsIntoBoundActivity) {
+  // pxy-labelled CPU work binds to a real activity: the proxy's usage is
+  // transferred (Section 3.1's "assigned to the real activity as soon as
+  // the system can determine what this activity is").
+  act_t proxy = MakeActivity(kNode, kActProxyRx);
+  act_t real = MakeActivity(4, 1);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, proxy),
+      Ev(LogEntryType::kActivityBind, kSinkCpu, Seconds(1), real),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(2),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, kNode);
+  // The proxy's 1 s of CPU time lands on the remote activity.
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, real), Seconds(2));
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, proxy), 0u);
+}
+
+TEST(AccountingTest, UnboundProxyKeepsItsUsage) {
+  // Figure 14: the false-positive pxy_RX never binds; its usage stays on
+  // the proxy's books.
+  act_t proxy = MakeActivity(kNode, kActProxyRx);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, proxy),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(3),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, proxy), Seconds(3));
+}
+
+TEST(AccountingTest, ProxyFoldSpansResources) {
+  // The proxy accumulated usage on both the CPU and the radio RX path;
+  // binding folds all of it.
+  act_t proxy = MakeActivity(kNode, kActProxyRx);
+  act_t real = MakeActivity(4, 1);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, proxy),
+      Ev(LogEntryType::kActivityAdd, kSinkRadioRx, 0, proxy),
+      Ev(LogEntryType::kActivityRemove, kSinkRadioRx, Seconds(1), proxy),
+      Ev(LogEntryType::kActivityBind, kSinkCpu, Seconds(1), real),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(2),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_EQ(accounts.TimeFor(kSinkRadioRx, real), Seconds(1));
+  EXPECT_EQ(accounts.TimeFor(kSinkRadioRx, proxy), 0u);
+}
+
+TEST(AccountingTest, FoldingDisabledKeepsProxiesSeparate) {
+  act_t proxy = MakeActivity(kNode, kActProxyRx);
+  act_t real = MakeActivity(4, 1);
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, proxy),
+      Ev(LogEntryType::kActivityBind, kSinkCpu, Seconds(1), real),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(2),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant::Options options;
+  options.fold_proxies = false;
+  ActivityAccountant accountant(nullptr, options);
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, proxy), Seconds(1));
+  EXPECT_EQ(accounts.TimeFor(kSinkCpu, real), Seconds(1));
+}
+
+TEST(AccountingTest, ConstantEnergyIsPowerTimesDuration) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, MakeActivity(kNode, 1)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(10),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant::Options options;
+  options.constant_power = 2500.0;  // uW.
+  ActivityAccountant accountant(nullptr, options);
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_NEAR(accounts.constant_energy, 25000.0, 1e-9);
+  EXPECT_NEAR(accounts.TotalEnergy(), 25000.0, 1e-9);
+}
+
+TEST(AccountingTest, EmptyTraceIsEmptyAccounts) {
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run({}, kNode);
+  EXPECT_EQ(accounts.duration(), 0u);
+  EXPECT_TRUE(accounts.Activities().empty());
+}
+
+TEST(AccountingTest, ActivitiesAndResourcesEnumerate) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, MakeActivity(kNode, 1)),
+      Ev(LogEntryType::kActivitySet, kSinkLed0, 0, MakeActivity(kNode, 2)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, Seconds(1),
+         MakeActivity(kNode, kActIdle)),
+  };
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, kNode);
+  EXPECT_TRUE(accounts.Activities().count(MakeActivity(kNode, 1)) > 0);
+  EXPECT_TRUE(accounts.Resources().count(kSinkCpu) > 0);
+  EXPECT_TRUE(accounts.Resources().count(kSinkLed0) > 0);
+}
+
+TEST(PowerFromRegressionTest, LooksUpColumnsAndBaselines) {
+  RegressionProblem problem;
+  RegressionColumn led;
+  led.sink = kSinkLed0;
+  led.state = kLedOn;
+  RegressionColumn constant;
+  constant.is_constant = true;
+  problem.columns = {led, constant};
+  auto fn = PowerFromRegression(problem, {1234.0, 99.0});
+  EXPECT_DOUBLE_EQ(fn(kSinkLed0, kLedOn), 1234.0);
+  EXPECT_DOUBLE_EQ(fn(kSinkLed0, kLedOff), 0.0);   // Baseline.
+  EXPECT_DOUBLE_EQ(fn(kSinkLed1, kLedOn), 0.0);    // Unobserved.
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,110 @@
+#include "src/core/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/activity_registry.h"
+
+namespace quanto {
+namespace {
+
+TEST(ActivityLabelTest, EncodeDecodeRoundTrip) {
+  act_t label = MakeActivity(4, 17);
+  EXPECT_EQ(ActivityOrigin(label), 4);
+  EXPECT_EQ(ActivityLocalId(label), 17);
+}
+
+TEST(ActivityLabelTest, SixteenBitsOnTheWire) {
+  // The hidden AM field is 16 bits; the extremes must round-trip.
+  act_t label = MakeActivity(255, 255);
+  EXPECT_EQ(ActivityOrigin(label), 255);
+  EXPECT_EQ(ActivityLocalId(label), 255);
+  static_assert(sizeof(act_t) == 2);
+}
+
+TEST(ActivityLabelTest, DistinctNodesDistinctLabels) {
+  EXPECT_NE(MakeActivity(1, 5), MakeActivity(2, 5));
+  EXPECT_NE(MakeActivity(1, 5), MakeActivity(1, 6));
+}
+
+TEST(ActivityLabelTest, IdlePredicate) {
+  EXPECT_TRUE(IsIdleActivity(MakeActivity(3, kActIdle)));
+  EXPECT_FALSE(IsIdleActivity(MakeActivity(3, 1)));
+}
+
+TEST(ActivityLabelTest, ProxyPredicate) {
+  EXPECT_TRUE(IsProxyActivity(MakeActivity(1, kActIntTimer)));
+  EXPECT_TRUE(IsProxyActivity(MakeActivity(1, kActProxyRx)));
+  EXPECT_TRUE(IsProxyActivity(MakeActivity(1, kActIntUart0Rx)));
+  EXPECT_FALSE(IsProxyActivity(MakeActivity(1, kActVTimer)));
+  EXPECT_FALSE(IsProxyActivity(MakeActivity(1, 1)));
+  EXPECT_FALSE(IsProxyActivity(MakeActivity(1, kActIdle)));
+}
+
+TEST(ActivityLabelTest, SystemPredicate) {
+  EXPECT_TRUE(IsSystemActivity(MakeActivity(1, kActVTimer)));
+  EXPECT_TRUE(IsSystemActivity(MakeActivity(1, kActLogger)));
+  EXPECT_FALSE(IsSystemActivity(MakeActivity(1, kActIntTimer)));  // Proxy.
+  EXPECT_FALSE(IsSystemActivity(MakeActivity(1, 1)));             // App.
+}
+
+TEST(ActivityLabelTest, ApplicationPredicate) {
+  EXPECT_TRUE(IsApplicationActivity(MakeActivity(1, 1)));
+  EXPECT_TRUE(IsApplicationActivity(MakeActivity(1, 100)));
+  EXPECT_FALSE(IsApplicationActivity(MakeActivity(1, kActIdle)));
+  EXPECT_FALSE(IsApplicationActivity(MakeActivity(1, kActVTimer)));
+  EXPECT_FALSE(IsApplicationActivity(MakeActivity(1, kActProxyRx)));
+}
+
+TEST(ActivityLabelTest, ReservedRangesAreDisjoint) {
+  // Every id classifies into exactly one of idle/app/system/proxy.
+  for (int id = 0; id < 256; ++id) {
+    act_t label = MakeActivity(1, static_cast<act_id_t>(id));
+    int classes = (IsIdleActivity(label) ? 1 : 0) +
+                  (IsApplicationActivity(label) ? 1 : 0) +
+                  (IsSystemActivity(label) ? 1 : 0) +
+                  (IsProxyActivity(label) ? 1 : 0);
+    ASSERT_EQ(classes, 1) << "id " << id;
+  }
+}
+
+TEST(ActivityNameTest, BuiltinNames) {
+  EXPECT_EQ(DefaultActivityName(MakeActivity(1, kActIntTimer)),
+            "1:int_TIMER");
+  EXPECT_EQ(DefaultActivityName(MakeActivity(4, kActProxyRx)), "4:pxy_RX");
+  EXPECT_EQ(DefaultActivityName(MakeActivity(2, kActVTimer)), "2:VTimer");
+  EXPECT_EQ(DefaultActivityName(MakeActivity(9, kActIdle)), "9:Idle");
+}
+
+TEST(ActivityNameTest, UnknownIdsRenderNumerically) {
+  EXPECT_EQ(DefaultActivityName(MakeActivity(1, 7)), "1:act7");
+}
+
+TEST(ActivityRegistryTest, RegisteredNameWins) {
+  ActivityRegistry registry;
+  registry.RegisterName(1, "BounceApp");
+  EXPECT_EQ(registry.Name(MakeActivity(4, 1)), "4:BounceApp");
+  EXPECT_EQ(registry.LocalName(1), "BounceApp");
+  EXPECT_TRUE(registry.HasName(1));
+}
+
+TEST(ActivityRegistryTest, FallsBackToBuiltins) {
+  ActivityRegistry registry;
+  EXPECT_EQ(registry.Name(MakeActivity(1, kActVTimer)), "1:VTimer");
+  EXPECT_TRUE(registry.HasName(kActVTimer));
+}
+
+TEST(ActivityRegistryTest, UnknownFallsBackToNumeric) {
+  ActivityRegistry registry;
+  EXPECT_EQ(registry.Name(MakeActivity(1, 42)), "1:act42");
+  EXPECT_FALSE(registry.HasName(42));
+}
+
+TEST(ActivityRegistryTest, ReRegistrationOverrides) {
+  ActivityRegistry registry;
+  registry.RegisterName(1, "Old");
+  registry.RegisterName(1, "New");
+  EXPECT_EQ(registry.LocalName(1), "New");
+}
+
+}  // namespace
+}  // namespace quanto

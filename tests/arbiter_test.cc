@@ -1,0 +1,103 @@
+#include "src/sim/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+namespace {
+
+class ArbiterTest : public ::testing::Test {
+ protected:
+  ArbiterTest()
+      : cpu_(&queue_, CpuScheduler::Config{}),
+        device_(9, MakeActivity(1, kActIdle)),
+        arbiter_(&cpu_, &device_) {}
+
+  act_t Label(act_id_t id) { return MakeActivity(cpu_.node_id(), id); }
+
+  EventQueue queue_;
+  CpuScheduler cpu_;
+  SingleActivityDevice device_;
+  Arbiter arbiter_;
+};
+
+TEST_F(ArbiterTest, ImmediateGrantWhenFree) {
+  bool granted = false;
+  arbiter_.Request(10, [&] { granted = true; });
+  EXPECT_TRUE(arbiter_.busy());
+  queue_.RunUntil(Milliseconds(1));
+  EXPECT_TRUE(granted);
+}
+
+TEST_F(ArbiterTest, GrantPaintsManagedDeviceWithRequesterActivity) {
+  // Section 3.3: the arbiter automatically transfers activity labels to
+  // the managed device.
+  cpu_.activity().set(Label(5));
+  arbiter_.Request(10, [] {});
+  EXPECT_EQ(device_.get(), Label(5));
+  EXPECT_EQ(arbiter_.owner_activity(), Label(5));
+}
+
+TEST_F(ArbiterTest, GrantedCallbackRunsUnderRequesterActivity) {
+  act_t observed = 0;
+  cpu_.activity().set(Label(5));
+  arbiter_.Request(10, [&] { observed = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Milliseconds(1));
+  EXPECT_EQ(observed, Label(5));
+}
+
+TEST_F(ArbiterTest, QueuedRequestsServedFcfsWithTheirOwnLabels) {
+  std::vector<act_t> grant_order;
+  cpu_.activity().set(Label(1));
+  arbiter_.Request(10, [&] { grant_order.push_back(device_.get()); });
+  cpu_.activity().set(Label(2));
+  arbiter_.Request(10, [&] { grant_order.push_back(device_.get()); });
+  cpu_.activity().set(Label(3));
+  arbiter_.Request(10, [&] { grant_order.push_back(device_.get()); });
+  cpu_.activity().set(Label(kActIdle));
+  EXPECT_EQ(arbiter_.queue_length(), 2u);
+
+  queue_.RunUntil(Milliseconds(1));
+  ASSERT_EQ(grant_order.size(), 1u);
+  arbiter_.Release();
+  queue_.RunUntil(Milliseconds(2));
+  arbiter_.Release();
+  queue_.RunUntil(Milliseconds(3));
+  ASSERT_EQ(grant_order.size(), 3u);
+  EXPECT_EQ(grant_order[0], Label(1));
+  EXPECT_EQ(grant_order[1], Label(2));
+  EXPECT_EQ(grant_order[2], Label(3));
+}
+
+TEST_F(ArbiterTest, FinalReleaseReturnsDeviceToIdle) {
+  cpu_.activity().set(Label(5));
+  arbiter_.Request(10, [] {});
+  queue_.RunUntil(Milliseconds(1));
+  arbiter_.Release();
+  EXPECT_FALSE(arbiter_.busy());
+  EXPECT_TRUE(IsIdleActivity(device_.get()));
+}
+
+TEST_F(ArbiterTest, ReleaseWhenFreeIsNoOp) {
+  arbiter_.Release();
+  EXPECT_FALSE(arbiter_.busy());
+}
+
+TEST_F(ArbiterTest, HolderChangesWithEachGrant) {
+  cpu_.activity().set(Label(1));
+  arbiter_.Request(10, [] {});
+  cpu_.activity().set(Label(2));
+  arbiter_.Request(10, [] {});
+  queue_.RunUntil(Milliseconds(1));
+  EXPECT_EQ(arbiter_.owner_activity(), Label(1));
+  arbiter_.Release();
+  EXPECT_EQ(arbiter_.owner_activity(), Label(2));
+  EXPECT_EQ(device_.get(), Label(2));
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,207 @@
+// Tests of the core Quanto interfaces: PowerStateComponent (Figures 1-3)
+// and Single-/MultiActivityDevice (Figures 5, 6, 9).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/activity_device.h"
+#include "src/core/power_state.h"
+
+namespace quanto {
+namespace {
+
+// --- PowerStateComponent -------------------------------------------------------
+
+struct PowerRecorder : public PowerStateTrack {
+  void changed(res_id_t resource, powerstate_t value) override {
+    events.push_back({resource, value});
+  }
+  std::vector<std::pair<res_id_t, powerstate_t>> events;
+};
+
+TEST(PowerStateComponentTest, NotifiesOnChange) {
+  PowerStateComponent component(7, 0);
+  PowerRecorder recorder;
+  component.AddListener(&recorder);
+  component.set(1);
+  ASSERT_EQ(recorder.events.size(), 1u);
+  EXPECT_EQ(recorder.events[0].first, 7);
+  EXPECT_EQ(recorder.events[0].second, 1);
+  EXPECT_EQ(component.value(), 1);
+}
+
+TEST(PowerStateComponentTest, IdempotentSetsAreSuppressed) {
+  // "Multiple calls to the PowerState interface signaling the same state
+  // are idempotent: such calls do not result in multiple notifications."
+  PowerStateComponent component(0, 0);
+  PowerRecorder recorder;
+  component.AddListener(&recorder);
+  component.set(1);
+  component.set(1);
+  component.set(1);
+  EXPECT_EQ(recorder.events.size(), 1u);
+  EXPECT_EQ(component.suppressed_sets(), 2u);
+}
+
+TEST(PowerStateComponentTest, SetBitsUpdatesField) {
+  PowerStateComponent component(0, 0b0000);
+  component.setBits(0b11, 2, 0b10);  // Set bits [3:2] to 10.
+  EXPECT_EQ(component.value(), 0b1000);
+  component.setBits(0b1, 0, 1);
+  EXPECT_EQ(component.value(), 0b1001);
+}
+
+TEST(PowerStateComponentTest, SetBitsPreservesOtherBits) {
+  PowerStateComponent component(0, 0b1111);
+  component.setBits(0b11, 1, 0b00);  // Clear bits [2:1].
+  EXPECT_EQ(component.value(), 0b1001);
+}
+
+TEST(PowerStateComponentTest, SetBitsNoChangeIsSuppressed) {
+  PowerStateComponent component(0, 0b0100);
+  PowerRecorder recorder;
+  component.AddListener(&recorder);
+  component.setBits(0b1, 2, 1);  // Already set.
+  EXPECT_TRUE(recorder.events.empty());
+  EXPECT_EQ(component.suppressed_sets(), 1u);
+}
+
+TEST(PowerStateComponentTest, MultipleListenersInOrder) {
+  PowerStateComponent component(0, 0);
+  PowerRecorder a;
+  PowerRecorder b;
+  component.AddListener(&a);
+  component.AddListener(&b);
+  component.set(3);
+  EXPECT_EQ(a.events.size(), 1u);
+  EXPECT_EQ(b.events.size(), 1u);
+}
+
+// --- SingleActivityDevice --------------------------------------------------------
+
+struct SingleRecorder : public SingleActivityTrack {
+  void changed(res_id_t resource, act_t activity) override {
+    sets.push_back({resource, activity});
+  }
+  void bound(res_id_t resource, act_t activity) override {
+    binds.push_back({resource, activity});
+  }
+  std::vector<std::pair<res_id_t, act_t>> sets;
+  std::vector<std::pair<res_id_t, act_t>> binds;
+};
+
+TEST(SingleActivityDeviceTest, SetChangesAndNotifies) {
+  SingleActivityDevice device(3, MakeActivity(1, kActIdle));
+  SingleRecorder recorder;
+  device.AddListener(&recorder);
+  act_t red = MakeActivity(1, 1);
+  device.set(red);
+  EXPECT_EQ(device.get(), red);
+  ASSERT_EQ(recorder.sets.size(), 1u);
+  EXPECT_EQ(recorder.sets[0].second, red);
+  EXPECT_TRUE(recorder.binds.empty());
+}
+
+TEST(SingleActivityDeviceTest, RedundantSetDoesNotNotify) {
+  SingleActivityDevice device(3, MakeActivity(1, 1));
+  SingleRecorder recorder;
+  device.AddListener(&recorder);
+  device.set(MakeActivity(1, 1));
+  EXPECT_TRUE(recorder.sets.empty());
+}
+
+TEST(SingleActivityDeviceTest, BindNotifiesEvenWithoutValueChange) {
+  // The binding itself is the information: the accounting layer folds the
+  // proxy's usage on a bind, so it must be visible even if the label value
+  // happens to match.
+  SingleActivityDevice device(3, MakeActivity(1, 2));
+  SingleRecorder recorder;
+  device.AddListener(&recorder);
+  device.bind(MakeActivity(1, 2));
+  EXPECT_EQ(recorder.binds.size(), 1u);
+}
+
+TEST(SingleActivityDeviceTest, BindSwitchesActivity) {
+  SingleActivityDevice device(3, MakeActivity(1, kActProxyRx));
+  act_t remote = MakeActivity(4, 1);
+  device.bind(remote);
+  EXPECT_EQ(device.get(), remote);
+}
+
+// --- MultiActivityDevice ----------------------------------------------------------
+
+struct MultiRecorder : public MultiActivityTrack {
+  void added(res_id_t resource, act_t activity) override {
+    adds.push_back({resource, activity});
+  }
+  void removed(res_id_t resource, act_t activity) override {
+    removes.push_back({resource, activity});
+  }
+  std::vector<std::pair<res_id_t, act_t>> adds;
+  std::vector<std::pair<res_id_t, act_t>> removes;
+};
+
+TEST(MultiActivityDeviceTest, AddRemoveBasics) {
+  MultiActivityDevice device(5);
+  MultiRecorder recorder;
+  device.AddListener(&recorder);
+  act_t a = MakeActivity(1, 1);
+  act_t b = MakeActivity(1, 2);
+  EXPECT_TRUE(device.add(a));
+  EXPECT_TRUE(device.add(b));
+  EXPECT_EQ(device.size(), 2u);
+  EXPECT_TRUE(device.contains(a));
+  EXPECT_TRUE(device.remove(a));
+  EXPECT_FALSE(device.contains(a));
+  EXPECT_EQ(recorder.adds.size(), 2u);
+  EXPECT_EQ(recorder.removes.size(), 1u);
+}
+
+TEST(MultiActivityDeviceTest, DuplicateAddFails) {
+  MultiActivityDevice device(5);
+  act_t a = MakeActivity(1, 1);
+  EXPECT_TRUE(device.add(a));
+  EXPECT_FALSE(device.add(a));
+  EXPECT_EQ(device.size(), 1u);
+}
+
+TEST(MultiActivityDeviceTest, RemoveAbsentFails) {
+  MultiActivityDevice device(5);
+  EXPECT_FALSE(device.remove(MakeActivity(1, 1)));
+}
+
+TEST(MultiActivityDeviceTest, CapacityBounded) {
+  MultiActivityDevice device(5);
+  for (size_t i = 0; i < MultiActivityDevice::kMaxActivities; ++i) {
+    EXPECT_TRUE(device.add(MakeActivity(1, static_cast<act_id_t>(i + 1))));
+  }
+  EXPECT_FALSE(device.add(MakeActivity(1, 100)));
+  EXPECT_EQ(device.size(), MultiActivityDevice::kMaxActivities);
+}
+
+TEST(MultiActivityDeviceTest, RemovePreservesInsertionOrder) {
+  MultiActivityDevice device(5);
+  act_t a = MakeActivity(1, 1);
+  act_t b = MakeActivity(1, 2);
+  act_t c = MakeActivity(1, 3);
+  device.add(a);
+  device.add(b);
+  device.add(c);
+  device.remove(b);
+  auto acts = device.activities();
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_EQ(acts[0], a);
+  EXPECT_EQ(acts[1], c);
+}
+
+TEST(MultiActivityDeviceTest, ReAddAfterRemoveSucceeds) {
+  MultiActivityDevice device(5);
+  act_t a = MakeActivity(1, 1);
+  device.add(a);
+  device.remove(a);
+  EXPECT_TRUE(device.add(a));
+}
+
+}  // namespace
+}  // namespace quanto

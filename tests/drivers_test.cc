@@ -1,0 +1,260 @@
+// Tests of the instrumented device drivers: LED (Figure 2), SHT11 sensor
+// (arbiter-mediated, proxy-bound completion) and external flash (handshake-
+// shadowed power states, Section 2.4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/drivers/flash.h"
+#include "src/drivers/led.h"
+#include "src/drivers/sht11.h"
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+namespace {
+
+class DriversTest : public ::testing::Test {
+ protected:
+  DriversTest() : cpu_(&queue_, CpuScheduler::Config{}) {}
+
+  act_t Label(act_id_t id) { return MakeActivity(cpu_.node_id(), id); }
+
+  EventQueue queue_;
+  CpuScheduler cpu_;
+};
+
+// --- LED -----------------------------------------------------------------------
+
+TEST_F(DriversTest, LedOnSignalsPowerStateAndPaintsActivity) {
+  LedDriver led(&cpu_, kSinkLed0);
+  cpu_.activity().set(Label(5));
+  led.On();
+  EXPECT_TRUE(led.is_on());
+  EXPECT_EQ(led.power_state().value(), kLedOn);
+  EXPECT_EQ(led.activity().get(), Label(5));
+}
+
+TEST_F(DriversTest, LedOffClearsActivity) {
+  LedDriver led(&cpu_, kSinkLed0);
+  cpu_.activity().set(Label(5));
+  led.On();
+  led.Off();
+  EXPECT_FALSE(led.is_on());
+  EXPECT_EQ(led.power_state().value(), kLedOff);
+  EXPECT_TRUE(IsIdleActivity(led.activity().get()));
+}
+
+TEST_F(DriversTest, LedToggleAlternates) {
+  LedDriver led(&cpu_, kSinkLed1);
+  led.Toggle();
+  EXPECT_TRUE(led.is_on());
+  led.Toggle();
+  EXPECT_FALSE(led.is_on());
+}
+
+TEST_F(DriversTest, LedRepaintedByDifferentActivities) {
+  LedDriver led(&cpu_, kSinkLed2);
+  cpu_.activity().set(Label(1));
+  led.On();
+  EXPECT_EQ(led.activity().get(), Label(1));
+  led.Off();
+  cpu_.activity().set(Label(2));
+  led.On();
+  EXPECT_EQ(led.activity().get(), Label(2));
+}
+
+// --- SHT11 ----------------------------------------------------------------------
+
+TEST_F(DriversTest, SensorReadCompletesWithValue) {
+  Sht11Sensor sensor(&queue_, &cpu_);
+  bool done = false;
+  uint16_t value = 0;
+  cpu_.activity().set(Label(3));
+  sensor.Read(Sht11Sensor::Channel::kHumidity, [&](uint16_t v) {
+    done = true;
+    value = v;
+  });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_GT(value, 0u);
+  EXPECT_EQ(sensor.reads_completed(), 1u);
+}
+
+TEST_F(DriversTest, SensorPowerStateCyclesThroughMeasure) {
+  Sht11Sensor sensor(&queue_, &cpu_);
+  std::vector<powerstate_t> states;
+  struct Recorder : public PowerStateTrack {
+    void changed(res_id_t, powerstate_t v) override {
+      states->push_back(v);
+    }
+    std::vector<powerstate_t>* states;
+  } recorder;
+  recorder.states = &states;
+  sensor.power_state().AddListener(&recorder);
+  sensor.Read(Sht11Sensor::Channel::kHumidity, nullptr);
+  queue_.RunUntil(Seconds(1));
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0], kSht11Measure);
+  EXPECT_EQ(states[1], kSht11Off);
+}
+
+TEST_F(DriversTest, SensorPaintedWithRequesterActivity) {
+  Sht11Sensor sensor(&queue_, &cpu_);
+  cpu_.activity().set(Label(7));
+  sensor.Read(Sht11Sensor::Channel::kTemperature, nullptr);
+  cpu_.activity().set(Label(kActIdle));
+  // Grant happens via a posted task.
+  queue_.RunUntil(Milliseconds(1));
+  EXPECT_EQ(sensor.activity().get(), Label(7));
+}
+
+TEST_F(DriversTest, SensorCompletionRunsUnderRequesterActivity) {
+  Sht11Sensor sensor(&queue_, &cpu_);
+  act_t observed = 0;
+  cpu_.activity().set(Label(7));
+  sensor.Read(Sht11Sensor::Channel::kHumidity,
+              [&](uint16_t) { observed = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(observed, Label(7));
+}
+
+TEST_F(DriversTest, ConcurrentSensorReadsSerializeThroughArbiter) {
+  // Figure 7's pattern: humidity then temperature, requested back to back.
+  Sht11Sensor sensor(&queue_, &cpu_);
+  std::vector<std::pair<int, Tick>> completions;
+  cpu_.activity().set(Label(1));
+  sensor.Read(Sht11Sensor::Channel::kHumidity, [&](uint16_t) {
+    completions.push_back({1, queue_.Now()});
+  });
+  cpu_.activity().set(Label(2));
+  sensor.Read(Sht11Sensor::Channel::kTemperature, [&](uint16_t) {
+    completions.push_back({2, queue_.Now()});
+  });
+  cpu_.activity().set(Label(kActIdle));
+  EXPECT_TRUE(sensor.busy());
+  queue_.RunUntil(Seconds(2));
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0].first, 1);
+  EXPECT_EQ(completions[1].first, 2);
+  // Second read could only start after the first finished.
+  EXPECT_GE(completions[1].second,
+            completions[0].second +
+                Sht11Sensor::Config{}.temperature_conversion);
+  EXPECT_FALSE(sensor.busy());
+}
+
+TEST_F(DriversTest, HumidityFasterThanTemperature) {
+  Sht11Sensor sensor(&queue_, &cpu_);
+  Tick hum_done = 0;
+  sensor.Read(Sht11Sensor::Channel::kHumidity,
+              [&](uint16_t) { hum_done = queue_.Now(); });
+  queue_.RunUntil(Seconds(1));
+  Sht11Sensor sensor2(&queue_, &cpu_);
+  Tick start2 = queue_.Now();
+  Tick temp_done = 0;
+  sensor2.Read(Sht11Sensor::Channel::kTemperature,
+               [&](uint16_t) { temp_done = queue_.Now(); });
+  queue_.RunUntil(Seconds(2));
+  EXPECT_LT(hum_done, Sht11Sensor::Config{}.temperature_conversion);
+  EXPECT_GE(temp_done - start2, Sht11Sensor::Config{}.temperature_conversion);
+}
+
+// --- External flash -----------------------------------------------------------------
+
+TEST_F(DriversTest, FlashWriteWalksHandshakeStates) {
+  ExternalFlash flash(&queue_, &cpu_);
+  std::vector<powerstate_t> states;
+  struct Recorder : public PowerStateTrack {
+    void changed(res_id_t, powerstate_t v) override {
+      states->push_back(v);
+    }
+    std::vector<powerstate_t>* states;
+  } recorder;
+  recorder.states = &states;
+  flash.power_state().AddListener(&recorder);
+  bool done = false;
+  flash.Write(256, [&] { done = true; });
+  queue_.RunUntil(Seconds(1));
+  EXPECT_TRUE(done);
+  // POWER_DOWN -> STANDBY (wake) -> WRITE (busy) -> STANDBY (ready).
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], kExtFlashStandby);
+  EXPECT_EQ(states[1], kExtFlashWrite);
+  EXPECT_EQ(states[2], kExtFlashStandby);
+}
+
+TEST_F(DriversTest, FlashWriteDurationScalesWithPages) {
+  ExternalFlash flash(&queue_, &cpu_);
+  Tick one_page = 0;
+  flash.Write(100, nullptr);  // 1 page.
+  queue_.RunUntil(Seconds(1));
+  one_page = queue_.Now();
+  (void)one_page;
+
+  EventQueue queue2;
+  CpuScheduler cpu2(&queue2, CpuScheduler::Config{});
+  ExternalFlash flash2(&queue2, &cpu2);
+  Tick done1 = 0;
+  Tick done4 = 0;
+  flash2.Write(256, [&] { done1 = queue2.Now(); });
+  queue2.RunUntil(Seconds(1));
+  EventQueue queue3;
+  CpuScheduler cpu3(&queue3, CpuScheduler::Config{});
+  ExternalFlash flash3(&queue3, &cpu3);
+  flash3.Write(1024, [&] { done4 = queue3.Now(); });
+  queue3.RunUntil(Seconds(1));
+  // 4 pages take roughly 4x the busy time (modulo fixed overheads).
+  EXPECT_GT(done4, done1 + 2 * ExternalFlash::Config{}.page_write_time);
+}
+
+TEST_F(DriversTest, FlashOperationsQueueViaArbiter) {
+  ExternalFlash flash(&queue_, &cpu_);
+  std::vector<int> order;
+  flash.Write(10, [&] { order.push_back(1); });
+  flash.Read(10, [&] { order.push_back(2); });
+  flash.Erase([&] { order.push_back(3); });
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(flash.operations_completed(), 3u);
+}
+
+TEST_F(DriversTest, FlashCompletionRunsUnderRequesterActivity) {
+  ExternalFlash flash(&queue_, &cpu_);
+  act_t observed = 0;
+  cpu_.activity().set(Label(9));
+  flash.Write(10, [&] { observed = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(observed, Label(9));
+}
+
+TEST_F(DriversTest, FlashPowerDownOnlyWhenIdle) {
+  ExternalFlash flash(&queue_, &cpu_);
+  flash.Write(10, nullptr);
+  // Let the operation get underway, then try to power down mid-write.
+  queue_.RunUntil(Milliseconds(1));
+  flash.PowerDown();  // Busy: refused.
+  EXPECT_NE(flash.power_state().value(), kExtFlashPowerDown);
+  queue_.RunUntil(Seconds(1));
+  flash.PowerDown();
+  EXPECT_EQ(flash.power_state().value(), kExtFlashPowerDown);
+}
+
+TEST_F(DriversTest, FlashSecondOpSkipsWakeup) {
+  // Once in STANDBY, the next operation must not pay the wake-up again.
+  ExternalFlash flash(&queue_, &cpu_);
+  Tick first_done = 0;
+  Tick second_done = 0;
+  flash.Write(10, [&] { first_done = queue_.Now(); });
+  queue_.RunUntil(Seconds(1));
+  Tick second_start = queue_.Now();
+  flash.Write(10, [&] { second_done = queue_.Now(); });
+  queue_.RunUntil(Seconds(2));
+  EXPECT_LT(second_done - second_start, first_done);
+}
+
+}  // namespace
+}  // namespace quanto

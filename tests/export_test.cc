@@ -1,0 +1,129 @@
+#include "src/analysis/export.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint16_t payload,
+              uint64_t icount = 0) {
+  TraceEvent e;
+  e.time = time;
+  e.icount = icount;
+  e.type = type;
+  e.res = res;
+  e.payload = payload;
+  return e;
+}
+
+TEST(ExportTest, SpansPartitionResourceTimeline) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0, MakeActivity(1, 1)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 100, MakeActivity(1, 2)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 300, MakeActivity(1, 0)),
+  };
+  auto spans = BuildActivitySpans(events);
+  auto cpu = ActivitySpansFor(spans, kSinkCpu);
+  ASSERT_EQ(cpu.size(), 2u);
+  EXPECT_EQ(cpu[0].start, 0u);
+  EXPECT_EQ(cpu[0].end, 100u);
+  EXPECT_EQ(cpu[0].activity, MakeActivity(1, 1));
+  EXPECT_EQ(cpu[1].start, 100u);
+  EXPECT_EQ(cpu[1].end, 300u);
+}
+
+TEST(ExportTest, BindsCountAsTransitions) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 0,
+         MakeActivity(1, kActProxyRx)),
+      Ev(LogEntryType::kActivityBind, kSinkCpu, 50, MakeActivity(4, 1)),
+      Ev(LogEntryType::kActivitySet, kSinkCpu, 150, MakeActivity(1, 0)),
+  };
+  auto spans = BuildActivitySpans(events);
+  auto cpu = ActivitySpansFor(spans, kSinkCpu);
+  ASSERT_EQ(cpu.size(), 2u);
+  EXPECT_EQ(cpu[0].activity, MakeActivity(1, kActProxyRx));
+  EXPECT_EQ(cpu[1].activity, MakeActivity(4, 1));
+}
+
+TEST(ExportTest, TrailingSpanClosedAtTraceEnd) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kActivitySet, kSinkLed0, 10, MakeActivity(1, 1)),
+      Ev(LogEntryType::kPowerState, kSinkLed0, 500, kLedOn),
+  };
+  auto spans = BuildActivitySpans(events);
+  auto led = ActivitySpansFor(spans, kSinkLed0);
+  ASSERT_EQ(led.size(), 1u);
+  EXPECT_EQ(led[0].end, 500u);
+}
+
+TEST(ExportTest, MeterPowerSeriesFromIcountDeltas) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kPowerState, kSinkLed0, 0, kLedOn, 0),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(1), kLedOff, 100),
+      Ev(LogEntryType::kPowerState, kSinkLed0, Seconds(2), kLedOn, 110),
+  };
+  auto series = MeterPowerSeries(events, 8.33);
+  ASSERT_EQ(series.size(), 2u);
+  // 100 pulses over 1 s = 833 uW.
+  EXPECT_NEAR(series[0].power, 833.0, 1e-9);
+  EXPECT_NEAR(series[1].power, 83.3, 1e-9);
+}
+
+TEST(ExportTest, CumulativeEnergyIsMonotone) {
+  std::vector<TraceEvent> events{
+      Ev(LogEntryType::kPowerState, 0, 0, 0, 5),
+      Ev(LogEntryType::kPowerState, 0, 100, 0, 17),
+      Ev(LogEntryType::kPowerState, 0, 200, 0, 20),
+  };
+  auto series = CumulativeEnergySeries(events, 8.33);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].energy, 0.0);
+  EXPECT_NEAR(series[1].energy, 12 * 8.33, 1e-9);
+  EXPECT_NEAR(series[2].energy, 15 * 8.33, 1e-9);
+}
+
+TEST(ExportTest, StripRendersActivityWindows) {
+  ActivityRegistry registry;
+  std::vector<ActivitySpan> spans{
+      {kSinkCpu, 0, 50, MakeActivity(1, 1)},
+      {kSinkCpu, 50, 100, MakeActivity(1, kActIdle)},
+  };
+  std::string strip = RenderSpanStrip(spans, kSinkCpu, 0, 100, 10, registry);
+  ASSERT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip[0], 'A');   // Activity 1 -> 'A'.
+  EXPECT_EQ(strip[4], 'A');
+  EXPECT_EQ(strip[7], '.');   // Idle renders blank.
+}
+
+TEST(ExportTest, StripMarksProxiesAndSystem) {
+  ActivityRegistry registry;
+  std::vector<ActivitySpan> spans{
+      {kSinkCpu, 0, 50, MakeActivity(1, kActProxyRx)},
+      {kSinkCpu, 50, 100, MakeActivity(1, kActVTimer)},
+  };
+  std::string strip = RenderSpanStrip(spans, kSinkCpu, 0, 100, 10, registry);
+  EXPECT_EQ(strip[2], 'x');
+  EXPECT_EQ(strip[7], 'v');
+}
+
+TEST(ExportTest, StripClipsToWindow) {
+  ActivityRegistry registry;
+  std::vector<ActivitySpan> spans{
+      {kSinkCpu, 0, 1000, MakeActivity(1, 2)},
+  };
+  std::string strip =
+      RenderSpanStrip(spans, kSinkCpu, 100, 200, 10, registry);
+  for (char c : strip) {
+    EXPECT_EQ(c, 'B');
+  }
+}
+
+TEST(ExportTest, EmptyEventsEmptyOutputs) {
+  EXPECT_TRUE(BuildActivitySpans({}).empty());
+  EXPECT_TRUE(MeterPowerSeries({}, 8.33).empty());
+  EXPECT_TRUE(CumulativeEnergySeries({}, 8.33).empty());
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,225 @@
+// Tests of the Table 1 sink catalog, the PowerModel and the oscilloscope
+// ground-truth probe.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/oscilloscope.h"
+#include "src/hw/power_model.h"
+#include "src/hw/sinks.h"
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+namespace {
+
+// --- Catalog -------------------------------------------------------------------
+
+TEST(SinkCatalogTest, Table1SpotChecks) {
+  // Values straight from the paper's Table 1 (at 3 V, 1 MHz).
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkCpu, kCpuActive), 500.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkCpu, kCpuLpm3), 2.6);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkCpu, kCpuLpm4), 0.2);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkVoltageRef, kVrefOn), 500.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkAdc, kAdcConverting), 800.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkDac, kDacConverting7), 700.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkInternalFlash, kIntFlashProgram),
+                   3000.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkTempSensor, kTempSample), 60.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkComparator, kCompCompare), 45.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkSupplySupervisor, kSupervisorOn),
+                   15.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioRegulator, kRegulatorOff), 1.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioRegulator, kRegulatorOn), 22.0);
+  EXPECT_DOUBLE_EQ(
+      NominalCurrent(kSinkRadioBatteryMonitor, kBattMonEnabled), 30.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioControl, kRadioControlIdle),
+                   426.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioRx, kRadioRxListen), 19700.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioTx, kRadioTx0dBm), 17400.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkRadioTx, kRadioTxM25dBm), 8500.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkExternalFlash, kExtFlashPowerDown),
+                   9.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkExternalFlash, kExtFlashWrite),
+                   12000.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkLed0, kLedOn), 4300.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkLed1, kLedOn), 3700.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkLed2, kLedOn), 1700.0);
+}
+
+TEST(SinkCatalogTest, TxPowerStatesDecreaseMonotonically) {
+  // Table 1: +0 dBm down to -25 dBm, strictly decreasing current.
+  for (powerstate_t s = kRadioTx0dBm; s < kRadioTxM25dBm; ++s) {
+    EXPECT_GT(NominalCurrent(kSinkRadioTx, s),
+              NominalCurrent(kSinkRadioTx, s + 1));
+  }
+}
+
+TEST(SinkCatalogTest, BaselinesAreLowestDrawOrSleep) {
+  EXPECT_EQ(BaselineState(kSinkCpu), kCpuLpm3);
+  EXPECT_EQ(BaselineState(kSinkLed0), kLedOff);
+  EXPECT_EQ(BaselineState(kSinkRadioRx), kRadioRxOff);
+  EXPECT_EQ(BaselineState(kSinkExternalFlash), kExtFlashPowerDown);
+}
+
+TEST(SinkCatalogTest, NamesResolve) {
+  EXPECT_STREQ(SinkName(kSinkCpu), "CPU");
+  EXPECT_STREQ(SinkName(kSinkRadioRx), "RadioRx");
+  EXPECT_EQ(StateName(kSinkCpu, kCpuActive), "ACTIVE");
+  EXPECT_EQ(StateName(kSinkRadioTx, kRadioTxM10dBm), "TX(-10dBm)");
+}
+
+TEST(SinkCatalogTest, OutOfRangeIsSafe) {
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkCount, 0), 0.0);
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkCpu, 99), 0.0);
+  EXPECT_EQ(SinkStateCount(kSinkCount), 0u);
+  EXPECT_EQ(StateName(kSinkCpu, 99), "state99");
+}
+
+TEST(SinkCatalogTest, EveryStateCountMatchesEnum) {
+  EXPECT_EQ(SinkStateCount(kSinkCpu), static_cast<size_t>(kCpuStateCount));
+  EXPECT_EQ(SinkStateCount(kSinkRadioTx),
+            static_cast<size_t>(kRadioTxStateCount));
+  EXPECT_EQ(SinkStateCount(kSinkExternalFlash),
+            static_cast<size_t>(kExtFlashStateCount));
+  EXPECT_EQ(SinkStateCount(kSinkDac), static_cast<size_t>(kDacStateCount));
+}
+
+// --- PowerModel -------------------------------------------------------------------
+
+TEST(PowerModelTest, InitialCurrentIsSumOfBaselines) {
+  PowerModel model;
+  // All sinks at baseline: CPU LPM3 (2.6) + regulator OFF (1.0) + ext
+  // flash POWER_DOWN (9.0); everything else baselines at 0.
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), 2.6 + 1.0 + 9.0);
+}
+
+TEST(PowerModelTest, StateChangeUpdatesTotal) {
+  PowerModel model;
+  double base = model.TotalCurrent();
+  model.changed(kSinkLed0, kLedOn);
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), base + 4300.0);
+  model.changed(kSinkLed0, kLedOff);
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), base);
+}
+
+TEST(PowerModelTest, PowerIsCurrentTimesSupply) {
+  PowerModel model(3.0);
+  model.changed(kSinkLed2, kLedOn);
+  EXPECT_DOUBLE_EQ(model.TotalPower(), model.TotalCurrent() * 3.0);
+}
+
+TEST(PowerModelTest, ActualCurrentOverridesNominal) {
+  PowerModel model;
+  model.SetActualCurrent(kSinkLed0, kLedOn, 2500.0);
+  double base = model.TotalCurrent();
+  model.changed(kSinkLed0, kLedOn);
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), base + 2500.0);
+  EXPECT_DOUBLE_EQ(model.ActualCurrent(kSinkLed0, kLedOn), 2500.0);
+  // Nominal catalog is untouched.
+  EXPECT_DOUBLE_EQ(NominalCurrent(kSinkLed0, kLedOn), 4300.0);
+}
+
+TEST(PowerModelTest, FloorCurrentAddsConstantDraw) {
+  PowerModel model;
+  double base = model.TotalCurrent();
+  model.SetFloorCurrent(740.0);
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), base + 740.0);
+}
+
+TEST(PowerModelTest, ListenersNotifiedWithNewPower) {
+  PowerModel model;
+  std::vector<double> observed;
+  model.AddPowerListener([&](MicroWatts p) { observed.push_back(p); });
+  model.changed(kSinkLed1, kLedOn);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_DOUBLE_EQ(observed[0], model.TotalPower());
+}
+
+TEST(PowerModelTest, RedundantChangeDoesNotNotify) {
+  PowerModel model;
+  int notifications = 0;
+  model.AddPowerListener([&](MicroWatts) { ++notifications; });
+  model.changed(kSinkLed1, kLedOn);
+  model.changed(kSinkLed1, kLedOn);
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(PowerModelTest, UnknownStateClampsToBaseline) {
+  PowerModel model;
+  model.changed(kSinkLed0, kLedOn);
+  model.changed(kSinkLed0, 99);  // Bogus state index.
+  EXPECT_EQ(model.state(kSinkLed0), BaselineState(kSinkLed0));
+}
+
+TEST(PowerModelTest, UnknownResourceIgnored) {
+  PowerModel model;
+  double base = model.TotalCurrent();
+  model.changed(200, 1);
+  EXPECT_DOUBLE_EQ(model.TotalCurrent(), base);
+}
+
+// --- Oscilloscope --------------------------------------------------------------------
+
+TEST(OscilloscopeTest, MeanCurrentOfConstantDraw) {
+  EventQueue queue;
+  PowerModel model;
+  Oscilloscope scope(&queue, &model);
+  queue.RunUntil(Seconds(1));
+  EXPECT_NEAR(scope.MeanCurrent(0, Seconds(1)), model.TotalCurrent(), 1e-9);
+}
+
+TEST(OscilloscopeTest, EnergyOfStepChange) {
+  EventQueue queue;
+  PowerModel model;
+  model.SetActualCurrent(kSinkLed0, kLedOn, 1000.0);
+  Oscilloscope scope(&queue, &model);
+  double base = model.TotalCurrent();
+  queue.Schedule(Seconds(1), [&] { model.changed(kSinkLed0, kLedOn); });
+  queue.RunUntil(Seconds(2));
+  // First second at base, second at base+1mA; energy in uJ at 3 V.
+  double expected = base * 3.0 * 1.0 + (base + 1000.0) * 3.0 * 1.0;
+  EXPECT_NEAR(scope.Energy(0, Seconds(2)), expected, 1e-6);
+  // Window covering only the second half.
+  EXPECT_NEAR(scope.MeanCurrent(Seconds(1), Seconds(2)), base + 1000.0,
+              1e-9);
+}
+
+TEST(OscilloscopeTest, ResampleTracksSteps) {
+  EventQueue queue;
+  PowerModel model;
+  Oscilloscope scope(&queue, &model);
+  double base = model.TotalCurrent();
+  queue.Schedule(Milliseconds(10),
+                 [&] { model.changed(kSinkLed2, kLedOn); });
+  queue.RunUntil(Milliseconds(20));
+  auto samples = scope.Resample(0, Milliseconds(20), Milliseconds(5));
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_NEAR(samples[0].current, base, 1e-9);
+  EXPECT_NEAR(samples[1].current, base, 1e-9);
+  EXPECT_NEAR(samples[2].current, base + 1700.0, 1e-9);
+  EXPECT_NEAR(samples[3].current, base + 1700.0, 1e-9);
+}
+
+TEST(OscilloscopeTest, SameTickChangesCollapse) {
+  EventQueue queue;
+  PowerModel model;
+  Oscilloscope scope(&queue, &model);
+  queue.Schedule(Milliseconds(5), [&] {
+    model.changed(kSinkLed0, kLedOn);
+    model.changed(kSinkLed1, kLedOn);
+    model.changed(kSinkLed2, kLedOn);
+  });
+  queue.RunUntil(Milliseconds(10));
+  // One segment boundary at t=5ms holding the final value.
+  EXPECT_EQ(scope.segments().size(), 2u);
+}
+
+TEST(OscilloscopeTest, EmptyWindowIsZero) {
+  EventQueue queue;
+  PowerModel model;
+  Oscilloscope scope(&queue, &model);
+  EXPECT_DOUBLE_EQ(scope.Energy(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(scope.MeanCurrent(10, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,132 @@
+#include "src/meter/icount.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/power_model.h"
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+namespace {
+
+class IcountTest : public ::testing::Test {
+ protected:
+  EventQueue queue_;
+  PowerModel model_;
+};
+
+TEST_F(IcountTest, IntegratesConstantPowerExactly) {
+  IcountMeter meter(&queue_, &model_);
+  queue_.RunUntil(Seconds(10));
+  // Baseline draw: 12.6 uA at 3 V for 10 s = 378 uJ.
+  EXPECT_NEAR(meter.TrueEnergy(), model_.TotalPower() * 10.0, 1e-6);
+}
+
+TEST_F(IcountTest, PulsesAreFloorOfEnergyOverQuantum) {
+  IcountMeter meter(&queue_, &model_);
+  model_.changed(kSinkLed0, kLedOn);  // +4.3 mA -> ~12.9 mW.
+  queue_.RunUntil(Seconds(1));
+  double energy = meter.TrueEnergy();
+  uint32_t pulses = meter.ReadPulses();
+  EXPECT_EQ(pulses, static_cast<uint32_t>(energy / 8.33));
+  // Metered energy is within one pulse of truth.
+  EXPECT_NEAR(meter.MeteredEnergy(), energy, 8.33);
+}
+
+TEST_F(IcountTest, QuantizationNeverOvercounts) {
+  IcountMeter meter(&queue_, &model_);
+  model_.changed(kSinkLed1, kLedOn);
+  for (int i = 1; i <= 50; ++i) {
+    queue_.RunUntil(Milliseconds(static_cast<uint64_t>(i) * 17));
+    ASSERT_LE(meter.MeteredEnergy(), meter.TrueEnergy() + 1e-9);
+  }
+}
+
+TEST_F(IcountTest, PowerChangesIntegratePiecewise) {
+  IcountMeter meter(&queue_, &model_);
+  double base_power = model_.TotalPower();
+  queue_.Schedule(Seconds(1), [&] { model_.changed(kSinkLed0, kLedOn); });
+  queue_.Schedule(Seconds(2), [&] { model_.changed(kSinkLed0, kLedOff); });
+  queue_.RunUntil(Seconds(3));
+  double led_power = 4300.0 * 3.0;
+  EXPECT_NEAR(meter.TrueEnergy(), base_power * 3.0 + led_power * 1.0, 1e-6);
+}
+
+TEST_F(IcountTest, GainErrorScalesReading) {
+  IcountMeter::Config config;
+  config.gain_error = 0.15;  // The spec's worst case.
+  IcountMeter high(&queue_, &model_, config);
+  IcountMeter exact(&queue_, &model_);
+  model_.changed(kSinkLed0, kLedOn);
+  queue_.RunUntil(Seconds(5));
+  EXPECT_NEAR(high.TrueEnergy(), exact.TrueEnergy() * 1.15, 1e-6);
+}
+
+TEST_F(IcountTest, ReadsAreCounted) {
+  IcountMeter meter(&queue_, &model_);
+  meter.ReadPulses();
+  meter.ReadPulses();
+  EXPECT_EQ(meter.reads(), 2u);
+}
+
+TEST_F(IcountTest, PulseTimesMatchCount) {
+  IcountMeter meter(&queue_, &model_);
+  model_.changed(kSinkLed0, kLedOn);
+  queue_.RunUntil(Seconds(1));
+  uint32_t pulses = meter.ReadPulses();
+  auto times = meter.PulseTimes(0, Seconds(1));
+  EXPECT_EQ(times.size(), pulses);
+  // Monotone non-decreasing.
+  for (size_t i = 1; i < times.size(); ++i) {
+    ASSERT_GE(times[i], times[i - 1]);
+  }
+}
+
+TEST_F(IcountTest, PulseRateScalesWithPower) {
+  IcountMeter meter(&queue_, &model_);
+  queue_.RunUntil(Seconds(1));
+  model_.changed(kSinkLed0, kLedOn);
+  queue_.RunUntil(Seconds(2));
+  auto low = meter.PulseTimes(0, Seconds(1));
+  auto high = meter.PulseTimes(Seconds(1), Seconds(2));
+  EXPECT_GT(high.size(), low.size() * 10);
+}
+
+TEST_F(IcountTest, WindowedPulseTimesAreWithinWindow) {
+  IcountMeter meter(&queue_, &model_);
+  model_.changed(kSinkLed2, kLedOn);
+  queue_.RunUntil(Seconds(2));
+  auto times = meter.PulseTimes(Milliseconds(500), Milliseconds(700));
+  for (Tick t : times) {
+    ASSERT_GE(t, Milliseconds(500));
+    ASSERT_LE(t, Milliseconds(700));
+  }
+}
+
+TEST_F(IcountTest, DefaultQuantumIsPaperValue) {
+  IcountMeter meter(&queue_, &model_);
+  EXPECT_DOUBLE_EQ(meter.config().energy_per_pulse, 8.33);
+  EXPECT_EQ(meter.config().read_latency, 24u);  // Table 4.
+}
+
+// Parameterized: the counter read is consistent for a sweep of loads —
+// pulses = floor(P*t/quantum) for all of them.
+class IcountLoadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IcountLoadTest, FloorLawHoldsAcrossLoads) {
+  EventQueue queue;
+  PowerModel model;
+  model.SetFloorCurrent(GetParam());  // uA.
+  IcountMeter meter(&queue, &model);
+  queue.RunUntil(Seconds(3));
+  double expected_energy =
+      model.TotalPower() * 3.0;  // uW * s = uJ.
+  EXPECT_EQ(meter.ReadPulses(),
+            static_cast<uint32_t>(expected_energy / 8.33));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, IcountLoadTest,
+                         ::testing::Values(10.0, 100.0, 1000.0, 10000.0,
+                                           20000.0, 50000.0));
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,345 @@
+// End-to-end tests of the full Quanto pipeline: instrumented applications
+// running on the simulated mote, analysed exactly as the paper's offline
+// tools do. These are the executable versions of the paper's headline
+// claims.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/export.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/blink.h"
+#include "src/apps/bounce.h"
+#include "src/apps/mote.h"
+#include "src/apps/sense_and_send.h"
+#include "src/apps/timer_calibration.h"
+
+namespace quanto {
+namespace {
+
+struct Analysis {
+  std::vector<TraceEvent> events;
+  RegressionProblem problem;
+  PipelineResult regression;
+  ActivityAccounts accounts;
+};
+
+Analysis Analyze(Mote& mote) {
+  Analysis a;
+  a.events = TraceParser::Parse(mote.logger().Trace());
+  auto intervals = ExtractPowerIntervals(
+      a.events, mote.meter().config().energy_per_pulse);
+  a.problem = BuildRegressionProblem(intervals);
+  a.regression = SolveQuanto(a.problem);
+  ActivityAccountant::Options opts;
+  if (a.regression.ok) {
+    opts.constant_power =
+        a.regression.coefficients[a.problem.columns.size() - 1];
+  }
+  ActivityAccountant accountant(
+      PowerFromRegression(a.problem, a.regression.coefficients), opts);
+  a.accounts = accountant.Run(a.events, mote.id());
+  return a;
+}
+
+// --- Blink -------------------------------------------------------------------------
+
+class BlinkPipelineTest : public ::testing::Test {
+ protected:
+  void Run(Tick duration) {
+    mote_ = std::make_unique<Mote>(&queue_, nullptr, Mote::Config{});
+    app_ = std::make_unique<BlinkApp>(mote_.get());
+    app_->Start();
+    queue_.RunFor(duration);
+    analysis_ = Analyze(*mote_);
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Mote> mote_;
+  std::unique_ptr<BlinkApp> app_;
+  Analysis analysis_;
+};
+
+TEST_F(BlinkPipelineTest, RegressionRecoversActualLedDraws) {
+  Run(Seconds(48));
+  ASSERT_TRUE(analysis_.regression.ok) << analysis_.regression.error;
+  int led0 = analysis_.problem.ColumnIndex(kSinkLed0, kLedOn);
+  int led1 = analysis_.problem.ColumnIndex(kSinkLed1, kLedOn);
+  int led2 = analysis_.problem.ColumnIndex(kSinkLed2, kLedOn);
+  ASSERT_GE(led0, 0);
+  ASSERT_GE(led1, 0);
+  ASSERT_GE(led2, 0);
+  Volts v = mote_->power_model().supply();
+  // Recover within 2% (quantization limits exactness).
+  EXPECT_NEAR(analysis_.regression.coefficients[led0] / v, 4300.0, 86.0);
+  EXPECT_NEAR(analysis_.regression.coefficients[led1] / v, 3700.0, 74.0);
+  EXPECT_NEAR(analysis_.regression.coefficients[led2] / v, 1700.0, 34.0);
+}
+
+TEST_F(BlinkPipelineTest, EnergyOrderingMatchesPaper) {
+  Run(Seconds(48));
+  double red =
+      analysis_.accounts.EnergyByActivity(mote_->Label(BlinkApp::kActRed));
+  double green =
+      analysis_.accounts.EnergyByActivity(mote_->Label(BlinkApp::kActGreen));
+  double blue =
+      analysis_.accounts.EnergyByActivity(mote_->Label(BlinkApp::kActBlue));
+  EXPECT_GT(red, green);
+  EXPECT_GT(green, blue);
+  EXPECT_GT(blue, 0.0);
+}
+
+TEST_F(BlinkPipelineTest, AccountedTotalMatchesMeter) {
+  Run(Seconds(48));
+  MicroJoules metered = mote_->meter().MeteredEnergy();
+  MicroJoules accounted = analysis_.accounts.TotalEnergy();
+  EXPECT_NEAR(accounted, metered, metered * 0.02);
+}
+
+TEST_F(BlinkPipelineTest, LedsLitHalfTheTime) {
+  Run(Seconds(48));
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  Tick lit = analysis_.accounts.TimeFor(kSinkLed0, red);
+  EXPECT_NEAR(TicksToSeconds(lit), 24.0, 1.1);
+}
+
+TEST_F(BlinkPipelineTest, CpuTimePerActivityTracksToggleRate) {
+  Run(Seconds(48));
+  // Red toggles 2x as often as Green, 4x Blue: CPU shares follow.
+  Tick red = analysis_.accounts.TimeFor(
+      kSinkCpu, mote_->Label(BlinkApp::kActRed));
+  Tick green = analysis_.accounts.TimeFor(
+      kSinkCpu, mote_->Label(BlinkApp::kActGreen));
+  Tick blue = analysis_.accounts.TimeFor(
+      kSinkCpu, mote_->Label(BlinkApp::kActBlue));
+  EXPECT_GT(red, green);
+  EXPECT_GT(green, blue);
+  EXPECT_GT(blue, 0u);
+}
+
+TEST_F(BlinkPipelineTest, CpuMostlyIdle) {
+  Run(Seconds(48));
+  Tick idle = analysis_.accounts.TimeFor(
+      kSinkCpu, mote_->Label(kActIdle));
+  EXPECT_GT(TicksToSeconds(idle), 47.0);
+}
+
+TEST_F(BlinkPipelineTest, ToggleCountsMatchTimers) {
+  // Run just past the final deadlines so the boundary callbacks land.
+  Run(Seconds(48) + Milliseconds(1));
+  EXPECT_EQ(app_->toggles(0), 48u);
+  EXPECT_EQ(app_->toggles(1), 24u);
+  EXPECT_EQ(app_->toggles(2), 12u);
+}
+
+TEST_F(BlinkPipelineTest, ShortRunStillConsistent) {
+  Run(Seconds(9));  // Barely past one full LED cycle.
+  ASSERT_TRUE(analysis_.regression.ok) << analysis_.regression.error;
+  MicroJoules metered = mote_->meter().MeteredEnergy();
+  EXPECT_NEAR(analysis_.accounts.TotalEnergy(), metered, metered * 0.05);
+}
+
+// --- Bounce -----------------------------------------------------------------------
+
+TEST(BouncePipelineTest, CrossNodeAttribution) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config c1;
+  c1.id = 1;
+  Mote m1(&queue, &medium, c1);
+  Mote::Config c4;
+  c4.id = 4;
+  Mote m4(&queue, &medium, c4);
+  m1.radio().PowerOn([&] { m1.radio().StartListening(); });
+  m4.radio().PowerOn([&] { m4.radio().StartListening(); });
+  queue.RunFor(Milliseconds(5));
+
+  BounceApp::Config b1;
+  b1.peer = 4;
+  BounceApp a1(&m1, b1);
+  BounceApp::Config b4;
+  b4.peer = 1;
+  BounceApp a4(&m4, b4);
+  a1.Start(true);
+  a4.Start(true);
+  queue.RunFor(Seconds(5));
+
+  EXPECT_GE(a1.bounces(), 4u);
+  EXPECT_GE(a4.bounces(), 4u);
+
+  auto analysis = Analyze(m1);
+  act_t remote = MakeActivity(4, BounceApp::kActBounce);
+  act_t local = MakeActivity(1, BounceApp::kActBounce);
+  // Node 1 spends CPU time and LED time on node 4's activity.
+  EXPECT_GT(analysis.accounts.TimeFor(kSinkCpu, remote), 0u);
+  EXPECT_GT(analysis.accounts.TimeFor(kSinkLed1, remote), 0u);
+  // And the local packet's LED is never charged remotely.
+  EXPECT_EQ(analysis.accounts.TimeFor(kSinkLed2, remote), 0u);
+  EXPECT_GT(analysis.accounts.TimeFor(kSinkLed2, local), 0u);
+}
+
+TEST(BouncePipelineTest, SymmetricLogsOnBothNodes) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config c1;
+  c1.id = 1;
+  Mote m1(&queue, &medium, c1);
+  Mote::Config c4;
+  c4.id = 4;
+  Mote m4(&queue, &medium, c4);
+  m1.radio().PowerOn([&] { m1.radio().StartListening(); });
+  m4.radio().PowerOn([&] { m4.radio().StartListening(); });
+  queue.RunFor(Milliseconds(5));
+  BounceApp::Config b1;
+  b1.peer = 4;
+  BounceApp a1(&m1, b1);
+  BounceApp::Config b4;
+  b4.peer = 1;
+  BounceApp a4(&m4, b4);
+  a1.Start(true);
+  a4.Start(true);
+  queue.RunFor(Seconds(5));
+
+  auto an1 = Analyze(m1);
+  auto an4 = Analyze(m4);
+  // Node 4 charges work to node 1's activity, mirroring node 1.
+  EXPECT_GT(an4.accounts.TimeFor(kSinkCpu,
+                                 MakeActivity(1, BounceApp::kActBounce)),
+            0u);
+  EXPECT_GT(an1.accounts.TimeFor(kSinkCpu,
+                                 MakeActivity(4, BounceApp::kActBounce)),
+            0u);
+}
+
+// --- Sense-and-send ----------------------------------------------------------------
+
+TEST(SenseAndSendTest, SamplesFlowThroughSensorAndRadio) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config cfg;
+  cfg.id = 3;
+  Mote mote(&queue, &medium, cfg);
+  Mote::Config sink_cfg;
+  sink_cfg.id = 9;
+  Mote sink(&queue, &medium, sink_cfg);
+  sink.radio().PowerOn([&] { sink.radio().StartListening(); });
+  mote.radio().PowerOn(nullptr);
+  queue.RunFor(Milliseconds(5));
+
+  int received = 0;
+  sink.am().RegisterHandler(SenseAndSendApp::kAmType,
+                            [&](const Packet&) { ++received; });
+  SenseAndSendApp::Config app_cfg;
+  app_cfg.sink_node = 9;
+  app_cfg.sample_interval = Seconds(2);
+  SenseAndSendApp app(&mote, app_cfg);
+  app.Start();
+  queue.RunFor(Seconds(11));
+  EXPECT_EQ(app.samples_sent(), 5u);
+  EXPECT_EQ(received, 5);
+}
+
+TEST(SenseAndSendTest, ActivitiesPartitionSensorWork) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config cfg;
+  cfg.id = 3;
+  Mote mote(&queue, &medium, cfg);
+  mote.radio().PowerOn(nullptr);
+  queue.RunFor(Milliseconds(5));
+  SenseAndSendApp::Config app_cfg;
+  app_cfg.sample_interval = Seconds(2);
+  SenseAndSendApp app(&mote, app_cfg);
+  app.Start();
+  queue.RunFor(Seconds(11));
+
+  auto analysis = Analyze(mote);
+  act_t hum = mote.Label(SenseAndSendApp::kActHum);
+  act_t temp = mote.Label(SenseAndSendApp::kActTemp);
+  act_t pkt = mote.Label(SenseAndSendApp::kActPkt);
+  // The sensor device is painted by both sampling activities; the
+  // humidity conversion (75 ms) is shorter than temperature (210 ms).
+  Tick hum_time = analysis.accounts.TimeFor(kSinkSht11, hum);
+  Tick temp_time = analysis.accounts.TimeFor(kSinkSht11, temp);
+  EXPECT_GT(hum_time, 0u);
+  EXPECT_GT(temp_time, hum_time);
+  // The packet activity spends CPU (and radio) time but no sensor time.
+  EXPECT_GT(analysis.accounts.TimeFor(kSinkCpu, pkt), 0u);
+  EXPECT_EQ(analysis.accounts.TimeFor(kSinkSht11, pkt), 0u);
+}
+
+// --- Timer calibration ----------------------------------------------------------------
+
+TEST(TimerCalibrationTest, ProxyVisibleAtSixteenHertz) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  TimerCalibrationApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(4) + Milliseconds(10));
+  EXPECT_EQ(app.dco_fires(), 64u);
+
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  auto spans = BuildActivitySpans(events);
+  act_t proxy = mote.Label(kActIntTimerA1);
+  int proxy_spans = 0;
+  for (const auto& span : ActivitySpansFor(spans, kSinkCpu)) {
+    if (span.activity == proxy) {
+      ++proxy_spans;
+    }
+  }
+  EXPECT_EQ(proxy_spans, 64);
+}
+
+// --- Consistency property across run lengths --------------------------------------------
+
+class ConsistencySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencySweepTest, MeterAndAccountingAgree) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(GetParam()));
+  auto analysis = Analyze(mote);
+  if (!analysis.regression.ok) {
+    GTEST_SKIP() << analysis.regression.error;
+  }
+  MicroJoules metered = mote.meter().MeteredEnergy();
+  EXPECT_NEAR(analysis.accounts.TotalEnergy(), metered, metered * 0.05)
+      << "run length " << GetParam() << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(RunLengths, ConsistencySweepTest,
+                         ::testing::Values(9, 16, 24, 32, 48, 64));
+
+// --- Logging self-accounting -------------------------------------------------------------
+
+TEST(SelfAccountingTest, LoggingShareOfTotalCpuIsTiny) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(48));
+  double share = static_cast<double>(mote.logger().sync_cycles_spent()) /
+                 static_cast<double>(queue.Now());
+  // Paper: 0.12% of total CPU time.
+  EXPECT_LT(share, 0.005);
+}
+
+TEST(SelfAccountingTest, DisablingLoggingRemovesPerturbation) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.charge_logging = false;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(48));
+  EXPECT_GT(mote.logger().entries_logged(), 0u);
+  EXPECT_EQ(mote.cpu().idle_charged_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace quanto

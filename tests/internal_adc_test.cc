@@ -1,0 +1,123 @@
+#include "src/drivers/internal_adc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/mote.h"
+
+namespace quanto {
+namespace {
+
+class InternalAdcTest : public ::testing::Test {
+ protected:
+  InternalAdcTest() : cpu_(&queue_, CpuScheduler::Config{}) {}
+
+  act_t Label(act_id_t id) { return MakeActivity(cpu_.node_id(), id); }
+
+  EventQueue queue_;
+  CpuScheduler cpu_;
+};
+
+TEST_F(InternalAdcTest, ConversionCompletesWithPlausibleValue) {
+  InternalAdc adc(&queue_, &cpu_);
+  uint16_t value = 0;
+  bool done = false;
+  adc.ReadTemperature([&](uint16_t v) {
+    value = v;
+    done = true;
+  });
+  queue_.RunUntil(Seconds(1));
+  EXPECT_TRUE(done);
+  EXPECT_GT(value, 2000u);
+  EXPECT_LT(value, 4000u);
+  EXPECT_EQ(adc.conversions(), 1u);
+}
+
+TEST_F(InternalAdcTest, SinksWalkTheirStates) {
+  InternalAdc adc(&queue_, &cpu_);
+  struct Recorder : public PowerStateTrack {
+    void changed(res_id_t res, powerstate_t v) override {
+      events->push_back({res, v});
+    }
+    std::vector<std::pair<res_id_t, powerstate_t>>* events;
+  } recorder;
+  std::vector<std::pair<res_id_t, powerstate_t>> events;
+  recorder.events = &events;
+  adc.vref_power().AddListener(&recorder);
+  adc.adc_power().AddListener(&recorder);
+  adc.temp_power().AddListener(&recorder);
+  adc.ReadTemperature(nullptr);
+  queue_.RunUntil(Seconds(1));
+  // Vref on first (alone), then ADC + temp, then all off.
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0], (std::pair<res_id_t, powerstate_t>{kSinkVoltageRef,
+                                                          kVrefOn}));
+  EXPECT_EQ(events[1].first, kSinkAdc);
+  EXPECT_EQ(events[2].first, kSinkTempSensor);
+  EXPECT_EQ(events[5].second, kVrefOff);
+}
+
+TEST_F(InternalAdcTest, VrefSettlesBeforeConversion) {
+  InternalAdc adc(&queue_, &cpu_);
+  Tick done_at = 0;
+  adc.ReadTemperature([&](uint16_t) { done_at = queue_.Now(); });
+  queue_.RunUntil(Seconds(1));
+  InternalAdc::Config defaults;
+  EXPECT_GE(done_at, defaults.vref_settle + defaults.conversion_time);
+}
+
+TEST_F(InternalAdcTest, CompletionUnderRequesterActivity) {
+  InternalAdc adc(&queue_, &cpu_);
+  act_t observed = 0;
+  cpu_.activity().set(Label(6));
+  adc.ReadTemperature([&](uint16_t) { observed = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(observed, Label(6));
+}
+
+TEST_F(InternalAdcTest, RequestsSerialize) {
+  InternalAdc adc(&queue_, &cpu_);
+  std::vector<int> order;
+  adc.ReadTemperature([&](uint16_t) { order.push_back(1); });
+  adc.ReadTemperature([&](uint16_t) { order.push_back(2); });
+  EXPECT_TRUE(adc.busy());
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(adc.busy());
+}
+
+TEST(InternalAdcRegressionTest, RegressionSeparatesVrefFromAdc) {
+  // The settle phase (vref alone) gives the regression the leverage to
+  // split the reference's 500 uA from the ADC+temp draw.
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  mote.cpu().activity().set(mote.Label(1));
+  // Many conversions for statistical weight.
+  std::function<void()> loop = [&] {
+    mote.internal_adc().ReadTemperature([&](uint16_t) {
+      if (queue.Now() < Seconds(20)) {
+        loop();
+      }
+    });
+  };
+  loop();
+  mote.cpu().activity().set(mote.Label(kActIdle));
+  queue.RunFor(Seconds(21));
+
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  auto problem = BuildRegressionProblem(intervals);
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok) << result.error;
+  int vref = problem.ColumnIndex(kSinkVoltageRef, kVrefOn);
+  ASSERT_GE(vref, 0);
+  // 500 uA at 3 V = 1500 uW; quantization leaves a generous margin.
+  EXPECT_NEAR(result.coefficients[vref], 1500.0, 400.0);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,75 @@
+// Long-horizon properties: the 32-bit local time counter wraps after
+// 2^32 us (~71.6 minutes); the trace parser must unwrap it so analysis of
+// deployments longer than an hour stays correct.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/blink.h"
+#include "src/apps/mote.h"
+
+namespace quanto {
+namespace {
+
+TEST(LongRunTest, TimeCounterWrapsAndUnwraps) {
+  // 80 virtual minutes of Blink: one wrap of the 32-bit microsecond clock.
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = 1 << 21;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp app(&mote);
+  app.Start();
+  const Tick horizon = Seconds(80 * 60);
+  queue.RunFor(horizon);
+
+  auto raw = mote.logger().Trace();
+  ASSERT_GT(raw.size(), 1000u);
+  // The raw 32-bit stamps must actually wrap during this run...
+  bool wrapped = false;
+  for (size_t i = 1; i < raw.size(); ++i) {
+    wrapped = wrapped || raw[i].time < raw[i - 1].time;
+  }
+  ASSERT_TRUE(wrapped) << "test horizon did not cross the 32-bit boundary";
+
+  // ...and the parser must restore a strictly monotone 64-bit series
+  // covering the whole horizon.
+  auto events = TraceParser::Parse(raw);
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GE(events[i].time, events[i - 1].time);
+  }
+  EXPECT_GT(events.back().time, Tick{0xFFFFFFFF});
+  EXPECT_LE(events.back().time, horizon);
+  EXPECT_NEAR(TicksToSeconds(events.back().time),
+              TicksToSeconds(horizon), 2.0);
+}
+
+TEST(LongRunTest, AnalysisStaysConsistentAcrossTheWrap) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = 1 << 21;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(80 * 60));
+
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  // Intervals tile the horizon with no negative or overlapping spans.
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    ASSERT_LT(intervals[i].start, intervals[i].end);
+    if (i > 0) {
+      ASSERT_EQ(intervals[i].start, intervals[i - 1].end);
+    }
+  }
+  auto problem = BuildRegressionProblem(intervals);
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Regression still lands on the LED draws after 80 minutes.
+  int led0 = problem.ColumnIndex(kSinkLed0, kLedOn);
+  ASSERT_GE(led0, 0);
+  EXPECT_NEAR(result.coefficients[led0] / 3.0, 4300.0, 90.0);
+}
+
+}  // namespace
+}  // namespace quanto

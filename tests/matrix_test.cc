@@ -1,0 +1,156 @@
+#include "src/analysis/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 1) = 5.0;
+  m.at(1, 2) = 9.0;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 9.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNoOp) {
+  Matrix a(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = static_cast<double>(r * 3 + c);
+    }
+  }
+  Matrix i = Matrix::Identity(3);
+  Matrix ai = a * i;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(ai.at(r, c), a.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  auto y = a.MultiplyVector({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(SolveTest, TwoByTwoKnownSolution) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, RequiresPivoting) {
+  // Zero on the initial diagonal; partial pivoting must handle it.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularReturnsNullopt) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;  // Row 2 = 2 * row 1.
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveTest, MismatchedDimensionsReturnNullopt) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).has_value());
+  Matrix b(2, 2);
+  EXPECT_FALSE(SolveLinearSystem(b, {1.0}).has_value());
+  EXPECT_FALSE(SolveLinearSystem(Matrix(), {}).has_value());
+}
+
+// Property: solving A x = A x0 recovers x0 for random well-conditioned A.
+class SolveRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRoundTripTest, RecoverKnownSolution) {
+  int seed = GetParam();
+  size_t n = 5;
+  // Deterministic pseudo-random fill, diagonally dominant to keep the
+  // system well conditioned.
+  uint64_t state = static_cast<uint64_t>(seed) * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&state] {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return static_cast<double>((state * 0x2545F4914F6CDD1DULL) >> 11) /
+           9007199254740992.0;
+  };
+  Matrix a(n, n);
+  std::vector<double> x0(n);
+  for (size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      a.at(r, c) = next() - 0.5;
+      row_sum += std::abs(a.at(r, c));
+    }
+    a.at(r, r) += row_sum + 1.0;
+    x0[r] = 10.0 * (next() - 0.5);
+  }
+  auto b = a.MultiplyVector(x0);
+  auto solved = SolveLinearSystem(a, b);
+  ASSERT_TRUE(solved.has_value());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*solved)[i], x0[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveRoundTripTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace quanto

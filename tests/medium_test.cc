@@ -1,0 +1,218 @@
+// Tests of the shared 2.4 GHz medium and the 802.11 interferer.
+
+#include "src/net/medium.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/wifi_interferer.h"
+
+namespace quanto {
+namespace {
+
+class FakeRadio : public MediumClient {
+ public:
+  FakeRadio(node_id_t id, int channel) : id_(id), channel_(channel) {}
+
+  node_id_t NodeId() const override { return id_; }
+  int Channel() const override { return channel_; }
+  bool Listening() const override { return listening; }
+  void OnFrameStart(node_id_t sender) override { starts.push_back(sender); }
+  void OnFrameComplete(const Packet& packet) override {
+    completes.push_back(packet);
+  }
+
+  bool listening = true;
+  std::vector<node_id_t> starts;
+  std::vector<Packet> completes;
+
+ private:
+  node_id_t id_;
+  int channel_;
+};
+
+Packet MakePacket(node_id_t src, node_id_t dst) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.am_type = 1;
+  p.payload.assign(4, 0xAA);
+  return p;
+}
+
+TEST(MediumTest, DeliversToListeningPeerOnSameChannel) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 26);
+  medium.Register(&a);
+  medium.Register(&b);
+  EXPECT_TRUE(medium.BeginTransmit(1, 26, MakePacket(1, 2),
+                                   Microseconds(500)));
+  queue.RunUntil(Milliseconds(1));
+  ASSERT_EQ(b.completes.size(), 1u);
+  EXPECT_EQ(b.completes[0].src, 1);
+  // The sender does not hear itself.
+  EXPECT_TRUE(a.completes.empty());
+  EXPECT_EQ(medium.packets_delivered(), 1u);
+}
+
+TEST(MediumTest, FrameStartPrecedesCompletion) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 26);
+  medium.Register(&a);
+  medium.Register(&b);
+  medium.BeginTransmit(1, 26, MakePacket(1, 2), Microseconds(500));
+  // Start notification is synchronous with transmission begin.
+  EXPECT_EQ(b.starts.size(), 1u);
+  EXPECT_TRUE(b.completes.empty());
+  queue.RunUntil(Milliseconds(1));
+  EXPECT_EQ(b.completes.size(), 1u);
+}
+
+TEST(MediumTest, DifferentChannelHearsNothing) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 17);
+  medium.Register(&a);
+  medium.Register(&b);
+  medium.BeginTransmit(1, 26, MakePacket(1, 2), Microseconds(500));
+  queue.RunUntil(Milliseconds(1));
+  EXPECT_TRUE(b.completes.empty());
+  EXPECT_TRUE(b.starts.empty());
+}
+
+TEST(MediumTest, NonListeningRadioMissesFrame) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 26);
+  b.listening = false;
+  medium.Register(&a);
+  medium.Register(&b);
+  medium.BeginTransmit(1, 26, MakePacket(1, 2), Microseconds(500));
+  queue.RunUntil(Milliseconds(1));
+  EXPECT_TRUE(b.completes.empty());
+}
+
+TEST(MediumTest, SimultaneousTransmitCollides) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 26);
+  FakeRadio c(3, 26);
+  medium.Register(&a);
+  medium.Register(&b);
+  medium.Register(&c);
+  EXPECT_TRUE(medium.BeginTransmit(1, 26, MakePacket(1, 3),
+                                   Microseconds(500)));
+  EXPECT_FALSE(medium.BeginTransmit(2, 26, MakePacket(2, 3),
+                                    Microseconds(500)));
+  EXPECT_EQ(medium.collisions(), 1u);
+  queue.RunUntil(Milliseconds(1));
+  // Only the first frame got through.
+  EXPECT_EQ(c.completes.size(), 1u);
+}
+
+TEST(MediumTest, EnergyDetectedDuringTransmission) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  medium.Register(&a);
+  EXPECT_FALSE(medium.EnergyDetected(26));
+  medium.BeginTransmit(1, 26, MakePacket(1, 2), Microseconds(500));
+  EXPECT_TRUE(medium.EnergyDetected(26));
+  EXPECT_FALSE(medium.EnergyDetected(17));  // Other channel unaffected.
+  queue.RunUntil(Milliseconds(1));
+  EXPECT_FALSE(medium.EnergyDetected(26));
+}
+
+TEST(MediumTest, UnregisterStopsDelivery) {
+  EventQueue queue;
+  Medium medium(&queue);
+  FakeRadio a(1, 26);
+  FakeRadio b(2, 26);
+  medium.Register(&a);
+  medium.Register(&b);
+  medium.Unregister(&b);
+  medium.BeginTransmit(1, 26, MakePacket(1, 2), Microseconds(500));
+  queue.RunUntil(Milliseconds(1));
+  EXPECT_TRUE(b.completes.empty());
+}
+
+// --- Channel geometry ------------------------------------------------------------
+
+TEST(ChannelGeometryTest, CentreFrequencies) {
+  // Section 4.3's frequencies: 802.15.4 ch 17 = 2.453 GHz, ch 26 =
+  // 2.480 GHz, 802.11 ch 6 = 2.437 GHz.
+  EXPECT_DOUBLE_EQ(ZigbeeCentreMhz(17), 2435.0);
+  EXPECT_DOUBLE_EQ(ZigbeeCentreMhz(26), 2480.0);
+  EXPECT_DOUBLE_EQ(WifiCentreMhz(6), 2437.0);
+}
+
+TEST(WifiInterfererTest, OverlapMatchesPaperChannels) {
+  EventQueue queue;
+  WifiInterferer wifi(&queue);
+  // Channel 17 sits inside the Wi-Fi channel's occupied band; 26 is clear.
+  EXPECT_TRUE(wifi.Overlaps(17));
+  EXPECT_FALSE(wifi.Overlaps(26));
+}
+
+TEST(WifiInterfererTest, NoEnergyWhenStopped) {
+  EventQueue queue;
+  WifiInterferer wifi(&queue);
+  EXPECT_FALSE(wifi.EnergyOn(17, 0));
+  wifi.Start();
+  wifi.Stop();
+  queue.RunUntil(Seconds(1));
+  EXPECT_FALSE(wifi.EnergyOn(17, queue.Now()));
+}
+
+TEST(WifiInterfererTest, BusyFractionApproximatesConfiguredDuty) {
+  EventQueue queue;
+  WifiInterferer wifi(&queue);
+  wifi.Start();
+  // Sample the on/off process at 1 ms granularity over 60 s.
+  uint64_t busy = 0;
+  uint64_t total = 0;
+  for (Tick t = 0; t < Seconds(60); t += Milliseconds(1)) {
+    queue.RunUntil(t);
+    busy += wifi.EnergyOn(17, t) ? 1 : 0;
+    ++total;
+  }
+  double measured = static_cast<double>(busy) / static_cast<double>(total);
+  EXPECT_NEAR(measured, wifi.BusyFraction(), 0.05);
+  EXPECT_GT(wifi.bursts(), 100u);
+}
+
+TEST(WifiInterfererTest, NeverEnergizesNonOverlappingChannel) {
+  EventQueue queue;
+  WifiInterferer wifi(&queue);
+  wifi.Start();
+  for (Tick t = 0; t < Seconds(10); t += Milliseconds(10)) {
+    queue.RunUntil(t);
+    ASSERT_FALSE(wifi.EnergyOn(26, t));
+  }
+}
+
+TEST(WifiInterfererTest, MediumConsultsInterference) {
+  EventQueue queue;
+  Medium medium(&queue);
+  WifiInterferer wifi(&queue);
+  medium.AddInterference(&wifi);
+  wifi.Start();
+  // Run until the interferer bursts at least once, then check CCA.
+  bool saw_energy = false;
+  for (Tick t = 0; t < Seconds(5) && !saw_energy; t += Milliseconds(1)) {
+    queue.RunUntil(t);
+    saw_energy = medium.EnergyDetected(17);
+  }
+  EXPECT_TRUE(saw_energy);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,193 @@
+// Tests of the Mote composition root: the wiring the paper describes as
+// "the glue between the device drivers and OS", plus configuration knobs.
+
+#include "src/apps/mote.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/blink.h"
+#include "src/hw/sinks.h"
+
+namespace quanto {
+namespace {
+
+TEST(MoteTest, EveryPowerComponentFeedsTheLogger) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config cfg;
+  Mote mote(&queue, &medium, cfg);
+  // Exercise one device of each kind and check entries appear.
+  mote.led(0).On();
+  mote.radio().PowerOn(nullptr);
+  mote.sensor().Read(Sht11Sensor::Channel::kHumidity, nullptr);
+  mote.flash().Write(16, nullptr);
+  queue.RunFor(Seconds(1));
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  std::set<res_id_t> seen;
+  for (const auto& event : events) {
+    if (event.type == LogEntryType::kPowerState) {
+      seen.insert(event.res);
+    }
+  }
+  EXPECT_TRUE(seen.count(kSinkCpu) > 0);
+  EXPECT_TRUE(seen.count(kSinkLed0) > 0);
+  EXPECT_TRUE(seen.count(kSinkRadioRegulator) > 0);
+  EXPECT_TRUE(seen.count(kSinkSht11) > 0);
+  EXPECT_TRUE(seen.count(kSinkExternalFlash) > 0);
+}
+
+TEST(MoteTest, PowerModelTracksDeviceStates) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  double base = mote.power_model().TotalCurrent();
+  mote.led(2).On();
+  EXPECT_NEAR(mote.power_model().TotalCurrent(), base + 1700.0, 1e-9);
+}
+
+TEST(MoteTest, NoRadioWithoutMedium) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  EXPECT_FALSE(mote.has_radio());
+}
+
+TEST(MoteTest, OscilloscopeOptional) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.with_oscilloscope = false;
+  Mote mote(&queue, nullptr, cfg);
+  EXPECT_EQ(mote.scope(), nullptr);
+}
+
+TEST(MoteTest, LabelUsesNodeId) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.id = 42;
+  Mote mote(&queue, nullptr, cfg);
+  EXPECT_EQ(ActivityOrigin(mote.Label(7)), 42);
+  EXPECT_EQ(ActivityLocalId(mote.Label(7)), 7);
+}
+
+TEST(MoteTest, MeterIntegratesFromConstruction) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  queue.RunFor(Seconds(10));
+  // Baseline draw (CPU LPM3 + regulator off + flash power-down) for 10 s.
+  MicroJoules expected = (2.6 + 1.0 + 9.0) * 3.0 * 10.0;
+  EXPECT_NEAR(mote.meter().TrueEnergy(), expected, 1.0);
+}
+
+TEST(MoteTest, ContinuousDrainArchivesWithoutLoss) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = 64;  // Tiny buffer to force draining.
+  cfg.log_mode = QuantoLogger::Mode::kContinuous;
+  Mote mote(&queue, nullptr, cfg);
+  mote.EnableContinuousDrain(8);
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(30));
+  EXPECT_EQ(mote.logger().entries_dropped(), 0u);
+  EXPECT_GT(mote.logger().archived(), 0u);
+  EXPECT_EQ(mote.logger().Trace().size(), mote.logger().entries_logged());
+}
+
+TEST(MoteTest, RamModeDropsWhenTinyBufferFills) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = 16;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(30));
+  EXPECT_GT(mote.logger().entries_dropped(), 0u);
+  EXPECT_EQ(mote.logger().Trace().size(), 16u);
+}
+
+TEST(MoteTest, TruncatedLogStillAnalyzable) {
+  // Failure injection: a full buffer truncates the trace; the pipeline
+  // must still produce a consistent (shorter-horizon) analysis, not
+  // garbage.
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.log_capacity = 200;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(60));
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  ASSERT_FALSE(events.empty());
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  ASSERT_FALSE(intervals.empty());
+  // Intervals are well formed and within the truncated horizon.
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    ASSERT_LT(intervals[i].start, intervals[i].end);
+    if (i > 0) {
+      ASSERT_EQ(intervals[i].start, intervals[i - 1].end);
+    }
+  }
+  EXPECT_LE(events.back().time, Seconds(60));
+}
+
+TEST(MoteTest, GainErrorPropagatesToRegression) {
+  // A +15% meter gain error (the iCount spec bound) inflates estimated
+  // draws by ~15% but leaves structure intact.
+  auto run = [](double gain) {
+    EventQueue queue;
+    Mote::Config cfg;
+    cfg.meter.gain_error = gain;
+    Mote mote(&queue, nullptr, cfg);
+    BlinkApp app(&mote);
+    app.Start();
+    queue.RunFor(Seconds(24));
+    auto events = TraceParser::Parse(mote.logger().Trace());
+    auto intervals = ExtractPowerIntervals(events, 8.33);
+    auto problem = BuildRegressionProblem(intervals);
+    auto result = SolveQuanto(problem);
+    int col = problem.ColumnIndex(kSinkLed0, kLedOn);
+    return result.ok && col >= 0 ? result.coefficients[col] : 0.0;
+  };
+  double exact = run(0.0);
+  double high = run(0.15);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_NEAR(high / exact, 1.15, 0.03);
+}
+
+TEST(MoteTest, DriftViolatesConstantDrawAssumption) {
+  // Section 5.2: "The regression techniques ... assume the power draw of a
+  // hardware component is approximately constant in each power state. The
+  // regression may not work well when this assumption fails." Inject a
+  // drifting LED draw and observe the fit degrade vs the stable run.
+  auto run = [](bool drift) {
+    EventQueue queue;
+    Mote mote(&queue, nullptr, Mote::Config{});
+    BlinkApp app(&mote);
+    app.Start();
+    if (drift) {
+      // The LED's on-draw wanders +/-40% over the run.
+      for (int step = 1; step <= 24; ++step) {
+        queue.Schedule(Seconds(static_cast<uint64_t>(step * 2)),
+                       [&mote, step] {
+                         double factor =
+                             1.0 + 0.4 * ((step % 2 == 0) ? 1.0 : -1.0);
+                         mote.power_model().SetActualCurrent(
+                             kSinkLed0, kLedOn, 4300.0 * factor);
+                         mote.power_model().NotifyPowerChanged();
+                       });
+      }
+    }
+    queue.RunFor(Seconds(49));
+    auto events = TraceParser::Parse(mote.logger().Trace());
+    auto intervals = ExtractPowerIntervals(events, 8.33);
+    auto problem = BuildRegressionProblem(intervals);
+    auto result = SolveQuanto(problem);
+    return result.ok ? result.relative_error : 1.0;
+  };
+  double stable_err = run(false);
+  double drift_err = run(true);
+  EXPECT_GT(drift_err, stable_err * 2.0);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,146 @@
+// Multihop label propagation ("butterfly effect", Section 5.3): the
+// origin's activity must survive every forwarding hop with no per-hop
+// instrumentation, and each relay's work must land on the origin's books.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/mote.h"
+#include "src/apps/relay.h"
+
+namespace quanto {
+namespace {
+
+constexpr uint8_t kAm = 0x52;
+constexpr act_id_t kActFlood = 9;
+
+struct Chain {
+  explicit Chain(size_t hops) : medium(&queue) {
+    // Node ids 1..hops+1; node 1 originates, the last node is the sink.
+    for (size_t i = 0; i <= hops; ++i) {
+      Mote::Config cfg;
+      cfg.id = static_cast<node_id_t>(i + 1);
+      motes.push_back(std::make_unique<Mote>(&queue, &medium, cfg));
+    }
+    for (auto& m : motes) {
+      m->radio().PowerOn([mote = m.get()] { mote->radio().StartListening(); });
+    }
+    queue.RunFor(Milliseconds(5));
+    for (size_t i = 1; i < motes.size(); ++i) {
+      RelayApp::Config cfg;
+      cfg.am_type = kAm;
+      cfg.next_hop = i + 1 < motes.size()
+                         ? static_cast<node_id_t>(i + 2)
+                         : node_id_t{0};
+      relays.push_back(std::make_unique<RelayApp>(motes[i].get(), cfg));
+      relays.back()->Start();
+    }
+  }
+
+  void Inject(std::vector<uint8_t> payload) {
+    Mote& origin = *motes[0];
+    origin.cpu().activity().set(origin.Label(kActFlood));
+    Packet p;
+    p.dst = 2;
+    p.am_type = kAm;
+    p.payload = std::move(payload);
+    origin.am().Send(p);
+    origin.cpu().activity().set(origin.Label(kActIdle));
+  }
+
+  EventQueue queue;
+  Medium medium;
+  std::vector<std::unique_ptr<Mote>> motes;
+  std::vector<std::unique_ptr<RelayApp>> relays;
+};
+
+TEST(MultihopTest, PayloadSurvivesThreeHops) {
+  Chain chain(3);
+  chain.Inject({0xDE, 0xAD, 0xBE, 0xEF});
+  chain.queue.RunFor(Seconds(2));
+  RelayApp& sink = *chain.relays.back();
+  EXPECT_EQ(sink.delivered(), 1u);
+  EXPECT_EQ(sink.last_payload(),
+            (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(chain.relays[0]->forwarded(), 1u);
+  EXPECT_EQ(chain.relays[1]->forwarded(), 1u);
+}
+
+TEST(MultihopTest, EveryRelayChargesTheOrigin) {
+  Chain chain(3);
+  chain.Inject({1, 2, 3});
+  chain.queue.RunFor(Seconds(2));
+  act_t origin_act = MakeActivity(1, kActFlood);
+  // Each intermediate node spent CPU time under node 1's activity.
+  for (size_t i = 1; i < chain.motes.size(); ++i) {
+    auto events = TraceParser::Parse(chain.motes[i]->logger().Trace());
+    ActivityAccountant accountant(nullptr, {});
+    auto accounts = accountant.Run(events, chain.motes[i]->id());
+    EXPECT_GT(accounts.TimeFor(kSinkCpu, origin_act), 0u)
+        << "node " << i + 1 << " did not charge the origin";
+  }
+}
+
+TEST(MultihopTest, RelayTxPaintedWithOriginActivity) {
+  Chain chain(2);
+  chain.Inject({7});
+  chain.queue.RunFor(Seconds(2));
+  // The first relay's radio TX device carried the origin's label while
+  // forwarding (visible as an activity-set entry on its TX resource).
+  auto events = TraceParser::Parse(chain.motes[1]->logger().Trace());
+  bool painted = false;
+  for (const auto& event : events) {
+    if (event.type == LogEntryType::kActivitySet &&
+        event.res == kSinkRadioTx &&
+        event.payload == MakeActivity(1, kActFlood)) {
+      painted = true;
+    }
+  }
+  EXPECT_TRUE(painted);
+}
+
+TEST(MultihopTest, LongerChainsStillPropagate) {
+  Chain chain(5);
+  chain.Inject({42});
+  chain.queue.RunFor(Seconds(4));
+  EXPECT_EQ(chain.relays.back()->delivered(), 1u);
+  // The farthest node (id 6) charges node 1.
+  auto events = TraceParser::Parse(chain.motes.back()->logger().Trace());
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts =
+      accountant.Run(events, chain.motes.back()->id());
+  EXPECT_GT(accounts.TimeFor(kSinkCpu, MakeActivity(1, kActFlood)), 0u);
+}
+
+TEST(MultihopTest, TwoOriginsStayDistinct) {
+  // Two floods from different logical activities on node 1: the relays'
+  // books keep them apart.
+  Chain chain(2);
+  Mote& origin = *chain.motes[0];
+  origin.cpu().activity().set(origin.Label(3));
+  Packet p1;
+  p1.dst = 2;
+  p1.am_type = kAm;
+  p1.payload = {1};
+  origin.am().Send(p1);
+  origin.cpu().activity().set(origin.Label(4));
+  Packet p2 = p1;
+  p2.payload = {2};
+  origin.am().Send(p2);
+  origin.cpu().activity().set(origin.Label(kActIdle));
+  chain.queue.RunFor(Seconds(2));
+
+  auto events = TraceParser::Parse(chain.motes[1]->logger().Trace());
+  ActivityAccountant accountant(nullptr, {});
+  auto accounts = accountant.Run(events, chain.motes[1]->id());
+  EXPECT_GT(accounts.TimeFor(kSinkCpu, MakeActivity(1, 3)), 0u);
+  EXPECT_GT(accounts.TimeFor(kSinkCpu, MakeActivity(1, 4)), 0u);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,92 @@
+#include "src/analysis/network_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+ActivityAccounts MakeAccounts(
+    std::vector<std::tuple<res_id_t, act_t, MicroJoules>> entries,
+    MicroJoules constant = 0.0) {
+  ActivityAccounts accounts;
+  for (const auto& [res, act, e] : entries) {
+    accounts.energy[UsageKey{res, act}] = e;
+    accounts.time[UsageKey{res, act}] = 1;
+  }
+  accounts.constant_energy = constant;
+  return accounts;
+}
+
+TEST(NetworkLedgerTest, SumsActivityAcrossNodes) {
+  NetworkLedger ledger;
+  act_t act = MakeActivity(1, 5);
+  ledger.AddNode(1, MakeAccounts({{0, act, 100.0}}));
+  ledger.AddNode(2, MakeAccounts({{0, act, 30.0}}));
+  ledger.AddNode(3, MakeAccounts({{0, act, 20.0}}));
+  EXPECT_DOUBLE_EQ(ledger.EnergyByActivity(act), 150.0);
+}
+
+TEST(NetworkLedgerTest, RemoteEnergyExcludesOrigin) {
+  NetworkLedger ledger;
+  act_t act = MakeActivity(1, 5);
+  ledger.AddNode(1, MakeAccounts({{0, act, 100.0}}));
+  ledger.AddNode(2, MakeAccounts({{0, act, 30.0}}));
+  EXPECT_DOUBLE_EQ(ledger.RemoteEnergy(act), 30.0);
+}
+
+TEST(NetworkLedgerTest, EnergySpentForOthers) {
+  NetworkLedger ledger;
+  act_t foreign = MakeActivity(1, 5);
+  act_t own = MakeActivity(2, 3);
+  act_t idle = MakeActivity(2, kActIdle);
+  ledger.AddNode(2, MakeAccounts({{0, foreign, 40.0},
+                                  {0, own, 10.0},
+                                  {0, idle, 5.0}}));
+  // Only foreign, non-idle work counts.
+  EXPECT_DOUBLE_EQ(ledger.EnergySpentForOthers(2), 40.0);
+}
+
+TEST(NetworkLedgerTest, ForeignIdleNotCountedAsWorkForOthers) {
+  NetworkLedger ledger;
+  // An idle label from another node (shouldn't happen, but be safe).
+  act_t foreign_idle = MakeActivity(1, kActIdle);
+  ledger.AddNode(2, MakeAccounts({{0, foreign_idle, 40.0}}));
+  EXPECT_DOUBLE_EQ(ledger.EnergySpentForOthers(2), 0.0);
+}
+
+TEST(NetworkLedgerTest, ConstantEnergyAggregates) {
+  NetworkLedger ledger;
+  ledger.AddNode(1, MakeAccounts({}, 10.0));
+  ledger.AddNode(2, MakeAccounts({}, 15.0));
+  EXPECT_DOUBLE_EQ(ledger.TotalConstantEnergy(), 25.0);
+  EXPECT_DOUBLE_EQ(ledger.TotalEnergy(), 25.0);
+}
+
+TEST(NetworkLedgerTest, TotalsIncludeEverything) {
+  NetworkLedger ledger;
+  act_t a = MakeActivity(1, 1);
+  act_t b = MakeActivity(2, 1);
+  ledger.AddNode(1, MakeAccounts({{0, a, 100.0}}, 5.0));
+  ledger.AddNode(2, MakeAccounts({{0, b, 50.0}}, 5.0));
+  EXPECT_DOUBLE_EQ(ledger.TotalEnergy(), 160.0);
+  EXPECT_EQ(ledger.Activities().size(), 2u);
+  EXPECT_EQ(ledger.Nodes().size(), 2u);
+}
+
+TEST(NetworkLedgerTest, EnergyAtMatrixLookup) {
+  NetworkLedger ledger;
+  act_t a = MakeActivity(1, 1);
+  ledger.AddNode(2, MakeAccounts({{0, a, 33.0}}));
+  EXPECT_DOUBLE_EQ(ledger.EnergyAt(2, a), 33.0);
+  EXPECT_DOUBLE_EQ(ledger.EnergyAt(3, a), 0.0);
+}
+
+TEST(NetworkLedgerTest, MultipleResourcesOnOneNodeSum) {
+  NetworkLedger ledger;
+  act_t a = MakeActivity(1, 1);
+  ledger.AddNode(1, MakeAccounts({{0, a, 10.0}, {5, a, 20.0}}));
+  EXPECT_DOUBLE_EQ(ledger.EnergyByActivity(a), 30.0);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,150 @@
+// Tests of the online counter-based accounting extension and the
+// energy-budget governor (Section 5.3's enabled research).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/blink.h"
+#include "src/apps/mote.h"
+#include "src/core/energy_governor.h"
+#include "src/core/online_accounting.h"
+#include "src/hw/sinks.h"
+
+namespace quanto {
+namespace {
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  OnlineTest() {
+    mote_ = std::make_unique<Mote>(&queue_, nullptr, Mote::Config{});
+    online_ = &mote_->EnableOnlineAccounting(NominalPowerTable());
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Mote> mote_;
+  OnlineAccumulators* online_;
+};
+
+TEST_F(OnlineTest, TracksLedTimePerActivity) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(16));
+  online_->Flush();
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  Tick lit = online_->TimeFor(kSinkLed0, red);
+  // LED0 toggles every second: lit half the time.
+  EXPECT_NEAR(TicksToSeconds(lit), 8.0, 1.1);
+}
+
+TEST_F(OnlineTest, EnergyApproximatesOfflineAccounting) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(16));
+  online_->Flush();
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  // LED0 at 4.3 mA, 3 V, ~8 s lit: ~103 mJ.
+  MicroJoules e = online_->EnergyForActivity(red);
+  EXPECT_NEAR(e, 4300.0 * 3.0 * 8.0, 4300.0 * 3.0 * 1.5);
+}
+
+TEST_F(OnlineTest, TotalMeteredEnergyTracksMeter) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(16));
+  MicroJoules metered = mote_->meter().MeteredEnergy();
+  online_->Flush();
+  EXPECT_NEAR(online_->TotalMeteredEnergy(), metered, 10.0);
+}
+
+TEST_F(OnlineTest, MemoryIsSmallAndBounded) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(48));
+  online_->Flush();
+  // A 48 s Blink log costs ~581 * 12 = ~7 kB; the counters stay tiny and
+  // do not grow with run length.
+  size_t bytes_48s = online_->MemoryBytes();
+  EXPECT_LT(bytes_48s, 1500u);
+  queue_.RunFor(Seconds(48));
+  online_->Flush();
+  EXPECT_EQ(online_->MemoryBytes(), bytes_48s);
+}
+
+TEST_F(OnlineTest, UpdatesCheaperThanLogAppends) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(16));
+  EXPECT_GT(online_->updates(), 0u);
+  // Per-event cost below the logger's 102 cycles.
+  EXPECT_LT(online_->update_cycles_spent() / online_->updates(), 102u);
+}
+
+TEST_F(OnlineTest, ActivitiesEnumerateAppAndSystemLabels) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  queue_.RunFor(Seconds(16));
+  online_->Flush();
+  auto acts = online_->Activities();
+  bool saw_red = false;
+  for (act_t a : acts) {
+    saw_red = saw_red || a == mote_->Label(BlinkApp::kActRed);
+  }
+  EXPECT_TRUE(saw_red);
+}
+
+// --- Governor -------------------------------------------------------------------
+
+TEST_F(OnlineTest, GovernorAllowsWithinBudget) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  EnergyGovernor governor(online_, &mote_->node().clock());
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  governor.SetBudget(red, 1e9);
+  queue_.RunFor(Seconds(8));
+  online_->Flush();
+  EXPECT_TRUE(governor.MayRun(red));
+  EXPECT_GT(governor.Spent(red), 0.0);
+}
+
+TEST_F(OnlineTest, GovernorDeniesWhenExhausted) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  EnergyGovernor governor(online_, &mote_->node().clock());
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  governor.SetBudget(red, 100.0);  // 100 uJ: gone within a second.
+  queue_.RunFor(Seconds(8));
+  online_->Flush();
+  EXPECT_FALSE(governor.MayRun(red));
+  EXPECT_DOUBLE_EQ(governor.Remaining(red), 0.0);
+  EXPECT_GT(governor.denials(), 0u);
+}
+
+TEST_F(OnlineTest, UnbudgetedActivityIsUnlimited) {
+  EnergyGovernor governor(online_, &mote_->node().clock());
+  EXPECT_TRUE(governor.MayRun(mote_->Label(7)));
+}
+
+TEST_F(OnlineTest, EqualSharesSplitBudget) {
+  EnergyGovernor governor(online_, &mote_->node().clock());
+  act_t a = mote_->Label(1);
+  act_t b = mote_->Label(2);
+  governor.AssignEqualShares({a, b}, 1000.0);
+  EXPECT_DOUBLE_EQ(governor.Remaining(a), 500.0);
+  EXPECT_DOUBLE_EQ(governor.Remaining(b), 500.0);
+}
+
+TEST_F(OnlineTest, ResetEpochRestoresBudget) {
+  BlinkApp app(mote_.get());
+  app.Start();
+  EnergyGovernor governor(online_, &mote_->node().clock());
+  act_t red = mote_->Label(BlinkApp::kActRed);
+  governor.SetBudget(red, 1000.0);
+  queue_.RunFor(Seconds(8));
+  online_->Flush();
+  ASSERT_FALSE(governor.MayRun(red));
+  governor.ResetEpoch();
+  EXPECT_TRUE(governor.MayRun(red));
+  EXPECT_DOUBLE_EQ(governor.Spent(red), 0.0);
+}
+
+}  // namespace
+}  // namespace quanto

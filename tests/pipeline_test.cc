@@ -1,0 +1,122 @@
+// Tests of the collinearity-reducing regression pipeline (the Section 5.2
+// limitation handling).
+
+#include "src/analysis/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+// Helper: builds a problem from explicit columns and rows.
+RegressionProblem MakeProblem(
+    const std::vector<RegressionColumn>& columns,
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& energy, const std::vector<double>& seconds) {
+  RegressionProblem problem;
+  problem.columns = columns;
+  problem.x = Matrix(rows.size(), columns.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      problem.x.at(r, c) = rows[r][c];
+    }
+  }
+  problem.energy.assign(energy.begin(), energy.end());
+  problem.seconds = seconds;
+  problem.y.resize(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    problem.y[r] = seconds[r] > 0 ? energy[r] / seconds[r] : 0.0;
+  }
+  return problem;
+}
+
+RegressionColumn Col(SinkId sink, powerstate_t state) {
+  RegressionColumn c;
+  c.sink = sink;
+  c.state = state;
+  return c;
+}
+
+RegressionColumn Const() {
+  RegressionColumn c;
+  c.is_constant = true;
+  return c;
+}
+
+TEST(PipelineTest, CleanProblemSolvesDirectly) {
+  auto problem = MakeProblem(
+      {Col(kSinkLed0, kLedOn), Const()},
+      {{1, 1}, {0, 1}},
+      {1100.0 * 2, 100.0 * 2}, {2.0, 2.0});
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NEAR(result.coefficients[0], 1000.0, 1e-6);
+  EXPECT_NEAR(result.coefficients[1], 100.0, 1e-6);
+  EXPECT_TRUE(result.notes.empty());
+}
+
+TEST(PipelineTest, AlwaysOnColumnFoldsIntoConstant) {
+  // The radio regulator was on for the entire trace: indistinguishable
+  // from the constant.
+  auto problem = MakeProblem(
+      {Col(kSinkRadioRegulator, kRegulatorOn), Col(kSinkLed0, kLedOn),
+       Const()},
+      {{1, 1, 1}, {1, 0, 1}},
+      {1166.0 * 2, 166.0 * 2}, {2.0, 2.0});
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok) << result.error;
+  // Regulator coefficient reads 0; its 66 uW sits in the constant.
+  EXPECT_DOUBLE_EQ(result.coefficients[0], 0.0);
+  EXPECT_NEAR(result.coefficients[1], 1000.0, 1e-6);
+  EXPECT_NEAR(result.coefficients[2], 166.0, 1e-6);
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_NE(result.notes[0].find("folded into the constant"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, CoOccurringColumnsMergeOntoLargestNominalDraw) {
+  // Control path (426 uA nominal) and RX path (19.7 mA nominal) always
+  // switch together; the merged draw must land on the RX path.
+  auto problem = MakeProblem(
+      {Col(kSinkRadioControl, kRadioControlIdle),
+       Col(kSinkRadioRx, kRadioRxListen), Const()},
+      {{1, 1, 1}, {0, 0, 1}},
+      {60000.0 * 1, 100.0 * 1}, {1.0, 1.0});
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_DOUBLE_EQ(result.coefficients[0], 0.0);            // Control.
+  EXPECT_NEAR(result.coefficients[1], 59900.0, 1e-6);       // RX (merged).
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_NE(result.notes[0].find("co-occurs"), std::string::npos);
+  EXPECT_NE(result.notes[0].find("RadioRx"), std::string::npos);
+}
+
+TEST(PipelineTest, EmptyProblemFails) {
+  RegressionProblem problem;
+  auto result = SolveQuanto(problem);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(PipelineTest, UnderdeterminedAfterReductionFails) {
+  // One observation, two independent columns: still unsolvable.
+  auto problem = MakeProblem(
+      {Col(kSinkLed0, kLedOn), Col(kSinkLed1, kLedOn), Const()},
+      {{1, 0, 1}},
+      {100.0}, {1.0});
+  auto result = SolveQuanto(problem);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(PipelineTest, RelativeErrorReported) {
+  auto problem = MakeProblem(
+      {Col(kSinkLed0, kLedOn), Const()},
+      {{1, 1}, {0, 1}, {1, 1}, {0, 1}},
+      {1100.0, 100.0, 1120.0, 104.0}, {1.0, 1.0, 1.0, 1.0});
+  auto result = SolveQuanto(problem);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.relative_error, 0.0);
+  EXPECT_LT(result.relative_error, 0.05);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,146 @@
+// Randomized-workload property tests: a seeded "chaos app" drives LEDs,
+// the sensor, the internal ADC, the flash and timers in random
+// interleavings; system-wide invariants must hold for every seed.
+//
+// Invariants checked per seed:
+//  1. Conservation: the energy the accountant attributes (plus the
+//     constant term) matches what the meter measured.
+//  2. Interval structure: power intervals tile time with no overlap.
+//  3. Activity hygiene: when everything quiesces, the CPU is idle and no
+//     device is left painted with an application activity.
+//  4. Time conservation: each resource's per-activity times sum to the
+//     trace duration.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/apps/mote.h"
+#include "src/util/rng.h"
+
+namespace quanto {
+namespace {
+
+class ChaosApp {
+ public:
+  ChaosApp(Mote* mote, uint64_t seed) : mote_(mote), rng_(seed) {}
+
+  void Start(Tick horizon) {
+    horizon_ = horizon;
+    // Several independent logical activities, each on its own timer.
+    for (act_id_t id = 1; id <= 4; ++id) {
+      mote_->cpu().activity().set(mote_->Label(id));
+      Tick period = Milliseconds(rng_.UniformInt(120, 900));
+      mote_->timers().StartPeriodic(period, 35,
+                                    [this, id] { RandomOp(id); });
+    }
+    mote_->cpu().activity().set(mote_->Label(kActIdle));
+  }
+
+ private:
+  void RandomOp(act_id_t id) {
+    if (mote_->queue().Now() + Seconds(1) > horizon_) {
+      return;  // Wind down so in-flight operations finish by the horizon.
+    }
+    switch (rng_.UniformInt(0, 4)) {
+      case 0:
+        mote_->led(static_cast<int>(rng_.UniformInt(0, 2))).Toggle();
+        break;
+      case 1:
+        if (!mote_->sensor().busy()) {
+          mote_->sensor().Read(rng_.Chance(0.5)
+                                   ? Sht11Sensor::Channel::kHumidity
+                                   : Sht11Sensor::Channel::kTemperature,
+                               nullptr);
+        }
+        break;
+      case 2:
+        if (!mote_->flash().busy()) {
+          mote_->flash().Write(rng_.UniformInt(8, 512), nullptr);
+        }
+        break;
+      case 3:
+        if (!mote_->internal_adc().busy()) {
+          mote_->internal_adc().ReadTemperature(nullptr);
+        }
+        break;
+      case 4:
+        // A short burst of CPU-only work under this activity.
+        mote_->cpu().PostTaskWithActivity(
+            mote_->Label(id), rng_.UniformInt(50, 400), nullptr);
+        break;
+    }
+  }
+
+  Mote* mote_;
+  Rng rng_;
+  Tick horizon_ = 0;
+};
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, SystemInvariantsHold) {
+  EventQueue queue;
+  Mote mote(&queue, nullptr, Mote::Config{});
+  ChaosApp app(&mote, GetParam());
+  const Tick horizon = Seconds(30);
+  app.Start(horizon);
+  queue.RunFor(horizon + Seconds(2));  // Drain stragglers.
+
+  // 3. Quiescence: nothing pending, CPU idle under the Idle label. LEDs
+  // may legitimately be left on (a toggle is state, not an operation).
+  EXPECT_TRUE(mote.cpu().idle());
+  EXPECT_FALSE(mote.sensor().busy());
+  EXPECT_FALSE(mote.flash().busy());
+  EXPECT_FALSE(mote.internal_adc().busy());
+
+  auto events = TraceParser::Parse(mote.logger().Trace());
+  ASSERT_FALSE(events.empty());
+
+  // 2. Interval structure.
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    ASSERT_EQ(intervals[i].start, intervals[i - 1].end);
+    ASSERT_LT(intervals[i].start, intervals[i].end);
+  }
+
+  // 4. Time conservation per resource (true accounting replay).
+  ActivityAccountant time_accountant(nullptr, {});
+  auto time_accounts = time_accountant.Run(events, mote.id());
+  Tick duration = time_accounts.duration();
+  for (res_id_t res : time_accounts.Resources()) {
+    Tick sum = 0;
+    for (act_t act : time_accounts.Activities()) {
+      sum += time_accounts.TimeFor(res, act);
+    }
+    // Integer split rounding loses at most a tick per event.
+    ASSERT_NEAR(static_cast<double>(sum), static_cast<double>(duration),
+                static_cast<double>(events.size()))
+        << "resource " << int(res);
+  }
+
+  // 1. Conservation under the regression-based accountant, when the
+  // workload produced a solvable design.
+  auto problem = BuildRegressionProblem(intervals);
+  auto fit = SolveQuanto(problem);
+  if (fit.ok) {
+    ActivityAccountant::Options opts;
+    opts.constant_power = fit.coefficients[problem.columns.size() - 1];
+    ActivityAccountant accountant(
+        PowerFromRegression(problem, fit.coefficients), opts);
+    auto accounts = accountant.Run(events, mote.id());
+    MicroJoules metered = mote.meter().MeteredEnergy();
+    EXPECT_NEAR(accounts.TotalEnergy(), metered, metered * 0.08)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 7, 42, 99, 1234, 5678, 31337,
+                                           271828, 3141592, 1000003));
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,156 @@
+#include "src/analysis/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace quanto {
+namespace {
+
+// Builds the Blink design matrix: 8 rows of LED on/off combos + constant.
+Matrix BlinkDesign() {
+  Matrix x(8, 4);
+  for (int m = 0; m < 8; ++m) {
+    x.at(static_cast<size_t>(m), 0) = (m >> 0) & 1;
+    x.at(static_cast<size_t>(m), 1) = (m >> 1) & 1;
+    x.at(static_cast<size_t>(m), 2) = (m >> 2) & 1;
+    x.at(static_cast<size_t>(m), 3) = 1.0;
+  }
+  return x;
+}
+
+TEST(RegressionTest, ExactRecoveryFromNoiselessData) {
+  Matrix x = BlinkDesign();
+  std::vector<double> truth{2500.0, 2230.0, 830.0, 740.0};
+  std::vector<double> y = x.MultiplyVector(truth);
+  auto result = OrdinaryLeastSquares(x, y);
+  ASSERT_TRUE(result.ok);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(result.coefficients[i], truth[i], 1e-9);
+  }
+  EXPECT_NEAR(result.relative_error, 0.0, 1e-12);
+}
+
+TEST(RegressionTest, ResidualsAndFittedAreConsistent) {
+  Matrix x = BlinkDesign();
+  std::vector<double> y = x.MultiplyVector({1.0, 2.0, 3.0, 4.0});
+  y[0] += 0.5;  // Perturb one observation.
+  auto result = OrdinaryLeastSquares(x, y);
+  ASSERT_TRUE(result.ok);
+  for (size_t j = 0; j < y.size(); ++j) {
+    EXPECT_NEAR(result.residuals[j], y[j] - result.fitted[j], 1e-12);
+  }
+}
+
+TEST(RegressionTest, WeightsChangeTheEstimate) {
+  // Corrupt one observation and give it tiny weight: the estimate should
+  // track the clean data; with uniform weights it gets pulled.
+  Matrix x = BlinkDesign();
+  std::vector<double> truth{100.0, 50.0, 25.0, 10.0};
+  std::vector<double> y = x.MultiplyVector(truth);
+  y[7] += 500.0;  // Outlier on the all-on row.
+  std::vector<double> w(8, 1.0);
+  w[7] = 1e-6;
+  auto weighted = WeightedLeastSquares(x, y, w);
+  auto uniform = OrdinaryLeastSquares(x, y);
+  ASSERT_TRUE(weighted.ok);
+  ASSERT_TRUE(uniform.ok);
+  double err_weighted = RelativeError(truth, weighted.coefficients);
+  double err_uniform = RelativeError(truth, uniform.coefficients);
+  EXPECT_LT(err_weighted, 1e-4);
+  EXPECT_GT(err_uniform, 0.1);
+}
+
+TEST(RegressionTest, UnderdeterminedFails) {
+  Matrix x(2, 4);  // 2 observations, 4 unknowns.
+  x.at(0, 0) = 1;
+  x.at(1, 1) = 1;
+  auto result = OrdinaryLeastSquares(x, {1.0, 2.0});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("underdetermined"), std::string::npos);
+}
+
+TEST(RegressionTest, CollinearColumnsFail) {
+  // Section 5.2: states that always occur together cannot be separated.
+  Matrix x(4, 3);
+  for (size_t r = 0; r < 4; ++r) {
+    double v = r < 2 ? 1.0 : 0.0;
+    x.at(r, 0) = v;
+    x.at(r, 1) = v;  // Identical to column 0.
+    x.at(r, 2) = 1.0;
+  }
+  auto result = OrdinaryLeastSquares(x, {3.0, 3.0, 1.0, 1.0});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("singular"), std::string::npos);
+}
+
+TEST(RegressionTest, EmptyInputsFail) {
+  auto result = OrdinaryLeastSquares(Matrix(), {});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(RegressionTest, MismatchedWeightsFail) {
+  Matrix x = BlinkDesign();
+  std::vector<double> y(8, 1.0);
+  auto result = WeightedLeastSquares(x, y, {1.0});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(QuantoWeightsTest, SqrtOfEnergyTimesTime) {
+  auto w = QuantoWeights({4.0, 9.0}, {9.0, 4.0});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 6.0);
+  EXPECT_DOUBLE_EQ(w[1], 6.0);
+}
+
+TEST(QuantoWeightsTest, ZeroObservationGetsEpsilonNotZero) {
+  auto w = QuantoWeights({0.0}, {1.0});
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_LT(w[0], 1e-6);
+}
+
+TEST(QuantoWeightsTest, NegativeInputsClampedToZero) {
+  auto w = QuantoWeights({-5.0}, {3.0});
+  EXPECT_GT(w[0], 0.0);  // Epsilon, not NaN.
+  EXPECT_EQ(w[0], w[0]);  // Not NaN.
+}
+
+// Property sweep: random designs with full column rank recover truth under
+// small noise, and the WLS estimate respects the weights' emphasis.
+class RegressionRecoveryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegressionRecoveryTest, RecoversTruthWithinNoise) {
+  Rng rng(GetParam());
+  size_t cols = 4;
+  size_t rows = 12;
+  Matrix x(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c + 1 < cols; ++c) {
+      x.at(r, c) = rng.Chance(0.5) ? 1.0 : 0.0;
+    }
+    x.at(r, cols - 1) = 1.0;
+  }
+  std::vector<double> truth;
+  for (size_t c = 0; c < cols; ++c) {
+    truth.push_back(rng.Uniform(100.0, 20000.0));
+  }
+  std::vector<double> y = x.MultiplyVector(truth);
+  for (double& v : y) {
+    v += rng.Gaussian(0.0, 1.0);
+  }
+  auto result = OrdinaryLeastSquares(x, y);
+  if (!result.ok) {
+    // A random design can be rank deficient; that is a legitimate outcome,
+    // just not a recovery case.
+    GTEST_SKIP() << "rank-deficient random design";
+  }
+  EXPECT_LT(RelativeError(truth, result.coefficients), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegressionRecoveryTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,126 @@
+#include "src/util/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace quanto {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> buffer(4);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.full());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+}
+
+TEST(RingBufferTest, PushPopFifoOrder) {
+  RingBuffer<int> buffer(4);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(buffer.Push(i));
+  }
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(buffer.Pop(), i);
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBufferTest, DropNewestRejectsWhenFull) {
+  RingBuffer<int> buffer(2);
+  EXPECT_TRUE(buffer.Push(1));
+  EXPECT_TRUE(buffer.Push(2));
+  EXPECT_FALSE(buffer.Push(3));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  EXPECT_EQ(buffer.Pop(), 1);  // Oldest retained, newest dropped.
+  EXPECT_EQ(buffer.Pop(), 2);
+}
+
+TEST(RingBufferTest, OverwriteOldestKeepsNewest) {
+  RingBuffer<int> buffer(2, RingBuffer<int>::OverflowPolicy::kOverwriteOldest);
+  buffer.Push(1);
+  buffer.Push(2);
+  EXPECT_TRUE(buffer.Push(3));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  EXPECT_EQ(buffer.Pop(), 2);
+  EXPECT_EQ(buffer.Pop(), 3);
+}
+
+TEST(RingBufferTest, WrapsAroundStorage) {
+  RingBuffer<int> buffer(3);
+  buffer.Push(1);
+  buffer.Push(2);
+  EXPECT_EQ(buffer.Pop(), 1);
+  buffer.Push(3);
+  buffer.Push(4);  // Physically wraps.
+  EXPECT_EQ(buffer.Pop(), 2);
+  EXPECT_EQ(buffer.Pop(), 3);
+  EXPECT_EQ(buffer.Pop(), 4);
+}
+
+TEST(RingBufferTest, AtIndexesByAge) {
+  RingBuffer<int> buffer(3);
+  buffer.Push(10);
+  buffer.Push(20);
+  buffer.Pop();
+  buffer.Push(30);
+  EXPECT_EQ(buffer.At(0), 20);
+  EXPECT_EQ(buffer.At(1), 30);
+}
+
+TEST(RingBufferTest, SnapshotIsOldestFirst) {
+  RingBuffer<int> buffer(3);
+  buffer.Push(1);
+  buffer.Push(2);
+  buffer.Push(3);
+  auto snap = buffer.Snapshot();
+  EXPECT_EQ(snap, (std::vector<int>{1, 2, 3}));
+  // Snapshot does not consume.
+  EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(RingBufferTest, ClearResetsEverything) {
+  RingBuffer<int> buffer(2);
+  buffer.Push(1);
+  buffer.Push(2);
+  buffer.Push(3);  // Dropped.
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_TRUE(buffer.Push(9));
+  EXPECT_EQ(buffer.Front(), 9);
+}
+
+// Property sweep: heavy churn keeps size/ordering invariants at any
+// capacity.
+class RingBufferChurnTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RingBufferChurnTest, FifoInvariantUnderChurn) {
+  size_t capacity = GetParam();
+  RingBuffer<size_t> buffer(capacity);
+  size_t next_in = 0;
+  size_t next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    // Push a burst, pop half.
+    for (size_t i = 0; i < capacity / 2 + 1; ++i) {
+      if (buffer.Push(next_in)) {
+        ++next_in;
+      }
+      ASSERT_LE(buffer.size(), capacity);
+    }
+    while (buffer.size() > capacity / 2) {
+      ASSERT_EQ(buffer.Pop(), next_out);
+      ++next_out;
+    }
+  }
+  // Drain the tail: values must still be consecutive.
+  while (!buffer.empty()) {
+    ASSERT_EQ(buffer.Pop(), next_out);
+    ++next_out;
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferChurnTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 800));
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,124 @@
+#include "src/analysis/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/hw/sinks.h"
+
+namespace quanto {
+namespace {
+
+std::vector<LogEntry> SampleTrace() {
+  std::vector<LogEntry> entries;
+  for (uint32_t i = 0; i < 100; ++i) {
+    LogEntry e;
+    e.type = static_cast<uint8_t>(i % 5);
+    e.res_id = static_cast<res_id_t>(i % kSinkCount);
+    e.time = i * 1000;
+    e.icount = i * 7;
+    e.payload = static_cast<uint16_t>(0x0100 | i);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEveryField) {
+  auto original = SampleTrace();
+  auto blob = SerializeTrace(original);
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*restored)[i].type, original[i].type);
+    EXPECT_EQ((*restored)[i].res_id, original[i].res_id);
+    EXPECT_EQ((*restored)[i].time, original[i].time);
+    EXPECT_EQ((*restored)[i].icount, original[i].icount);
+    EXPECT_EQ((*restored)[i].payload, original[i].payload);
+  }
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  auto blob = SerializeTrace({});
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(TraceIoTest, BlobSizeIsHeaderPlusTwelvePerEntry) {
+  auto blob = SerializeTrace(SampleTrace());
+  EXPECT_EQ(blob.size(), 12u + 100 * 12);
+}
+
+TEST(TraceIoTest, BadMagicRejected) {
+  auto blob = SerializeTrace(SampleTrace());
+  blob[0] = 'X';
+  EXPECT_FALSE(DeserializeTrace(blob).has_value());
+}
+
+TEST(TraceIoTest, WrongVersionRejected) {
+  auto blob = SerializeTrace(SampleTrace());
+  blob[4] = 99;
+  EXPECT_FALSE(DeserializeTrace(blob).has_value());
+}
+
+TEST(TraceIoTest, TruncatedDumpRejected) {
+  auto blob = SerializeTrace(SampleTrace());
+  blob.resize(blob.size() - 5);
+  EXPECT_FALSE(DeserializeTrace(blob).has_value());
+}
+
+TEST(TraceIoTest, TooShortForHeaderRejected) {
+  EXPECT_FALSE(DeserializeTrace({'Q', 'N'}).has_value());
+  EXPECT_FALSE(DeserializeTrace({}).has_value());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/quanto_trace_test.qnto";
+  auto original = SampleTrace();
+  ASSERT_TRUE(WriteTraceFile(path, original));
+  auto restored = ReadTraceFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/path/trace.qnto").has_value());
+}
+
+TEST(TraceIoTest, TextDumpNamesKnownThings) {
+  ActivityRegistry registry;
+  registry.RegisterName(1, "Red");
+  LogEntry power{};
+  power.type = static_cast<uint8_t>(LogEntryType::kPowerState);
+  power.res_id = kSinkLed0;
+  power.time = 5;
+  power.payload = kLedOn;
+  LogEntry act{};
+  act.type = static_cast<uint8_t>(LogEntryType::kActivitySet);
+  act.res_id = kSinkCpu;
+  act.time = 9;
+  act.payload = MakeActivity(1, 1);
+  std::string text = DumpTraceText({power, act}, registry);
+  EXPECT_NE(text.find("POW LED0 ON"), std::string::npos);
+  EXPECT_NE(text.find("ACT CPU 1:Red"), std::string::npos);
+}
+
+TEST(TraceIoTest, TextDumpHandlesAllTypes) {
+  ActivityRegistry registry;
+  std::vector<LogEntry> entries;
+  for (int t = 0; t < 5; ++t) {
+    LogEntry e{};
+    e.type = static_cast<uint8_t>(t);
+    e.res_id = kSinkCpu;
+    entries.push_back(e);
+  }
+  std::string text = DumpTraceText(entries, registry);
+  for (const char* tag : {"POW", "ACT", "BND", "ADD", "REM"}) {
+    EXPECT_NE(text.find(tag), std::string::npos) << tag;
+  }
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,222 @@
+// Tests of the offline trace pipeline: counter unwrapping, interval
+// extraction and regression-problem construction.
+
+#include "src/analysis/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/activity.h"
+
+namespace quanto {
+namespace {
+
+LogEntry Entry(LogEntryType type, res_id_t res, uint32_t time,
+               uint32_t icount, uint16_t payload) {
+  LogEntry e;
+  e.type = static_cast<uint8_t>(type);
+  e.res_id = res;
+  e.time = time;
+  e.icount = icount;
+  e.payload = payload;
+  return e;
+}
+
+LogEntry Power(res_id_t res, uint32_t time, uint32_t icount,
+               powerstate_t state) {
+  return Entry(LogEntryType::kPowerState, res, time, icount, state);
+}
+
+// --- TraceParser ------------------------------------------------------------------
+
+TEST(TraceParserTest, PassesThroughMonotoneCounters) {
+  auto events = TraceParser::Parse({
+      Power(kSinkLed0, 100, 5, kLedOn),
+      Power(kSinkLed0, 200, 9, kLedOff),
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 100u);
+  EXPECT_EQ(events[1].icount, 9u);
+  EXPECT_EQ(events[1].res, kSinkLed0);
+}
+
+TEST(TraceParserTest, UnwrapsTimeWrap) {
+  auto events = TraceParser::Parse({
+      Power(0, 0xFFFFFF00u, 10, 1),
+      Power(0, 0x00000010u, 20, 0),  // Time wrapped.
+  });
+  EXPECT_EQ(events[1].time, (uint64_t{1} << 32) + 0x10);
+  EXPECT_GT(events[1].time, events[0].time);
+}
+
+TEST(TraceParserTest, UnwrapsIcountWrap) {
+  auto events = TraceParser::Parse({
+      Power(0, 100, 0xFFFFFFF0u, 1),
+      Power(0, 200, 0x00000005u, 0),  // Counter wrapped.
+  });
+  EXPECT_EQ(events[1].icount, (uint64_t{1} << 32) + 5);
+}
+
+TEST(TraceParserTest, MultipleWrapsAccumulate) {
+  std::vector<LogEntry> entries;
+  // Three wraps of the time counter.
+  uint32_t times[] = {0xF0000000u, 0x10000000u, 0xF0000000u, 0x10000000u,
+                      0xF0000000u, 0x10000000u};
+  for (uint32_t t : times) {
+    entries.push_back(Power(0, t, 0, 1));
+  }
+  auto events = TraceParser::Parse(entries);
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GT(events[i].time, events[i - 1].time);
+  }
+  EXPECT_EQ(events.back().time, (uint64_t{3} << 32) + 0x10000000u);
+}
+
+TEST(TraceParserTest, EmptyTraceYieldsNothing) {
+  EXPECT_TRUE(TraceParser::Parse({}).empty());
+}
+
+// --- ExtractPowerIntervals ----------------------------------------------------------
+
+TEST(IntervalTest, SingleToggleMakesOneInterval) {
+  auto events = TraceParser::Parse({
+      Power(kSinkLed0, 1000, 0, kLedOn),
+      Power(kSinkLed0, 3000, 6, kLedOff),
+  });
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].start, 1000u);
+  EXPECT_EQ(intervals[0].end, 3000u);
+  EXPECT_EQ(intervals[0].states[kSinkLed0], kLedOn);
+  EXPECT_NEAR(intervals[0].energy, 6 * 8.33, 1e-9);
+}
+
+TEST(IntervalTest, StatesBeforeFirstEventAreBaseline) {
+  auto events = TraceParser::Parse({
+      Power(kSinkLed0, 1000, 0, kLedOn),
+      Power(kSinkLed1, 2000, 3, kLedOn),
+  });
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].states[kSinkLed1], BaselineState(kSinkLed1));
+  EXPECT_EQ(intervals[0].states[kSinkCpu], BaselineState(kSinkCpu));
+}
+
+TEST(IntervalTest, SameTickChangesCollapseIntoNextInterval) {
+  auto events = TraceParser::Parse({
+      Power(kSinkLed0, 1000, 0, kLedOn),
+      Power(kSinkLed1, 1000, 0, kLedOn),  // Same tick.
+      Power(kSinkLed0, 2000, 4, kLedOff),
+  });
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].states[kSinkLed0], kLedOn);
+  EXPECT_EQ(intervals[0].states[kSinkLed1], kLedOn);
+}
+
+TEST(IntervalTest, ActivityEntriesDoNotSplitIntervals) {
+  auto events = TraceParser::Parse({
+      Power(kSinkLed0, 1000, 0, kLedOn),
+      Entry(LogEntryType::kActivitySet, kSinkCpu, 1500, 2,
+            MakeActivity(1, 1)),
+      Power(kSinkLed0, 2000, 4, kLedOff),
+  });
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].end - intervals[0].start, 1000u);
+}
+
+TEST(IntervalTest, SecondsHelper) {
+  PowerInterval interval;
+  interval.start = 0;
+  interval.end = Milliseconds(1500);
+  EXPECT_DOUBLE_EQ(interval.seconds(), 1.5);
+}
+
+// --- BuildRegressionProblem -----------------------------------------------------------
+
+std::vector<PowerInterval> TwoStateIntervals() {
+  // Alternating LED0 on/off, 1 s each, 5 cycles. Energy: on = 100 uJ,
+  // off = 10 uJ per second.
+  std::vector<PowerInterval> intervals;
+  for (int i = 0; i < 10; ++i) {
+    PowerInterval interval;
+    interval.start = Seconds(static_cast<uint64_t>(i));
+    interval.end = Seconds(static_cast<uint64_t>(i + 1));
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      interval.states[s] = BaselineState(static_cast<SinkId>(s));
+    }
+    bool on = (i % 2) == 0;
+    interval.states[kSinkLed0] = on ? kLedOn : kLedOff;
+    interval.energy = on ? 100.0 : 10.0;
+    intervals.push_back(interval);
+  }
+  return intervals;
+}
+
+TEST(RegressionProblemTest, GroupsByStateVector) {
+  auto problem = BuildRegressionProblem(TwoStateIntervals());
+  // Two groups (on/off), two columns (LED0/ON + constant).
+  EXPECT_EQ(problem.x.rows(), 2u);
+  ASSERT_EQ(problem.columns.size(), 2u);
+  EXPECT_FALSE(problem.columns[0].is_constant);
+  EXPECT_EQ(problem.columns[0].sink, kSinkLed0);
+  EXPECT_EQ(problem.columns[0].state, kLedOn);
+  EXPECT_TRUE(problem.columns[1].is_constant);
+}
+
+TEST(RegressionProblemTest, AggregatesEnergyAndTimePerGroup) {
+  auto problem = BuildRegressionProblem(TwoStateIntervals());
+  // Each group: 5 s total; on-group energy 500, off 50.
+  double total_energy = 0.0;
+  for (size_t j = 0; j < problem.energy.size(); ++j) {
+    EXPECT_DOUBLE_EQ(problem.seconds[j], 5.0);
+    total_energy += problem.energy[j];
+  }
+  EXPECT_DOUBLE_EQ(total_energy, 550.0);
+  EXPECT_EQ(problem.total_time, Seconds(10));
+}
+
+TEST(RegressionProblemTest, AveragePowerIsEnergyOverTime) {
+  auto problem = BuildRegressionProblem(TwoStateIntervals());
+  for (size_t j = 0; j < problem.y.size(); ++j) {
+    EXPECT_DOUBLE_EQ(problem.y[j],
+                     problem.energy[j] / problem.seconds[j]);
+  }
+}
+
+TEST(RegressionProblemTest, ShortGroupsDropped) {
+  auto intervals = TwoStateIntervals();
+  // Add a 10 us blip of LED2 on.
+  PowerInterval blip = intervals[0];
+  blip.start = Seconds(20);
+  blip.end = Seconds(20) + Microseconds(10);
+  blip.states[kSinkLed2] = kLedOn;
+  intervals.push_back(blip);
+  auto problem = BuildRegressionProblem(intervals, Microseconds(50));
+  // The blip's group is dropped, but its column was observed; the row
+  // count stays 2.
+  EXPECT_EQ(problem.x.rows(), 2u);
+}
+
+TEST(RegressionProblemTest, ColumnIndexLookup) {
+  auto problem = BuildRegressionProblem(TwoStateIntervals());
+  EXPECT_EQ(problem.ColumnIndex(kSinkLed0, kLedOn), 0);
+  EXPECT_EQ(problem.ColumnIndex(kSinkLed1, kLedOn), -1);
+}
+
+TEST(RegressionProblemTest, ColumnNamesAreReadable) {
+  auto problem = BuildRegressionProblem(TwoStateIntervals());
+  EXPECT_EQ(problem.columns[0].Name(), "LED0/ON");
+  EXPECT_EQ(problem.columns[1].Name(), "Const.");
+}
+
+TEST(RegressionProblemTest, EmptyIntervalsMakeEmptyProblem) {
+  auto problem = BuildRegressionProblem({});
+  EXPECT_EQ(problem.x.rows(), 0u);
+  // Only the constant column exists.
+  ASSERT_EQ(problem.columns.size(), 1u);
+  EXPECT_TRUE(problem.columns[0].is_constant);
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+namespace quanto {
+namespace {
+
+// --- Units -------------------------------------------------------------------
+
+TEST(UnitsTest, TickConversions) {
+  EXPECT_EQ(Seconds(2), 2'000'000u);
+  EXPECT_EQ(Milliseconds(3), 3'000u);
+  EXPECT_EQ(Microseconds(7), 7u);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(Seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(TicksToMilliseconds(Milliseconds(5)), 5.0);
+}
+
+TEST(UnitsTest, EnergyOverConstantDraw) {
+  // 1 mA at 3 V for 1 s = 3 mJ = 3000 uJ.
+  EXPECT_DOUBLE_EQ(EnergyOver(1000.0, 3.0, Seconds(1)), 3000.0);
+  // Zero time, zero energy.
+  EXPECT_DOUBLE_EQ(EnergyOver(1000.0, 3.0, 0), 0.0);
+}
+
+TEST(UnitsTest, PowerFromCurrent) {
+  EXPECT_DOUBLE_EQ(CurrentToPower(500.0, 3.0), 1500.0);  // uA*V = uW.
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformInt(5, 9);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(9);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3u);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_FALSE(rng.Chance(-1.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+  EXPECT_TRUE(rng.Chance(2.0));
+}
+
+TEST(RngTest, ChanceFrequencyApproximatesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Chance(0.3) ? 1 : 0;
+  }
+  double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanApproximatesParameter) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(50.0);
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Gaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+// --- RunningStats ---------------------------------------------------------------
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(2.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+// --- Vector metrics --------------------------------------------------------------
+
+TEST(StatsTest, NormOfKnownVector) {
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({}), 0.0);
+}
+
+TEST(StatsTest, RelativeErrorExactFitIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeError({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, RelativeErrorKnownCase) {
+  // ||(0,0,1)|| / ||(3,4,0)|| = 1/5.
+  EXPECT_DOUBLE_EQ(RelativeError({3, 4, 0}, {3, 4, -1}), 0.2);
+}
+
+TEST(StatsTest, RelativeErrorZeroReferenceIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeError({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, FitLineRecoversSlopeIntercept) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) {
+    y.push_back(2.77 * xi - 0.05);
+  }
+  LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.77, 1e-12);
+  EXPECT_NEAR(fit.intercept, -0.05, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(FitLine({1, 1, 1}, {1, 2, 3}).slope, 0.0);
+}
+
+// --- TextTable --------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedRows) {
+  TextTable t({"a", "bb"});
+  t.AddRow({"1", "22"});
+  t.AddRow({"333"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace quanto

@@ -1,0 +1,210 @@
+#include "src/sim/virtual_timers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+
+namespace quanto {
+namespace {
+
+class TimersTest : public ::testing::Test {
+ protected:
+  TimersTest()
+      : cpu_(&queue_, CpuScheduler::Config{}),
+        timers_(&queue_, &cpu_, VirtualTimers::Config{}) {}
+
+  act_t Label(act_id_t id) { return MakeActivity(cpu_.node_id(), id); }
+
+  EventQueue queue_;
+  CpuScheduler cpu_;
+  VirtualTimers timers_;
+};
+
+TEST_F(TimersTest, PeriodicFiresAtInterval) {
+  std::vector<Tick> fires;
+  timers_.StartPeriodic(Milliseconds(100), 20,
+                        [&] { fires.push_back(queue_.Now()); });
+  // The callback task runs a few microseconds after each deadline (IRQ +
+  // VTimer task chain), so run just past the last deadline.
+  queue_.RunUntil(Milliseconds(1000) + Milliseconds(1));
+  ASSERT_EQ(fires.size(), 10u);
+  // Callbacks run shortly after each deadline (IRQ + VTimer task chain).
+  for (size_t i = 0; i < fires.size(); ++i) {
+    Tick deadline = Milliseconds(100) * (i + 1);
+    EXPECT_GE(fires[i], deadline);
+    EXPECT_LT(fires[i], deadline + Milliseconds(1));
+  }
+}
+
+TEST_F(TimersTest, OneShotFiresOnce) {
+  int count = 0;
+  timers_.StartOneShot(Milliseconds(50), 20, [&] { ++count; });
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(timers_.armed_count(), 0u);
+}
+
+TEST_F(TimersTest, StopPreventsFiring) {
+  int count = 0;
+  auto id = timers_.StartPeriodic(Milliseconds(50), 20, [&] { ++count; });
+  queue_.RunUntil(Milliseconds(120));
+  EXPECT_EQ(count, 2);
+  timers_.Stop(id);
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(TimersTest, StopUnknownIdIsSafe) {
+  timers_.Stop(12345);
+  timers_.Stop(VirtualTimers::kInvalidTimer);
+  queue_.RunUntil(Milliseconds(10));
+}
+
+TEST_F(TimersTest, CallbackRunsUnderArmingActivity) {
+  // Section 3.3: the timer subsystem saves and restores the CPU activity
+  // of scheduled timers.
+  act_t observed = 0;
+  cpu_.activity().set(Label(7));
+  timers_.StartOneShot(Milliseconds(10), 20,
+                       [&] { observed = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(observed, Label(7));
+}
+
+TEST_F(TimersTest, IndependentTimersKeepIndependentLabels) {
+  act_t seen_a = 0;
+  act_t seen_b = 0;
+  cpu_.activity().set(Label(1));
+  timers_.StartPeriodic(Milliseconds(30), 20,
+                        [&] { seen_a = cpu_.activity().get(); });
+  cpu_.activity().set(Label(2));
+  timers_.StartPeriodic(Milliseconds(40), 20,
+                        [&] { seen_b = cpu_.activity().get(); });
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Milliseconds(200));
+  EXPECT_EQ(seen_a, Label(1));
+  EXPECT_EQ(seen_b, Label(2));
+}
+
+TEST_F(TimersTest, HardwareTimerDeviceTracksArmedActivities) {
+  cpu_.activity().set(Label(1));
+  auto a = timers_.StartPeriodic(Milliseconds(30), 20, [] {});
+  cpu_.activity().set(Label(2));
+  timers_.StartOneShot(Milliseconds(500), 20, [] {});
+  cpu_.activity().set(Label(kActIdle));
+  EXPECT_TRUE(timers_.hw_device().contains(Label(1)));
+  EXPECT_TRUE(timers_.hw_device().contains(Label(2)));
+  timers_.Stop(a);
+  EXPECT_FALSE(timers_.hw_device().contains(Label(1)));
+  // One-shot expiry removes its label too.
+  queue_.RunUntil(Seconds(1));
+  EXPECT_FALSE(timers_.hw_device().contains(Label(2)));
+}
+
+TEST_F(TimersTest, CompareInterruptUsesProxyActivity) {
+  // The compare IRQ runs under int_TIMER; the VTimer task under VTimer.
+  std::vector<act_t> labels;
+  struct Recorder : public SingleActivityTrack {
+    void changed(res_id_t, act_t a) override { seq->push_back(a); }
+    void bound(res_id_t, act_t) override {}
+    std::vector<act_t>* seq;
+  } recorder;
+  recorder.seq = &labels;
+  cpu_.activity().AddListener(&recorder);
+  cpu_.activity().set(Label(3));
+  timers_.StartOneShot(Milliseconds(10), 20, [] {});
+  cpu_.activity().set(Label(kActIdle));
+  queue_.RunUntil(Milliseconds(50));
+  bool saw_proxy = false;
+  bool saw_vtimer = false;
+  bool saw_app = false;
+  for (act_t a : labels) {
+    saw_proxy |= a == Label(kActIntTimer);
+    saw_vtimer |= a == Label(kActVTimer);
+    saw_app |= a == Label(3);
+  }
+  EXPECT_TRUE(saw_proxy);
+  EXPECT_TRUE(saw_vtimer);
+  EXPECT_TRUE(saw_app);
+}
+
+TEST_F(TimersTest, SimultaneousDeadlinesAllFire) {
+  // Blink's t=8s moment: three timers expire on the same compare.
+  std::vector<int> fired;
+  for (int i = 0; i < 3; ++i) {
+    timers_.StartOneShot(Milliseconds(100), 20, [&, i] { fired.push_back(i); });
+  }
+  queue_.RunUntil(Milliseconds(200));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(TimersTest, EarlierTimerReschedulesCompare) {
+  std::vector<int> order;
+  timers_.StartOneShot(Milliseconds(100), 20, [&] { order.push_back(1); });
+  timers_.StartOneShot(Milliseconds(50), 20, [&] { order.push_back(2); });
+  queue_.RunUntil(Milliseconds(200));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST_F(TimersTest, CallbackCanRestartTimers) {
+  int count = 0;
+  std::function<void()> restart = [&] {
+    ++count;
+    if (count < 3) {
+      timers_.StartOneShot(Milliseconds(10), 20, restart);
+    }
+  };
+  timers_.StartOneShot(Milliseconds(10), 20, restart);
+  queue_.RunUntil(Seconds(1));
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(TimersTest, FiresCounterCounts) {
+  timers_.StartPeriodic(Milliseconds(10), 5, [] {});
+  queue_.RunUntil(Milliseconds(100) + Milliseconds(1));
+  EXPECT_EQ(timers_.fires(), 10u);
+}
+
+TEST(PeriodicInterruptTest, FiresAtConfiguredRate) {
+  EventQueue queue;
+  CpuScheduler cpu(&queue, CpuScheduler::Config{});
+  PeriodicInterrupt dco(&queue, &cpu, kActIntTimerA1, Microseconds(62500),
+                        90);
+  dco.Start();
+  queue.RunUntil(Seconds(1));
+  EXPECT_EQ(dco.fires(), 16u);  // Figure 15: 16 Hz.
+  EXPECT_EQ(cpu.interrupts_run(), 16u);
+}
+
+TEST(PeriodicInterruptTest, StopHalts) {
+  EventQueue queue;
+  CpuScheduler cpu(&queue, CpuScheduler::Config{});
+  PeriodicInterrupt dco(&queue, &cpu, kActIntTimerA1, Milliseconds(10), 20);
+  dco.Start();
+  queue.RunUntil(Milliseconds(35));
+  dco.Stop();
+  uint64_t fired = dco.fires();
+  queue.RunUntil(Seconds(1));
+  EXPECT_EQ(dco.fires(), fired);
+  EXPECT_FALSE(dco.running());
+}
+
+TEST(PeriodicInterruptTest, DoubleStartIsIdempotent) {
+  EventQueue queue;
+  CpuScheduler cpu(&queue, CpuScheduler::Config{});
+  PeriodicInterrupt dco(&queue, &cpu, kActIntTimerA1, Milliseconds(100), 20);
+  dco.Start();
+  dco.Start();
+  queue.RunUntil(Seconds(1));
+  EXPECT_EQ(dco.fires(), 10u);
+}
+
+}  // namespace
+}  // namespace quanto

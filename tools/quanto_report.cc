@@ -1,0 +1,122 @@
+// quanto-report: analyse a dumped Quanto trace — the offline toolchain the
+// paper describes ("we processed Quanto data with a set of tools we wrote
+// to parse and visualize the logs", Section 4).
+//
+// Usage:
+//   quanto_report <trace.qnto> [--node N] [--dump]
+//
+// Prints the Section 2.5 regression (per-state draws + collinearity
+// notes), the Table 3-style time and energy breakdowns, and optionally the
+// raw decoded entries.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/analysis/accounting.h"
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/analysis/trace_io.h"
+#include "src/util/table.h"
+
+namespace quanto {
+namespace {
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: quanto_report <trace.qnto> [--node N] [--dump]\n";
+    return 2;
+  }
+  std::string path = argv[1];
+  node_id_t node = 1;
+  bool dump = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--node") == 0 && i + 1 < argc) {
+      node = static_cast<node_id_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    }
+  }
+
+  auto trace = ReadTraceFile(path);
+  if (!trace.has_value()) {
+    std::cerr << "cannot read trace from " << path
+              << " (missing, truncated or wrong format)\n";
+    return 1;
+  }
+  ActivityRegistry registry;
+  if (dump) {
+    std::cout << DumpTraceText(*trace, registry);
+  }
+
+  auto events = TraceParser::Parse(*trace);
+  if (events.empty()) {
+    std::cerr << "empty trace\n";
+    return 1;
+  }
+  std::cout << trace->size() << " entries spanning "
+            << TextTable::Num(
+                   TicksToSeconds(events.back().time - events.front().time),
+                   2)
+            << " s\n";
+
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  auto problem = BuildRegressionProblem(intervals);
+  auto fit = SolveQuanto(problem);
+  if (!fit.ok) {
+    std::cerr << "regression failed: " << fit.error << "\n";
+    return 1;
+  }
+
+  PrintSection(std::cout, "Estimated power draws (Section 2.5 regression)");
+  TextTable draws({"column", "I (mA)", "P (mW)"});
+  for (size_t i = 0; i < problem.columns.size(); ++i) {
+    draws.AddRow({problem.columns[i].Name(),
+                  TextTable::Num(fit.coefficients[i] / 3.0 / 1000.0, 3),
+                  TextTable::Num(fit.coefficients[i] / 1000.0, 3)});
+  }
+  draws.Print(std::cout);
+  for (const std::string& note : fit.notes) {
+    std::cout << "  note: " << note << "\n";
+  }
+  std::cout << "  relative error: "
+            << TextTable::Num(fit.relative_error * 100.0, 2) << "%\n";
+
+  ActivityAccountant::Options opts;
+  opts.constant_power = fit.coefficients[problem.columns.size() - 1];
+  ActivityAccountant accountant(
+      PowerFromRegression(problem, fit.coefficients), opts);
+  auto accounts = accountant.Run(events, node);
+
+  PrintSection(std::cout, "Energy by activity");
+  TextTable energy({"activity", "E (mJ)"});
+  for (act_t act : accounts.Activities()) {
+    MicroJoules e = accounts.EnergyByActivity(act);
+    if (e > 0.5) {
+      energy.AddRow({registry.Name(act), TextTable::Num(e / 1000.0, 3)});
+    }
+  }
+  energy.AddRow({"Const.",
+                 TextTable::Num(accounts.constant_energy / 1000.0, 3)});
+  energy.AddRow(
+      {"Total", TextTable::Num(accounts.TotalEnergy() / 1000.0, 3)});
+  energy.Print(std::cout);
+
+  PrintSection(std::cout, "Time by activity on the CPU");
+  TextTable cpu({"activity", "time (ms)"});
+  for (act_t act : accounts.Activities()) {
+    Tick t = accounts.TimeFor(0 /*kSinkCpu*/, act);
+    if (t > 0) {
+      cpu.AddRow({registry.Name(act),
+                  TextTable::Num(TicksToMilliseconds(t), 3)});
+    }
+  }
+  cpu.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace quanto
+
+int main(int argc, char** argv) { return quanto::Run(argc, argv); }

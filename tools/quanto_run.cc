@@ -1,0 +1,124 @@
+// quanto-run: execute an instrumented application on a simulated mote and
+// dump the raw Quanto trace to a file — the simulation counterpart of
+// collecting a mote's RAM buffer over the serial port.
+//
+// Usage:
+//   quanto_run <app> <seconds> <output.qnto>
+//   app: blink | bounce | sense | lpl17 | lpl26 | timercal
+//
+// Pair with quanto_report to analyse the dump.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/analysis/trace_io.h"
+#include "src/apps/blink.h"
+#include "src/apps/bounce.h"
+#include "src/apps/lpl_listener.h"
+#include "src/apps/mote.h"
+#include "src/apps/sense_and_send.h"
+#include "src/apps/timer_calibration.h"
+#include "src/net/wifi_interferer.h"
+
+namespace quanto {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: quanto_run <blink|bounce|sense|lpl17|lpl26|timercal> "
+               "<seconds> <output.qnto>\n";
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc != 4) {
+    return Usage();
+  }
+  std::string app_name = argv[1];
+  long seconds = std::atol(argv[2]);
+  std::string out_path = argv[3];
+  if (seconds <= 0 || seconds > 24 * 3600) {
+    std::cerr << "seconds must be in (0, 86400]\n";
+    return 2;
+  }
+  Tick horizon = Seconds(static_cast<uint64_t>(seconds));
+
+  EventQueue queue;
+  Medium medium(&queue);
+  WifiInterferer wifi(&queue);
+
+  Mote::Config cfg;
+  cfg.id = 1;
+  std::unique_ptr<Mote> peer;
+
+  // App-specific setup; objects must outlive the run.
+  std::unique_ptr<Mote> mote;
+  std::unique_ptr<BlinkApp> blink;
+  std::unique_ptr<BounceApp> bounce_a;
+  std::unique_ptr<BounceApp> bounce_b;
+  std::unique_ptr<SenseAndSendApp> sense;
+  std::unique_ptr<LplListenerApp> lpl;
+  std::unique_ptr<TimerCalibrationApp> timercal;
+
+  if (app_name == "blink") {
+    mote = std::make_unique<Mote>(&queue, nullptr, cfg);
+    blink = std::make_unique<BlinkApp>(mote.get());
+    blink->Start();
+  } else if (app_name == "bounce") {
+    mote = std::make_unique<Mote>(&queue, &medium, cfg);
+    Mote::Config peer_cfg;
+    peer_cfg.id = 4;
+    peer = std::make_unique<Mote>(&queue, &medium, peer_cfg);
+    mote->radio().PowerOn([&] { mote->radio().StartListening(); });
+    peer->radio().PowerOn([&] { peer->radio().StartListening(); });
+    queue.RunFor(Milliseconds(5));
+    BounceApp::Config ba;
+    ba.peer = 4;
+    bounce_a = std::make_unique<BounceApp>(mote.get(), ba);
+    BounceApp::Config bb;
+    bb.peer = 1;
+    bounce_b = std::make_unique<BounceApp>(peer.get(), bb);
+    bounce_a->Start(true);
+    bounce_b->Start(true);
+  } else if (app_name == "sense") {
+    mote = std::make_unique<Mote>(&queue, &medium, cfg);
+    mote->radio().PowerOn(nullptr);
+    queue.RunFor(Milliseconds(5));
+    SenseAndSendApp::Config sc;
+    sc.sink_node = 0;
+    sense = std::make_unique<SenseAndSendApp>(mote.get(), sc);
+    sense->Start();
+  } else if (app_name == "lpl17" || app_name == "lpl26") {
+    cfg.radio.channel = app_name == "lpl17" ? 17 : 26;
+    mote = std::make_unique<Mote>(&queue, &medium, cfg);
+    medium.AddInterference(&wifi);
+    wifi.Start();
+    lpl = std::make_unique<LplListenerApp>(mote.get());
+    lpl->Start();
+  } else if (app_name == "timercal") {
+    mote = std::make_unique<Mote>(&queue, nullptr, cfg);
+    timercal = std::make_unique<TimerCalibrationApp>(mote.get());
+    timercal->Start();
+  } else {
+    return Usage();
+  }
+
+  queue.RunFor(horizon);
+
+  auto trace = mote->logger().Trace();
+  if (!WriteTraceFile(out_path, trace)) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << trace.size() << " entries ("
+            << trace.size() * sizeof(LogEntry) << " bytes) to " << out_path
+            << " after " << seconds << " virtual seconds of " << app_name
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace quanto
+
+int main(int argc, char** argv) { return quanto::Run(argc, argv); }
