@@ -1,0 +1,296 @@
+// Engine scale benchmark: a 64-256 mote low-power-listening relay network.
+//
+// Unlike the figure/table benches, this one reproduces no paper number; it
+// measures how fast the discrete-event engine itself runs at many-node
+// scale, which bounds every other experiment. The workload is the heaviest
+// mix the repo models: a backbone of always-on relays floods packets hop by
+// hop while every other mote duty-cycles its radio with LPL (timer events,
+// radio power transitions, CCA sampling, task dispatch, per-sample logging).
+//
+// Reported per network size: executed events, wall-clock seconds and
+// simulated events per wall second. Results are also written as JSON
+// (default BENCH_scale.json, override with --json) so successive PRs can
+// track the engine's perf trajectory.
+//
+// Usage: bench_scale_multihop [--motes N] [--seconds S] [--json PATH]
+//   --motes    run only one network size instead of the 64/128/256 sweep
+//   --seconds  simulated seconds per run (default 10)
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/lpl_listener.h"
+#include "src/apps/mote.h"
+#include "src/apps/relay.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace quanto {
+namespace {
+
+constexpr uint8_t kAmFlood = 0x5C;
+
+struct RunResult {
+  size_t motes = 0;
+  double sim_seconds = 0.0;
+  uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  uint64_t packets_sent = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t lpl_wakeups = 0;
+  uint64_t entries_logged = 0;
+};
+
+RunResult RunNetwork(size_t n_motes, double sim_seconds) {
+  EventQueue queue;
+  Medium medium(&queue);
+
+  std::vector<std::unique_ptr<Mote>> motes;
+  std::vector<std::unique_ptr<RelayApp>> relays;
+  std::vector<std::unique_ptr<LplListenerApp>> listeners;
+  motes.reserve(n_motes);
+
+  // Every 4th mote is a backbone relay with an always-on radio; the rest
+  // duty-cycle with LPL. Bound per-mote log memory: the engine, not the
+  // archive, is under test.
+  auto is_backbone = [](size_t i) { return i % 4 == 0; };
+  for (size_t i = 0; i < n_motes; ++i) {
+    Mote::Config cfg;
+    cfg.id = static_cast<node_id_t>(i + 1);
+    cfg.log_capacity = 8192;
+    cfg.log_mode = QuantoLogger::Mode::kRamBuffer;
+    cfg.with_oscilloscope = false;
+    // Ground-truth probes no scale run ever reads: the pulse-train history
+    // grows with every power transition and would dominate memory here.
+    cfg.meter.record_history = false;
+    cfg.radio.seed = 0xCC2420 + i;
+    motes.push_back(std::make_unique<Mote>(&queue, &medium, cfg));
+  }
+  for (size_t i = 0; i < n_motes; ++i) {
+    Mote* mote = motes[i].get();
+    if (is_backbone(i)) {
+      mote->radio().PowerOn([mote] { mote->radio().StartListening(); });
+    }
+  }
+  queue.RunFor(Milliseconds(5));
+
+  // Backbone relays forward the flood to the next backbone mote.
+  for (size_t i = 0; i < n_motes; ++i) {
+    if (!is_backbone(i)) {
+      LplListenerApp::Config cfg;
+      cfg.lpl.check_interval = Milliseconds(100);
+      cfg.lpl.cca_listen_time = Milliseconds(9);
+      cfg.lpl.detection_timeout = Milliseconds(50);
+      listeners.push_back(
+          std::make_unique<LplListenerApp>(motes[i].get(), cfg));
+      listeners.back()->Start();
+      continue;
+    }
+    RelayApp::Config cfg;
+    cfg.am_type = kAmFlood;
+    size_t next = i + 4;
+    cfg.next_hop =
+        next < n_motes ? static_cast<node_id_t>(next + 1) : node_id_t{0};
+    relays.push_back(std::make_unique<RelayApp>(motes[i].get(), cfg));
+    relays.back()->Start();
+  }
+
+  // The first backbone mote originates a flood packet every 250 ms.
+  Mote& origin = *motes[0];
+  constexpr act_id_t kActFlood = 9;
+  origin.timers().StartPeriodic(Milliseconds(250), 80, [&origin] {
+    origin.cpu().activity().set(origin.Label(kActFlood));
+    Packet p;
+    p.dst = 5;
+    p.am_type = kAmFlood;
+    p.payload = {0xF1, 0x00, 0x0D};
+    origin.am().Send(p);
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  queue.RunFor(Seconds(sim_seconds));
+  auto stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.motes = n_motes;
+  result.sim_seconds = sim_seconds;
+  result.events = queue.executed_count();
+  result.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.events_per_sec =
+      result.wall_seconds > 0 ? result.events / result.wall_seconds : 0.0;
+  result.packets_sent = medium.packets_sent();
+  result.packets_delivered = medium.packets_delivered();
+  for (auto& l : listeners) {
+    result.lpl_wakeups += l->lpl().wakeups();
+  }
+  for (auto& m : motes) {
+    result.entries_logged += m->logger().entries_logged();
+  }
+  return result;
+}
+
+// Engine-core churn: the scheduler isolated from mote payload. Keeps a
+// ~128-mote-sized pending set alive with the delay mix the network run
+// exhibits (mostly short frame-completion/SPI delays, a tail of long LPL
+// timers, a share of due-now dispatches, ~12% cancellations) and measures
+// raw executed events per wall second. This is the number the event-engine
+// rewrite targets directly; the network runs above measure it diluted by
+// per-event instrumentation (logging, metering, power tracking).
+struct CoreChurn {
+  EventQueue queue;
+  static constexpr size_t kIdRing = 512;
+  static constexpr size_t kMix = 4096;
+  EventQueue::EventId ids[kIdRing] = {};
+  size_t next_id_slot = 0;
+  // Precomputed delay/victim mix so the measured loop is queue work, not
+  // random-number generation (identical sequence for every engine).
+  Tick delays[kMix];
+  uint16_t victims[kMix];
+  size_t mix_pos = 0;
+
+  CoreChurn() {
+    Rng rng{0xBEEF5EED};
+    for (size_t i = 0; i < kMix; ++i) {
+      uint64_t pick = rng.UniformInt(0, 99);
+      if (pick < 15) {
+        delays[i] = 0;  // Due-now task dispatch.
+      } else if (pick < 85) {
+        delays[i] = rng.UniformInt(20, 200);  // Frame completion / SPI.
+      } else {
+        delays[i] = rng.UniformInt(50000, 200000);  // LPL check timer.
+      }
+      victims[i] = static_cast<uint16_t>(rng.UniformInt(0, kIdRing - 1));
+    }
+  }
+
+  void SpawnOne() {
+    Tick delay = delays[mix_pos++ & (kMix - 1)];
+    EventQueue::EventId id =
+        queue.ScheduleAfter(delay, [this] { OnFire(); });
+    ids[next_id_slot++ & (kIdRing - 1)] = id;
+  }
+
+  void OnFire() {
+    SpawnOne();  // Replace ourselves: stable population.
+    if ((mix_pos & 7) == 0) {
+      // Cancel a random recent event (may already have fired); replace it
+      // when the cancellation actually removed a pending one.
+      EventQueue::EventId victim = ids[victims[mix_pos & (kMix - 1)]];
+      if (queue.Cancel(victim)) {
+        SpawnOne();
+      }
+    }
+  }
+
+  RunResult Run(uint64_t target_events) {
+    for (int i = 0; i < 300; ++i) {
+      SpawnOne();
+    }
+    auto start = std::chrono::steady_clock::now();
+    while (queue.executed_count() < target_events) {
+      queue.RunFor(100000);
+    }
+    auto stop = std::chrono::steady_clock::now();
+    RunResult result;
+    result.events = queue.executed_count();
+    result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+    result.events_per_sec =
+        result.wall_seconds > 0 ? result.events / result.wall_seconds : 0.0;
+    return result;
+  }
+};
+
+void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
+               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"benchmark\": \"scale_multihop\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"motes\": " << r.motes
+        << ", \"sim_seconds\": " << r.sim_seconds
+        << ", \"events\": " << r.events
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"events_per_sec\": " << static_cast<uint64_t>(r.events_per_sec)
+        << ", \"packets_sent\": " << r.packets_sent
+        << ", \"packets_delivered\": " << r.packets_delivered
+        << ", \"lpl_wakeups\": " << r.lpl_wakeups
+        << ", \"entries_logged\": " << r.entries_logged << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"engine_core\": {\"events\": " << core.events
+      << ", \"wall_seconds\": " << core.wall_seconds
+      << ", \"events_per_sec\": "
+      << static_cast<uint64_t>(core.events_per_sec) << "},\n";
+  // Reference numbers recorded once against the pre-overhaul seed engine
+  // (same workload, same build flags, 60 s trials, median of 5); see
+  // docs/PERFORMANCE.md for the measurement protocol.
+  out << "  \"seed_engine_baseline\": {\"motes\": 128, "
+         "\"network_events_per_sec_median\": 2837350, "
+         "\"engine_core_events_per_sec_median\": 5366662}\n";
+  out << "}\n";
+  std::cout << "  wrote " << path << "\n";
+}
+
+int Run(int argc, char** argv) {
+  std::vector<size_t> sizes = {64, 128, 256};
+  double sim_seconds = 10.0;
+  std::string json_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--motes") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 2) {
+        std::cerr << "--motes must be >= 2 (a relay network needs an "
+                     "origin and a peer)\n";
+        return 2;
+      }
+      sizes = {static_cast<size_t>(n)};
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      sim_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  PrintSection(std::cout, "Engine scale: LPL relay network");
+  TextTable t({"motes", "sim s", "events", "wall s", "events/s", "delivered",
+               "wakeups"});
+  std::vector<RunResult> runs;
+  for (size_t n : sizes) {
+    RunResult r = RunNetwork(n, sim_seconds);
+    runs.push_back(r);
+    t.AddRow({std::to_string(r.motes), TextTable::Num(r.sim_seconds, 1),
+              std::to_string(r.events), TextTable::Num(r.wall_seconds, 3),
+              std::to_string(static_cast<uint64_t>(r.events_per_sec)),
+              std::to_string(r.packets_delivered),
+              std::to_string(r.lpl_wakeups)});
+  }
+  t.Print(std::cout);
+
+  PrintSection(std::cout, "Engine core churn (scheduler isolated)");
+  CoreChurn churn;
+  RunResult core = churn.Run(5000000);
+  std::cout << "  " << core.events << " events in "
+            << TextTable::Num(core.wall_seconds, 3) << " s = "
+            << static_cast<uint64_t>(core.events_per_sec) << " events/s\n";
+
+  WriteJson(runs, core, json_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace quanto
+
+int main(int argc, char** argv) { return quanto::Run(argc, argv); }

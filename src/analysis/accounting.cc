@@ -228,11 +228,15 @@ ActivityAccounts ActivityAccountant::Run(const std::vector<TraceEvent>& events,
 
 PowerFn PowerFromRegression(const RegressionProblem& problem,
                             const std::vector<double>& coefficients) {
+  return PowerFromColumns(problem.columns, coefficients);
+}
+
+PowerFn PowerFromColumns(const std::vector<RegressionColumn>& columns,
+                         const std::vector<double>& coefficients) {
   // Copy the needed mapping so the closure owns its data.
   std::map<std::pair<uint8_t, powerstate_t>, double> table;
-  for (size_t i = 0; i < problem.columns.size() && i < coefficients.size();
-       ++i) {
-    const RegressionColumn& col = problem.columns[i];
+  for (size_t i = 0; i < columns.size() && i < coefficients.size(); ++i) {
+    const RegressionColumn& col = columns[i];
     if (!col.is_constant) {
       table[{static_cast<uint8_t>(col.sink), col.state}] = coefficients[i];
     }

@@ -102,6 +102,10 @@ class ActivityAccountant {
 PowerFn PowerFromRegression(const RegressionProblem& problem,
                             const std::vector<double>& coefficients);
 
+// Same, from a bare column layout (e.g. the streaming pipeline's).
+PowerFn PowerFromColumns(const std::vector<RegressionColumn>& columns,
+                         const std::vector<double>& coefficients);
+
 }  // namespace quanto
 
 #endif  // QUANTO_SRC_ANALYSIS_ACCOUNTING_H_

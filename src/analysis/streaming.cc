@@ -1,0 +1,280 @@
+#include "src/analysis/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "src/analysis/matrix.h"
+#include "src/analysis/regression.h"
+#include "src/hw/sinks.h"
+#include "src/util/stats.h"
+
+namespace quanto {
+
+StreamingPipeline::StreamingPipeline(const Options& options)
+    : options_(options) {
+  for (size_t s = 0; s < kSinkCount; ++s) {
+    states_[s] = BaselineState(static_cast<SinkId>(s));
+  }
+}
+
+void StreamingPipeline::Add(const LogEntry& entry) {
+  // Stage 1: unwrap the free-running 32-bit counters. Entries are
+  // chronological; a smaller value means the counter wrapped.
+  if (!first_entry_) {
+    if (entry.time < prev_time32_) {
+      time_high_ += uint64_t{1} << 32;
+    }
+    if (entry.icount < prev_icount32_) {
+      icount_high_ += uint64_t{1} << 32;
+    }
+  }
+  prev_time32_ = entry.time;
+  prev_icount32_ = entry.icount;
+  Tick time = time_high_ | entry.time;
+  uint64_t icount = icount_high_ | entry.icount;
+  if (first_entry_) {
+    first_time_ = time;
+  }
+  first_entry_ = false;
+  last_time_ = time;
+  ++entries_seen_;
+
+  // Stage 2 + 3: only power-state entries move the interval state machine;
+  // a closed interval is folded straight into its group aggregate.
+  if (EntryType(entry) != LogEntryType::kPowerState) {
+    return;
+  }
+  if (!open_) {
+    // The first power entry opens the observation window.
+    open_ = true;
+    open_time_ = time;
+    open_icount_ = icount;
+    if (entry.res_id < kSinkCount) {
+      states_[entry.res_id] = entry.payload;
+    }
+    return;
+  }
+  if (time > open_time_) {
+    Tick length = time - open_time_;
+    MicroJoules energy = static_cast<double>(icount - open_icount_) *
+                         options_.energy_per_pulse;
+    Group& group = groups_[states_];
+    group.time += length;
+    group.energy += energy;
+    total_time_ += length;
+    total_energy_ += energy;
+    ++intervals_seen_;
+    open_time_ = time;
+    open_icount_ = icount;
+  }
+  // Same-time changes collapse into the next interval's state vector.
+  if (entry.res_id < kSinkCount) {
+    states_[entry.res_id] = entry.payload;
+  }
+}
+
+PipelineResult StreamingPipeline::Solve() const {
+  PipelineResult result;
+  columns_.clear();
+
+  // Column discovery: the observed non-baseline (sink, state) pairs in
+  // group order, exactly as BuildRegressionProblem does, so the layout —
+  // and therefore every downstream float — matches the batch path.
+  std::map<std::pair<uint8_t, powerstate_t>, size_t> column_of;
+  for (const auto& [states, group] : groups_) {
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      SinkId sink = static_cast<SinkId>(s);
+      powerstate_t st = states[s];
+      if (st != BaselineState(sink)) {
+        auto key = std::make_pair(static_cast<uint8_t>(s), st);
+        if (column_of.find(key) == column_of.end()) {
+          column_of[key] = columns_.size();
+          RegressionColumn col;
+          col.sink = sink;
+          col.state = st;
+          columns_.push_back(col);
+        }
+      }
+    }
+  }
+  RegressionColumn constant;
+  constant.is_constant = true;
+  size_t const_idx = columns_.size();
+  columns_.push_back(constant);
+  size_t n = columns_.size();
+
+  // Kept groups (enough accumulated time to trust) as sparse indicator
+  // rows plus the per-observation y, E, t.
+  std::vector<std::vector<size_t>> rows;  // Sorted non-constant support.
+  std::vector<double> y;
+  std::vector<MicroJoules> energy;
+  std::vector<double> seconds;
+  for (const auto& [states, group] : groups_) {
+    if (group.time < options_.min_group_time) {
+      continue;
+    }
+    std::vector<size_t> support;
+    for (size_t s = 0; s < kSinkCount; ++s) {
+      SinkId sink = static_cast<SinkId>(s);
+      powerstate_t st = states[s];
+      if (st != BaselineState(sink)) {
+        auto it = column_of.find(std::make_pair(static_cast<uint8_t>(s), st));
+        if (it != column_of.end()) {
+          support.push_back(it->second);
+        }
+      }
+    }
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()), support.end());
+    rows.push_back(std::move(support));
+    double secs = TicksToSeconds(group.time);
+    seconds.push_back(secs);
+    energy.push_back(group.energy);
+    y.push_back(secs > 0.0 ? group.energy / secs : 0.0);  // uJ/s == uW.
+  }
+  size_t m = rows.size();
+  if (m == 0 || n == 0) {
+    result.error = "empty problem";
+    return result;
+  }
+
+  // Collinearity reduction (same notes, same order as SolveQuanto):
+  // signature of a column = the set of observations it is active in.
+  std::vector<std::string> signature(n, std::string(m, '0'));
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c : rows[r]) {
+      signature[c][r] = '1';
+    }
+  }
+  std::string ones(m, '1');
+  std::map<std::string, std::vector<size_t>> by_sig;
+  for (size_t c = 0; c < n; ++c) {
+    if (c == const_idx) {
+      continue;
+    }
+    if (signature[c] == ones) {
+      result.notes.push_back(columns_[c].Name() +
+                             ": always on; folded into the constant term");
+      continue;
+    }
+    by_sig[signature[c]].push_back(c);
+  }
+  std::vector<size_t> kept;
+  for (auto& [sig, members] : by_sig) {
+    size_t rep = members.front();
+    double best =
+        NominalCurrent(columns_[rep].sink, columns_[rep].state);
+    for (size_t c : members) {
+      double nominal = NominalCurrent(columns_[c].sink, columns_[c].state);
+      if (nominal > best) {
+        best = nominal;
+        rep = c;
+      }
+    }
+    for (size_t c : members) {
+      if (c != rep) {
+        result.notes.push_back(
+            columns_[c].Name() + ": always co-occurs with " +
+            columns_[rep].Name() +
+            "; draws merged (cannot be disambiguated, Section 5.2)");
+      }
+    }
+    kept.push_back(rep);
+  }
+  std::sort(kept.begin(), kept.end());
+
+  // Reduced column index: original column -> position in the reduced
+  // problem, constant last.
+  std::vector<int> reduced_of(n, -1);
+  for (size_t k = 0; k < kept.size(); ++k) {
+    reduced_of[kept[k]] = static_cast<int>(k);
+  }
+  size_t nr = kept.size() + 1;  // + constant.
+  size_t reduced_const = kept.size();
+
+  result.reduced.observed = y;
+  result.reduced.weights.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    // QuantoWeights: w_j = sqrt(E_j * t_j), floored away from zero.
+    double e = energy[j] > 0.0 ? energy[j] : 0.0;
+    double t = seconds[j] > 0.0 ? seconds[j] : 0.0;
+    double w = std::sqrt(e * t);
+    result.reduced.weights[j] = w == 0.0 ? 1e-9 : w;
+  }
+
+  if (m < nr) {
+    result.error = "underdetermined: fewer observations than power states";
+    result.reduced.error = result.error;
+    return result;
+  }
+
+  // Normal equations accumulated straight from the sparse rows — no dense
+  // design matrix. Term order matches WeightedLeastSquares exactly (rows
+  // outer, active columns ascending with the constant last), and skipped
+  // zero terms contribute exactly +0.0 there, so sums are bit-identical.
+  Matrix xtwx(nr, nr);
+  std::vector<double> xtwy(nr, 0.0);
+  std::vector<size_t> active;  // Reduced indices of one row, ascending.
+  for (size_t j = 0; j < m; ++j) {
+    double w = result.reduced.weights[j];
+    active.clear();
+    for (size_t c : rows[j]) {
+      if (reduced_of[c] >= 0) {
+        active.push_back(static_cast<size_t>(reduced_of[c]));
+      }
+    }
+    active.push_back(reduced_const);
+    for (size_t a : active) {
+      xtwy[a] += w * y[j];
+      for (size_t b : active) {
+        xtwx.at(a, b) += w;
+      }
+    }
+  }
+
+  auto solved = SolveLinearSystem(xtwx, xtwy);
+  if (!solved.has_value()) {
+    result.error =
+        "singular system: observed power states are not linearly independent";
+    result.reduced.error = result.error;
+    return result;
+  }
+  result.reduced.ok = true;
+  result.reduced.coefficients = std::move(*solved);
+  result.reduced.fitted.resize(m);
+  result.reduced.residuals.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    double fitted = 0.0;
+    for (size_t c : rows[j]) {
+      if (reduced_of[c] >= 0) {
+        fitted += result.reduced.coefficients[reduced_of[c]];
+      }
+    }
+    fitted += result.reduced.coefficients[reduced_const];
+    result.reduced.fitted[j] = fitted;
+    result.reduced.residuals[j] = y[j] - fitted;
+  }
+  result.reduced.relative_error = RelativeError(y, result.reduced.fitted);
+
+  // Expand back to the original column indexing.
+  result.coefficients.assign(n, 0.0);
+  for (size_t k = 0; k < kept.size(); ++k) {
+    result.coefficients[kept[k]] = result.reduced.coefficients[k];
+  }
+  result.coefficients[const_idx] =
+      result.reduced.coefficients[reduced_const];
+  result.relative_error = result.reduced.relative_error;
+  result.ok = true;
+  return result;
+}
+
+PipelineResult RunPipeline(const std::vector<LogEntry>& entries,
+                           const StreamingPipeline::Options& options) {
+  StreamingPipeline pipeline(options);
+  pipeline.AddAll(entries);
+  return pipeline.Solve();
+}
+
+}  // namespace quanto

@@ -1,0 +1,119 @@
+// Single-pass streaming analysis: raw 12-byte log entries in, solved
+// Section 2.5 regression out.
+//
+// The batch toolchain materializes three intermediate representations —
+// the unwrapped TraceEvent vector (TraceParser::Parse), the PowerInterval
+// vector (ExtractPowerIntervals) and the dense m x n design matrix
+// (BuildRegressionProblem) — all linear in the trace length. This pipeline
+// fuses the three stages: counter unwrapping, interval extraction and
+// per-group aggregation happen per entry with O(1) state, and the normal
+// equations XᵀWX / XᵀWy are accumulated directly from each group's sparse
+// indicator row, so peak memory is O(groups · sinks + n²) regardless of
+// how many entries stream through.
+//
+// Equivalence contract (tested): RunPipeline produces the same
+// PipelineResult as SolveQuanto(BuildRegressionProblem(
+// ExtractPowerIntervals(TraceParser::Parse(entries)))) — same grouping
+// order, same collinearity reduction, same floating-point accumulation
+// order, coefficients within 1e-9 (bit-identical in practice).
+#ifndef QUANTO_SRC_ANALYSIS_STREAMING_H_
+#define QUANTO_SRC_ANALYSIS_STREAMING_H_
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/trace.h"
+#include "src/core/log_entry.h"
+
+namespace quanto {
+
+class StreamingPipeline {
+ public:
+  struct Options {
+    MicroJoules energy_per_pulse = 8.33;
+    Tick min_group_time = Microseconds(50);
+  };
+
+  StreamingPipeline() : StreamingPipeline(Options()) {}
+  explicit StreamingPipeline(const Options& options);
+
+  // Feeds one log entry, in log order. O(1) amortized; only power-state
+  // entries advance the interval state machine.
+  void Add(const LogEntry& entry);
+
+  void AddAll(const std::vector<LogEntry>& entries) {
+    for (const LogEntry& e : entries) {
+      Add(e);
+    }
+  }
+
+  // Finalizes and solves the weighted least squares with the same
+  // collinearity reduction as SolveQuanto. May be called repeatedly; the
+  // stream can keep growing between calls.
+  PipelineResult Solve() const;
+
+  // Column layout of the most recent Solve() (non-baseline (sink, state)
+  // pairs in discovery order, constant last) for downstream consumers
+  // (reports, accountants).
+  const std::vector<RegressionColumn>& columns() const { return columns_; }
+
+  // Stream statistics.
+  uint64_t entries_seen() const { return entries_seen_; }
+  uint64_t intervals_seen() const { return intervals_seen_; }
+  size_t group_count() const { return groups_.size(); }
+  Tick total_time() const { return total_time_; }
+  MicroJoules total_energy() const { return total_energy_; }
+
+  // First/last unwrapped timestamps seen (0 when no entries yet).
+  Tick first_time() const { return first_time_; }
+  Tick last_time() const { return last_time_; }
+
+ private:
+  struct Group {
+    Tick time = 0;
+    MicroJoules energy = 0.0;
+  };
+  using StateVector = std::array<powerstate_t, kSinkCount>;
+
+  Options options_;
+
+  // --- Stage 1: 32 -> 64 bit counter unwrapping -----------------------------
+  bool first_entry_ = true;
+  uint32_t prev_time32_ = 0;
+  uint32_t prev_icount32_ = 0;
+  uint64_t time_high_ = 0;
+  uint64_t icount_high_ = 0;
+
+  // --- Stage 2: maximal constant-state intervals ----------------------------
+  StateVector states_{};
+  bool open_ = false;
+  Tick open_time_ = 0;
+  uint64_t open_icount_ = 0;
+
+  // --- Stage 3: per-state-vector aggregation --------------------------------
+  // Ordered map: iteration order matches BuildRegressionProblem's grouping
+  // exactly, so downstream results are bitwise-reproducible.
+  std::map<StateVector, Group> groups_;
+  Tick total_time_ = 0;
+  MicroJoules total_energy_ = 0.0;
+
+  uint64_t entries_seen_ = 0;
+  uint64_t intervals_seen_ = 0;
+  Tick first_time_ = 0;
+  Tick last_time_ = 0;
+
+  mutable std::vector<RegressionColumn> columns_;
+};
+
+// One-shot convenience: streams `entries` through a StreamingPipeline and
+// solves. Drop-in replacement for the Parse/Extract/Build/SolveQuanto
+// chain with O(n²) instead of O(m·n) working memory.
+PipelineResult RunPipeline(const std::vector<LogEntry>& entries,
+                           const StreamingPipeline::Options& options =
+                               StreamingPipeline::Options());
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_STREAMING_H_

@@ -15,7 +15,7 @@ void RelayApp::OnReceive(const Packet& packet) {
   // addressing: a node with no next hop is the chain's sink.
   if (config_.next_hop == 0) {
     ++delivered_;
-    last_payload_ = packet.payload;
+    last_payload_ = packet.payload.ToVector();
     return;
   }
   ++forwarded_;

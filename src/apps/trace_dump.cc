@@ -6,7 +6,7 @@ namespace {
 
 // Raw 12-byte little-endian records in the payload (no container header;
 // the AM type identifies the format and the src field identifies the node).
-void AppendEntry(std::vector<uint8_t>& out, const LogEntry& e) {
+void AppendEntry(PayloadBytes& out, const LogEntry& e) {
   out.push_back(e.type);
   out.push_back(e.res_id);
   for (int i = 0; i < 4; ++i) {
@@ -19,7 +19,7 @@ void AppendEntry(std::vector<uint8_t>& out, const LogEntry& e) {
   out.push_back(static_cast<uint8_t>(e.payload >> 8));
 }
 
-bool ParseEntry(const std::vector<uint8_t>& in, size_t offset, LogEntry* e) {
+bool ParseEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
   if (offset + 12 > in.size()) {
     return false;
   }

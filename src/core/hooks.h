@@ -17,6 +17,13 @@ class Clock {
  public:
   virtual ~Clock() = default;
   virtual Tick Now() const = 0;
+
+  // Optional fast path: a stable address holding the current tick, valid
+  // for the clock's lifetime. Hot readers (the logger samples time on
+  // every tracked event) cache it and load directly instead of paying a
+  // virtual call per sample. Fakes and non-memory-backed clocks return
+  // nullptr and are read through Now().
+  virtual const Tick* NowSource() const { return nullptr; }
 };
 
 // Interface to the energy meter: a free-running cumulative pulse counter

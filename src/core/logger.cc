@@ -5,52 +5,24 @@ namespace quanto {
 QuantoLogger::QuantoLogger(Clock* clock, EnergyCounter* meter, size_t capacity,
                            Mode mode)
     : clock_(clock),
+      now_source_(clock->NowSource()),
       meter_(meter),
       mode_(mode),
       buffer_(capacity, RingBuffer<LogEntry>::OverflowPolicy::kDropNewest) {}
 
-void QuantoLogger::Append(LogEntryType type, res_id_t resource,
-                          uint16_t payload) {
-  if (!enabled_) {
-    return;
-  }
-  LogEntry entry;
-  entry.type = static_cast<uint8_t>(type);
-  entry.res_id = resource;
-  // Recording time and energy must happen synchronously, as close to the
-  // event as possible (Section 4.4). Both are free-running 32-bit counters.
-  entry.time = static_cast<uint32_t>(clock_->Now());
-  entry.icount = meter_->ReadPulses();
-  entry.payload = payload;
-
-  if (buffer_.Push(entry)) {
-    ++entries_logged_;
-  } else {
-    ++entries_dropped_;
-  }
-
-  sync_cycles_spent_ += costs_.total();
-  if (charge_hook_ != nullptr) {
-    charge_hook_->ChargeCycles(costs_.total());
-  }
-}
-
 size_t QuantoLogger::Drain(size_t max_entries) {
-  size_t moved = 0;
-  while (moved < max_entries && !buffer_.empty()) {
-    archive_.push_back(buffer_.Pop());
-    ++moved;
-  }
-  return moved;
+  // Bulk two-span move out of the ring; the drain task charges per-entry
+  // cycles itself.
+  return buffer_.DrainInto(&archive_, max_entries);
 }
 
 size_t QuantoLogger::DumpAll() { return Drain(buffer_.size()); }
 
 std::vector<LogEntry> QuantoLogger::Trace() const {
-  std::vector<LogEntry> out = archive_;
-  for (size_t i = 0; i < buffer_.size(); ++i) {
-    out.push_back(buffer_.At(i));
-  }
+  std::vector<LogEntry> out;
+  out.reserve(archive_.size() + buffer_.size());
+  out = archive_;
+  buffer_.SnapshotInto(&out);
   return out;
 }
 

@@ -81,8 +81,35 @@ class QuantoLogger {
   MultiActivityTrack& multi_track() { return multi_track_; }
 
   // Records one entry (also the raw path the trackers funnel into; public
-  // so microbenchmarks can measure the synchronous cost directly).
-  void Append(LogEntryType type, res_id_t resource, uint16_t payload);
+  // so microbenchmarks can measure the synchronous cost directly). Inline:
+  // this runs for every tracked event in the system, so the time read goes
+  // through the clock's NowSource fast path when it has one.
+  void Append(LogEntryType type, res_id_t resource, uint16_t payload) {
+    if (!enabled_) {
+      return;
+    }
+    LogEntry entry;
+    entry.type = static_cast<uint8_t>(type);
+    entry.res_id = resource;
+    // Recording time and energy must happen synchronously, as close to the
+    // event as possible (Section 4.4). Both are free-running 32-bit
+    // counters.
+    entry.time = static_cast<uint32_t>(now_source_ != nullptr ? *now_source_
+                                                              : clock_->Now());
+    entry.icount = meter_->ReadPulses();
+    entry.payload = payload;
+
+    if (buffer_.Push(entry)) {
+      ++entries_logged_;
+    } else {
+      ++entries_dropped_;
+    }
+
+    sync_cycles_spent_ += cost_per_sample_;
+    if (charge_hook_ != nullptr) {
+      charge_hook_->ChargeCycles(cost_per_sample_);
+    }
+  }
 
   // --- Collection -----------------------------------------------------------
 
@@ -137,9 +164,11 @@ class QuantoLogger {
   };
 
   Clock* clock_;
+  const Tick* now_source_ = nullptr;  // Clock fast path, may be null.
   EnergyCounter* meter_;
   CpuChargeHook* charge_hook_ = nullptr;
   LoggingCosts costs_;
+  Cycles cost_per_sample_ = LoggingCosts().total();  // costs_.total() cached.
   Mode mode_;
   bool enabled_ = true;
 

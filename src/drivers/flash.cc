@@ -24,22 +24,22 @@ Tick ExternalFlash::PagesDuration(size_t bytes, Tick per_page) const {
   return per_page * pages;
 }
 
-void ExternalFlash::Write(size_t bytes, std::function<void()> done) {
+void ExternalFlash::Write(size_t bytes, Callback done) {
   StartOperation(kExtFlashWrite, PagesDuration(bytes, config_.page_write_time),
                  std::move(done));
 }
 
-void ExternalFlash::Read(size_t bytes, std::function<void()> done) {
+void ExternalFlash::Read(size_t bytes, Callback done) {
   StartOperation(kExtFlashRead, PagesDuration(bytes, config_.page_read_time),
                  std::move(done));
 }
 
-void ExternalFlash::Erase(std::function<void()> done) {
+void ExternalFlash::Erase(Callback done) {
   StartOperation(kExtFlashErase, config_.block_erase_time, std::move(done));
 }
 
 void ExternalFlash::StartOperation(powerstate_t busy_state, Tick duration,
-                                   std::function<void()> done) {
+                                   Callback done) {
   arbiter_.Request(
       config_.start_cost,
       [this, busy_state, duration, done = std::move(done)]() mutable {

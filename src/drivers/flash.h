@@ -12,7 +12,7 @@
 #define QUANTO_SRC_DRIVERS_FLASH_H_
 
 #include <cstdint>
-#include <functional>
+#include "src/util/callback.h"
 
 #include "src/core/activity_device.h"
 #include "src/core/power_state.h"
@@ -41,9 +41,9 @@ class ExternalFlash {
   ExternalFlash(EventQueue* queue, CpuScheduler* cpu, const Config& config);
 
   // Asynchronous operations; `done` is posted under the caller's activity.
-  void Write(size_t bytes, std::function<void()> done);
-  void Read(size_t bytes, std::function<void()> done);
-  void Erase(std::function<void()> done);
+  void Write(size_t bytes, Callback done);
+  void Read(size_t bytes, Callback done);
+  void Erase(Callback done);
 
   // Drops the chip back to its deep POWER_DOWN state.
   void PowerDown();
@@ -55,7 +55,7 @@ class ExternalFlash {
 
  private:
   void StartOperation(powerstate_t busy_state, Tick duration,
-                      std::function<void()> done);
+                      Callback done);
   Tick PagesDuration(size_t bytes, Tick per_page) const;
 
   EventQueue* queue_;

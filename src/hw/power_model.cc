@@ -15,6 +15,7 @@ void PowerModel::InitDefaults() {
     for (size_t st = 0; st < n; ++st) {
       currents_[s][st] = NominalCurrent(sink, static_cast<powerstate_t>(st));
     }
+    draw_[s] = currents_[s][states_[s]];
   }
 }
 
@@ -24,6 +25,9 @@ void PowerModel::SetActualCurrent(SinkId sink, powerstate_t state,
     return;
   }
   currents_[sink][state] = current;
+  if (states_[sink] == state) {
+    draw_[sink] = current;
+  }
 }
 
 void PowerModel::NotifyPowerChanged() {
@@ -52,6 +56,7 @@ void PowerModel::changed(res_id_t resource, powerstate_t value) {
     return;
   }
   states_[resource] = value;
+  draw_[resource] = currents_[resource][value];
   MicroWatts power = TotalPower();
   for (auto& listener : listeners_) {
     listener(power);
@@ -61,7 +66,7 @@ void PowerModel::changed(res_id_t resource, powerstate_t value) {
 MicroAmps PowerModel::TotalCurrent() const {
   MicroAmps total = floor_current_;
   for (size_t s = 0; s < kSinkCount; ++s) {
-    total += currents_[s][states_[s]];
+    total += draw_[s];
   }
   return total;
 }

@@ -73,6 +73,11 @@ class PowerModel : public PowerStateTrack {
   std::array<powerstate_t, kSinkCount> states_;
   // Ragged per-sink current tables, flattened.
   std::array<std::vector<MicroAmps>, kSinkCount> currents_;
+  // Current draw of each sink's *active* state, kept in sync with states_
+  // so per-transition totals sum a small contiguous array instead of
+  // chasing the ragged tables (this runs once per power transition on
+  // every node).
+  std::array<MicroAmps, kSinkCount> draw_;
   std::vector<std::function<void(MicroWatts)>> listeners_;
 };
 

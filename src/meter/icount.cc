@@ -9,45 +9,27 @@ IcountMeter::IcountMeter(const EventQueue* queue, PowerModel* model)
 
 IcountMeter::IcountMeter(const EventQueue* queue, PowerModel* model,
                          const Config& config)
-    : queue_(queue), config_(config) {
+    : queue_(queue),
+      config_(config),
+      gain_factor_(1.0 + config.gain_error) {
   last_update_ = queue_->Now();
   current_power_ = model->TotalPower();
   history_.push_back(PowerSegment{last_update_, current_power_});
   model->AddPowerListener([this](MicroWatts power) { OnPowerChanged(power); });
 }
 
-void IcountMeter::IntegrateTo(Tick now) {
-  if (now <= last_update_) {
-    return;
-  }
-  MicroJoules delta =
-      current_power_ * TicksToSeconds(now - last_update_);
-  energy_accum_ += delta * (1.0 + config_.gain_error);
-  last_update_ = now;
-}
-
 void IcountMeter::OnPowerChanged(MicroWatts power) {
   Tick now = queue_->Now();
   IntegrateTo(now);
   current_power_ = power;
+  if (!config_.record_history) {
+    return;
+  }
   if (!history_.empty() && history_.back().start == now) {
     history_.back().power = power;
   } else {
     history_.push_back(PowerSegment{now, power});
   }
-}
-
-uint32_t IcountMeter::ReadPulses() {
-  IntegrateTo(queue_->Now());
-  ++reads_;
-  double pulses = std::floor(energy_accum_ / config_.energy_per_pulse);
-  // Free-running counter: wraps at 32 bits like the hardware register.
-  return static_cast<uint32_t>(static_cast<uint64_t>(pulses));
-}
-
-MicroJoules IcountMeter::TrueEnergy() {
-  IntegrateTo(queue_->Now());
-  return energy_accum_;
 }
 
 std::vector<Tick> IcountMeter::PulseTimes(Tick t0, Tick t1) {

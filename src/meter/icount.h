@@ -35,6 +35,11 @@ class IcountMeter : public EnergyCounter {
     double gain_error = 0.0;
     // Counter read latency, charged by the logger (Table 4: 24 cycles).
     Cycles read_latency = 24;
+    // Keep the piecewise-constant power history needed by PulseTimes()
+    // (Figure 10 reconstruction). The history grows with every power
+    // transition, so many-node scale runs that never render pulse trains
+    // should turn it off; metering itself is unaffected.
+    bool record_history = true;
   };
 
   // Attaches to the power model; meters from the current simulation time.
@@ -43,11 +48,24 @@ class IcountMeter : public EnergyCounter {
               const Config& config);
 
   // EnergyCounter: the free-running, wrapping 32-bit pulse counter.
-  uint32_t ReadPulses() override;
+  // Sampled by the logger on every tracked event. The divide must stay a
+  // true divide: a cached-reciprocal multiply truncates differently at
+  // exact pulse boundaries (e.g. 55 * 8.33 * (1/8.33) < 55) and would
+  // silently shift logged icount values by one pulse.
+  uint32_t ReadPulses() override {
+    IntegrateTo(queue_->Now());
+    ++reads_;
+    // Free-running counter: wraps at 32 bits like the hardware register.
+    return static_cast<uint32_t>(
+        static_cast<uint64_t>(energy_accum_ / config_.energy_per_pulse));
+  }
 
   // Exact accumulated energy (for tests and ground-truth comparisons; the
   // real hardware cannot provide this).
-  MicroJoules TrueEnergy();
+  MicroJoules TrueEnergy() {
+    IntegrateTo(queue_->Now());
+    return energy_accum_;
+  }
 
   // Energy corresponding to the quantized counter.
   MicroJoules MeteredEnergy() {
@@ -63,11 +81,19 @@ class IcountMeter : public EnergyCounter {
   uint64_t reads() const { return reads_; }
 
  private:
-  void IntegrateTo(Tick now);
+  void IntegrateTo(Tick now) {
+    if (now <= last_update_) {
+      return;
+    }
+    MicroJoules delta = current_power_ * TicksToSeconds(now - last_update_);
+    energy_accum_ += delta * gain_factor_;
+    last_update_ = now;
+  }
   void OnPowerChanged(MicroWatts power);
 
   const EventQueue* queue_;
   Config config_;
+  double gain_factor_ = 1.0;  // 1 + gain_error, cached.
 
   Tick last_update_;
   MicroWatts current_power_;

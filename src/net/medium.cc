@@ -6,11 +6,22 @@ namespace quanto {
 
 Medium::Medium(EventQueue* queue) : queue_(queue) {}
 
-void Medium::Register(MediumClient* client) { clients_.push_back(client); }
+void Medium::Register(MediumClient* client) {
+  clients_.push_back(client);
+  clients_by_channel_[client->Channel()].push_back(client);
+}
 
 void Medium::Unregister(MediumClient* client) {
   clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
                  clients_.end());
+  for (auto& [channel, clients] : clients_by_channel_) {
+    clients.erase(std::remove(clients.begin(), clients.end(), client),
+                  clients.end());
+  }
+}
+
+std::vector<MediumClient*>& Medium::ChannelClients(int channel) {
+  return clients_by_channel_[channel];
 }
 
 void Medium::AddInterference(InterferenceSource* source) {
@@ -45,9 +56,8 @@ bool Medium::BeginTransmit(node_id_t sender, int channel, const Packet& packet,
   }
   ++busy_count_[channel];
   ++packets_sent_;
-  for (MediumClient* client : clients_) {
-    if (client->NodeId() != sender && client->Channel() == channel &&
-        client->Listening()) {
+  for (MediumClient* client : ChannelClients(channel)) {
+    if (client->NodeId() != sender && client->Listening()) {
       client->OnFrameStart(sender);
     }
   }
@@ -63,9 +73,8 @@ void Medium::CompleteTransmit(int channel, const Packet& packet) {
   if (it != busy_count_.end() && it->second > 0) {
     --it->second;
   }
-  for (MediumClient* client : clients_) {
-    if (client->NodeId() == packet.src || client->Channel() != channel ||
-        !client->Listening()) {
+  for (MediumClient* client : ChannelClients(channel)) {
+    if (client->NodeId() == packet.src || !client->Listening()) {
       continue;
     }
     if (packet.dst != kBroadcastAddr && packet.dst != client->NodeId()) {

@@ -87,9 +87,14 @@ class Medium {
 
  private:
   void CompleteTransmit(int channel, const Packet& packet);
+  // Clients tuned to `channel` (queried at Register time; radios in this
+  // model never retune). Keeps per-packet notification from scanning every
+  // client in the network.
+  std::vector<MediumClient*>& ChannelClients(int channel);
 
   EventQueue* queue_;
   std::vector<MediumClient*> clients_;
+  std::map<int, std::vector<MediumClient*>> clients_by_channel_;
   std::vector<InterferenceSource*> interference_;
   std::map<int, size_t> busy_count_;  // channel -> active transmissions.
   uint64_t packets_sent_ = 0;

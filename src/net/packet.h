@@ -11,6 +11,9 @@
 #define QUANTO_SRC_NET_PACKET_H_
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
 #include <vector>
 
 #include "src/core/activity.h"
@@ -20,12 +23,157 @@ namespace quanto {
 // Broadcast destination.
 inline constexpr node_id_t kBroadcastAddr = 0xFF;
 
+// Payload byte buffer with inline storage for typical sensor payloads.
+//
+// Packets are copied on every hop of the delivery path (medium snapshot,
+// RXFIFO download closure, decode task closure), so a std::vector payload
+// means several heap round-trips per delivered frame — measurable at
+// many-node scale. Payloads up to kInline bytes (the common telemetry
+// case) live inside the packet; larger ones (trace-dump batches) fall back
+// to the heap transparently.
+class PayloadBytes {
+ public:
+  static constexpr size_t kInline = 16;
+
+  PayloadBytes() = default;
+  PayloadBytes(std::initializer_list<uint8_t> init) {
+    assign(init.begin(), init.end());
+  }
+  PayloadBytes(const PayloadBytes& other) { CopyFrom(other); }
+  PayloadBytes(PayloadBytes&& other) noexcept { MoveFrom(&other); }
+  PayloadBytes& operator=(const PayloadBytes& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  PayloadBytes& operator=(PayloadBytes&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  PayloadBytes& operator=(std::initializer_list<uint8_t> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  PayloadBytes& operator=(const std::vector<uint8_t>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+  ~PayloadBytes() { Release(); }
+
+  template <typename It,
+            typename = std::enable_if_t<!std::is_integral_v<It>>>
+  void assign(It first, It last) {
+    clear();
+    for (It it = first; it != last; ++it) {
+      push_back(*it);
+    }
+  }
+  void assign(size_t n, uint8_t value) {
+    clear();
+    Reserve(n);
+    std::memset(data(), value, n);
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  void push_back(uint8_t value) {
+    if (size_ == capacity_) {
+      Reserve(capacity_ * 2);
+    }
+    data()[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t* data() { return capacity_ > kInline ? heap_ : inline_; }
+  const uint8_t* data() const {
+    return capacity_ > kInline ? heap_ : inline_;
+  }
+
+  uint8_t& operator[](size_t i) { return data()[i]; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  uint8_t* begin() { return data(); }
+  uint8_t* end() { return data() + size_; }
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + size_; }
+
+  friend bool operator==(const PayloadBytes& a, const PayloadBytes& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_) == 0;
+  }
+  friend bool operator!=(const PayloadBytes& a, const PayloadBytes& b) {
+    return !(a == b);
+  }
+
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(begin(), end());
+  }
+
+ private:
+  void Reserve(size_t n) {
+    if (n <= capacity_) {
+      return;
+    }
+    size_t cap = capacity_;
+    while (cap < n) {
+      cap *= 2;
+    }
+    uint8_t* grown = new uint8_t[cap];
+    std::memcpy(grown, data(), size_);
+    if (capacity_ > kInline) {
+      delete[] heap_;
+    }
+    heap_ = grown;
+    capacity_ = static_cast<uint32_t>(cap);
+  }
+  void Release() {
+    if (capacity_ > kInline) {
+      delete[] heap_;
+    }
+    capacity_ = kInline;
+    size_ = 0;
+  }
+  void CopyFrom(const PayloadBytes& other) {
+    Reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_);
+    size_ = other.size_;
+  }
+  void MoveFrom(PayloadBytes* other) {
+    if (other->capacity_ > kInline) {
+      heap_ = other->heap_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->capacity_ = kInline;
+      other->size_ = 0;
+      return;
+    }
+    std::memcpy(inline_, other->inline_, other->size_);
+    size_ = other->size_;
+    other->size_ = 0;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInline;
+  union {
+    uint8_t inline_[kInline];
+    uint8_t* heap_;
+  };
+};
+
 struct Packet {
   node_id_t src = 0;
   node_id_t dst = 0;
   uint8_t am_type = 0;      // Active Message dispatch id.
   act_t activity = 0;       // Hidden Quanto label (16 bits on the wire).
-  std::vector<uint8_t> payload;
+  PayloadBytes payload;
 
   // Bytes occupied on the air: 802.15.4 synchronisation header + PHY
   // header (6), MAC header + FCS (11), the AM type byte, the hidden

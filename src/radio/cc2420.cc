@@ -23,28 +23,59 @@ Cc2420::~Cc2420() { medium_->Unregister(this); }
 
 node_id_t Cc2420::NodeId() const { return node_->id(); }
 
-void Cc2420::PowerOn(std::function<void()> ready) {
+void Cc2420::PowerOn(Callback ready) {
   if (powered_) {
     if (ready) {
       ready();
     }
     return;
   }
+  if (ready) {
+    if (power_ready_) {
+      // Rare: a second caller while a power-up is in flight; chain both
+      // continuations in arrival order.
+      power_ready_ = [first = std::move(power_ready_),
+                      second = std::move(ready)] {
+        first();
+        second();
+      };
+    } else {
+      power_ready_ = std::move(ready);
+    }
+  }
+  if (powering_up_) {
+    return;
+  }
+  powering_up_ = true;
   regulator_ps_.set(kRegulatorOn);
   node_->queue().ScheduleAfter(
       config_.regulator_startup + config_.oscillator_startup,
-      [this, ready = std::move(ready)] {
-        powered_ = true;
-        control_ps_.set(kRadioControlIdle);
-        if (ready) {
-          ready();
-        }
-      });
+      [this] { FinishPowerUp(); });
+}
+
+void Cc2420::FinishPowerUp() {
+  if (!powering_up_) {
+    return;  // PowerOff() won the race with the startup delay.
+  }
+  powering_up_ = false;
+  powered_ = true;
+  control_ps_.set(kRadioControlIdle);
+  Callback ready = std::move(power_ready_);
+  power_ready_ = nullptr;
+  if (ready) {
+    ready();
+  }
 }
 
 void Cc2420::PowerOff() {
   StopListening();
   powered_ = false;
+  // Abort an in-flight power-up: the startup event still fires, but
+  // FinishPowerUp no-ops once this flag is cleared (otherwise the chip
+  // would come back on — and run stale ready continuations — after being
+  // switched off).
+  powering_up_ = false;
+  power_ready_ = nullptr;
   control_ps_.set(kRadioControlOff);
   regulator_ps_.set(kRegulatorOff);
 }

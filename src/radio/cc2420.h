@@ -57,7 +57,7 @@ class Cc2420 : public MediumClient {
 
   // Powers the chip (regulator + oscillator); `ready` fires when the
   // control path is up. No-op when already powered.
-  void PowerOn(std::function<void()> ready);
+  void PowerOn(Callback ready);
   void PowerOff();
   bool powered() const { return powered_; }
 
@@ -113,6 +113,7 @@ class Cc2420 : public MediumClient {
  private:
   void AttemptTransmit(int retries_left);
   void FinishTransmit();
+  void FinishPowerUp();
 
   Node* node_;
   Medium* medium_;
@@ -128,8 +129,12 @@ class Cc2420 : public MediumClient {
   MultiActivityDevice rx_activity_;
 
   bool powered_ = false;
+  bool powering_up_ = false;
   bool listening_ = false;
   bool sending_ = false;
+  // Continuation(s) waiting for the chip to come up. Held in a member so
+  // the per-wakeup power-on path schedules a bare [this] closure.
+  Callback power_ready_;
   Packet outgoing_;
   act_t tx_owner_ = 0;
   SendDone send_done_;

@@ -15,7 +15,7 @@ Tick SpiBus::TransferDuration(size_t bytes) const {
 }
 
 void SpiBus::Transfer(size_t bytes, act_id_t irq_proxy, act_t owner,
-                      std::function<void()> done) {
+                      Callback done) {
   Pending request{bytes, irq_proxy, owner, std::move(done)};
   if (busy_) {
     // One physical bus: later requests wait for the current transfer.
@@ -28,35 +28,32 @@ void SpiBus::Transfer(size_t bytes, act_id_t irq_proxy, act_t owner,
 void SpiBus::Begin(Pending request) {
   busy_ = true;
   ++transfers_;
-  if (request.bytes == 0) {
-    Complete(request.owner, std::move(request.done));
+  active_ = std::move(request);
+  if (active_.bytes == 0) {
+    Complete();
     return;
   }
   if (config_.mode == Mode::kDma) {
     // CPU programs the DMA controller, then sleeps through the block
     // transfer; one completion interrupt ends it.
     cpu_->ChargeCycles(config_.dma_setup_cost);
-    queue_->ScheduleAfter(
-        TransferDuration(request.bytes),
-        [this, owner = request.owner, done = std::move(request.done)] {
-          ++irqs_raised_;
-          cpu_->RaiseInterrupt(kActIntDacDma, config_.dma_irq_cost,
-                               [this, owner, done] {
-                                 if (owner != kUnbound) {
-                                   cpu_->activity().bind(owner);
-                                 }
-                                 Complete(owner, done);
-                               });
-        });
+    queue_->ScheduleAfter(TransferDuration(active_.bytes), [this] {
+      ++irqs_raised_;
+      cpu_->RaiseInterrupt(kActIntDacDma, config_.dma_irq_cost, [this] {
+        if (active_.owner != kUnbound) {
+          cpu_->activity().bind(active_.owner);
+        }
+        Complete();
+      });
+    });
     return;
   }
-  InterruptChunk(request.bytes, request.irq_proxy, request.owner,
-                 std::move(request.done));
+  ScheduleChunk();
 }
 
-void SpiBus::Complete(act_t owner, std::function<void()> done) {
-  (void)owner;
+void SpiBus::Complete() {
   busy_ = false;
+  Callback done = std::move(active_.done);
   if (done) {
     done();
   }
@@ -69,30 +66,29 @@ void SpiBus::Complete(act_t owner, std::function<void()> done) {
   }
 }
 
-void SpiBus::InterruptChunk(size_t remaining, act_id_t irq_proxy, act_t owner,
-                            std::function<void()> done) {
+void SpiBus::ScheduleChunk() {
   // Each interrupt moves up to 2 bytes (the paper: "This transfer uses an
   // interrupt for every 2 bytes").
-  size_t chunk = remaining < 2 ? remaining : 2;
+  size_t chunk = active_.bytes < 2 ? active_.bytes : 2;
   Tick chunk_time = config_.byte_time_interrupt * chunk;
-  queue_->ScheduleAfter(
-      chunk_time,
-      [this, remaining, chunk, irq_proxy, owner, done = std::move(done)] {
-        ++irqs_raised_;
-        size_t left = remaining - chunk;
-        if (left > 0) {
-          cpu_->RaiseInterrupt(irq_proxy, config_.irq_cost, nullptr);
-          InterruptChunk(left, irq_proxy, owner, std::move(done));
-          return;
-        }
-        cpu_->RaiseInterrupt(irq_proxy, config_.irq_cost,
-                             [this, owner, done] {
-                               if (owner != kUnbound) {
-                                 cpu_->activity().bind(owner);
-                               }
-                               Complete(owner, done);
-                             });
-      });
+  queue_->ScheduleAfter(chunk_time, [this] { OnChunkDone(); });
+}
+
+void SpiBus::OnChunkDone() {
+  ++irqs_raised_;
+  size_t chunk = active_.bytes < 2 ? active_.bytes : 2;
+  active_.bytes -= chunk;
+  if (active_.bytes > 0) {
+    cpu_->RaiseInterrupt(active_.irq_proxy, config_.irq_cost, nullptr);
+    ScheduleChunk();
+    return;
+  }
+  cpu_->RaiseInterrupt(active_.irq_proxy, config_.irq_cost, [this] {
+    if (active_.owner != kUnbound) {
+      cpu_->activity().bind(active_.owner);
+    }
+    Complete();
+  });
 }
 
 }  // namespace quanto

@@ -12,7 +12,6 @@
 
 #include <cstddef>
 #include <deque>
-#include <functional>
 
 #include "src/core/activity.h"
 #include "src/sim/cpu.h"
@@ -51,8 +50,7 @@ class SpiBus {
   // waits its turn (FIFO), exactly as back-to-back RXFIFO downloads or a
   // TXFIFO load contending with a reception must on real hardware.
   static constexpr act_t kUnbound = 0;
-  void Transfer(size_t bytes, act_id_t irq_proxy, act_t owner,
-                std::function<void()> done);
+  void Transfer(size_t bytes, act_id_t irq_proxy, act_t owner, Callback done);
 
   // Wall-clock duration a transfer of `bytes` will take in this mode.
   Tick TransferDuration(size_t bytes) const;
@@ -68,18 +66,22 @@ class SpiBus {
     size_t bytes;
     act_id_t irq_proxy;
     act_t owner;
-    std::function<void()> done;
+    Callback done;
   };
 
   void Begin(Pending request);
-  void Complete(act_t owner, std::function<void()> done);
-  void InterruptChunk(size_t remaining, act_id_t irq_proxy, act_t owner,
-                      std::function<void()> done);
+  void Complete();
+  void ScheduleChunk();
+  void OnChunkDone();
 
   EventQueue* queue_;
   CpuScheduler* cpu_;
   Config config_;
   bool busy_ = false;
+  // In-flight transfer state. One physical bus means at most one active
+  // transfer, so the per-chunk continuation is a bare [this] closure and
+  // the chunk path never allocates.
+  Pending active_;
   std::deque<Pending> pending_;
   uint64_t transfers_ = 0;
   uint64_t irqs_raised_ = 0;

@@ -9,7 +9,7 @@ Arbiter::Arbiter(CpuScheduler* cpu, SingleActivityDevice* device)
       device_(device),
       owner_activity_(MakeActivity(cpu->node_id(), kActIdle)) {}
 
-void Arbiter::Request(Cycles grant_cost, std::function<void()> granted) {
+void Arbiter::Request(Cycles grant_cost, Callback granted) {
   Waiter waiter;
   // Capture the requester's activity now; the grant may happen much later,
   // under an unrelated CPU activity.

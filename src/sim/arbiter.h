@@ -9,7 +9,6 @@
 #define QUANTO_SRC_SIM_ARBITER_H_
 
 #include <deque>
-#include <functional>
 
 #include "src/core/activity.h"
 #include "src/core/activity_device.h"
@@ -26,7 +25,7 @@ class Arbiter {
   // Requests the resource. `granted` is posted as a task (cost
   // `grant_cost`) when the resource becomes available; requests are served
   // in FCFS order. Returns immediately.
-  void Request(Cycles grant_cost, std::function<void()> granted);
+  void Request(Cycles grant_cost, Callback granted);
 
   // Releases the resource held by the current owner, granting the next
   // queued request if any.
@@ -40,7 +39,7 @@ class Arbiter {
   struct Waiter {
     act_t activity;
     Cycles grant_cost;
-    std::function<void()> granted;
+    Callback granted;
   };
 
   void Grant(Waiter waiter);

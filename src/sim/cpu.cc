@@ -22,14 +22,14 @@ Tick CpuScheduler::ActiveTime(Tick now) const {
   return total;
 }
 
-void CpuScheduler::PostTask(Cycles cost, std::function<void()> body) {
+void CpuScheduler::PostTask(Cycles cost, Callback body) {
   // Quanto instrumentation of the TinyOS scheduler: save the current CPU
   // activity when a task is posted.
   PostTaskWithActivity(activity_.get(), cost, std::move(body));
 }
 
 void CpuScheduler::PostTaskWithActivity(act_t activity, Cycles cost,
-                                        std::function<void()> body) {
+                                        Callback body) {
   task_queue_.push_back(
       Task{activity, cost + config_.task_dispatch_overhead, std::move(body)});
   ScheduleDispatch();
@@ -100,7 +100,7 @@ void CpuScheduler::BeginTaskFrame(Task task) {
 }
 
 void CpuScheduler::RaiseInterrupt(act_id_t proxy_id, Cycles cost,
-                                  std::function<void()> body) {
+                                  Callback body) {
   if (in_interrupt()) {
     // Non-reentrant interrupts: pend until the in-service handler returns.
     pending_irqs_.push_back(PendingIrq{proxy_id, cost, std::move(body)});
@@ -164,12 +164,13 @@ void CpuScheduler::ChargeCycles(Cycles cycles) {
 }
 
 void CpuScheduler::OnFrameComplete() {
-  Frame finished = frames_.back();
+  bool was_irq = frames_.back().is_irq;
+  act_t interrupted = frames_.back().interrupted;
   frames_.pop_back();
 
-  if (finished.is_irq) {
+  if (was_irq) {
     // Return from interrupt: restore the label the handler preempted.
-    activity_.set(finished.interrupted);
+    activity_.set(interrupted);
   }
 
   // Interrupts pended during the handler run next (hardware priority over

@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "src/core/activity.h"
@@ -53,13 +52,12 @@ class CpuScheduler : public CpuChargeHook {
 
   // `post`: enqueues a run-to-completion task. The current CPU activity is
   // saved with the task and restored when it runs (Quanto instrumentation).
-  void PostTask(Cycles cost, std::function<void()> body);
+  void PostTask(Cycles cost, Callback body);
 
   // Posts a task that runs under an explicitly saved label. Control-flow
   // deferral mechanisms (timers, forwarding queues) use this to carry the
   // label they captured at deferral time.
-  void PostTaskWithActivity(act_t activity, Cycles cost,
-                            std::function<void()> body);
+  void PostTaskWithActivity(act_t activity, Cycles cost, Callback body);
 
   // --- Interrupts -----------------------------------------------------------
 
@@ -67,8 +65,7 @@ class CpuScheduler : public CpuChargeHook {
   // activity `proxy_id`. If another interrupt is in service the new one is
   // pended (MSP430 interrupts are not reentrant); otherwise it preempts the
   // running task immediately.
-  void RaiseInterrupt(act_id_t proxy_id, Cycles cost,
-                      std::function<void()> body);
+  void RaiseInterrupt(act_id_t proxy_id, Cycles cost, Callback body);
 
   // --- Quanto hook ----------------------------------------------------------
 
@@ -102,18 +99,18 @@ class CpuScheduler : public CpuChargeHook {
   // Invoked every time the CPU transitions to idle with an empty task queue
   // (the continuous-logging drain hook; Section 4.4 runs the drain "only
   // when the CPU would otherwise be idle").
-  void SetIdleHook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+  void SetIdleHook(Callback hook) { idle_hook_ = std::move(hook); }
 
  private:
   struct Task {
     act_t activity;
     Cycles cost;
-    std::function<void()> body;
+    Callback body;
   };
   struct PendingIrq {
     act_id_t proxy_id;
     Cycles cost;
-    std::function<void()> body;
+    Callback body;
   };
   struct Frame {
     act_t activity;          // Label the frame runs under.
@@ -152,7 +149,7 @@ class CpuScheduler : public CpuChargeHook {
   uint64_t tasks_run_ = 0;
   uint64_t interrupts_run_ = 0;
   Cycles idle_charged_cycles_ = 0;
-  std::function<void()> idle_hook_;
+  Callback idle_hook_;
 };
 
 }  // namespace quanto

@@ -1,78 +1,292 @@
 #include "src/sim/event_queue.h"
 
+#include <limits>
 #include <utility>
 
 namespace quanto {
 
-EventQueue::EventId EventQueue::Schedule(Tick time, std::function<void()> fn) {
+uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  // Invalidate every id issued for this occupancy before the slot can be
+  // reused.
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::HeapPush(std::vector<HeapEntry>* heap,
+                          const HeapEntry& entry) {
+  heap->push_back(entry);
+  size_t child = heap->size() - 1;
+  while (child > 0) {
+    size_t parent = (child - 1) / 4;
+    if (!Earlier((*heap)[child], (*heap)[parent])) {
+      break;
+    }
+    std::swap((*heap)[child], (*heap)[parent]);
+    child = parent;
+  }
+}
+
+void EventQueue::HeapPopTop(std::vector<HeapEntry>* heap) {
+  heap->front() = heap->back();
+  heap->pop_back();
+  size_t n = heap->size();
+  size_t parent = 0;
+  for (;;) {
+    size_t first_child = parent * 4 + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier((*heap)[c], (*heap)[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier((*heap)[best], (*heap)[parent])) {
+      break;
+    }
+    std::swap((*heap)[parent], (*heap)[best]);
+    parent = best;
+  }
+}
+
+void EventQueue::WheelInsert(const HeapEntry& entry) {
+  size_t index = static_cast<size_t>(entry.time & kWheelMask);
+  Bucket& bucket = wheel_[index];
+  if (bucket.empty()) {
+    // Bucket fully consumed by a previous tick: recycle its storage.
+    bucket.entries.clear();
+    bucket.taken = 0;
+    MarkBucket(index);
+  }
+  bucket.entries.push_back(entry);
+}
+
+int EventQueue::NextOccupiedBucket(Tick from) const {
+  if (from >= horizon_) {
+    return -1;
+  }
+  // Every occupied bucket holds a tick inside [from, horizon_): ticks
+  // before `from` are fully consumed and the window is at most
+  // kNearHorizon wide, so the first set bit in ring order from `from` is
+  // the next occupied bucket.
+  size_t start = static_cast<size_t>(from & kWheelMask);
+  size_t word = start / 64;
+  uint64_t w = occupied_[word] & (~uint64_t{0} << (start % 64));
+  if (w != 0) {
+    return static_cast<int>(word * 64 +
+                            static_cast<size_t>(__builtin_ctzll(w)));
+  }
+  for (size_t step = 1; step < kBitmapWords; ++step) {
+    size_t i = (word + step) % kBitmapWords;
+    if (occupied_[i] != 0) {
+      return static_cast<int>(
+          i * 64 + static_cast<size_t>(__builtin_ctzll(occupied_[i])));
+    }
+  }
+  // Wrapped back to the first word: bits below `start`.
+  uint64_t low = occupied_[word] & ~(~uint64_t{0} << (start % 64));
+  if (low != 0) {
+    return static_cast<int>(word * 64 +
+                            static_cast<size_t>(__builtin_ctzll(low)));
+  }
+  return -1;
+}
+
+EventQueue::EventId EventQueue::Schedule(Tick time, Callback fn) {
   if (time < now_) {
     time = now_;
   }
-  EventId id = next_id_++;
-  heap_.push(Item{time, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  uint32_t index = AcquireSlot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  HeapEntry entry{time, next_seq_++, index, slot.generation};
+  if (time == now_) {
+    due_.push_back(entry);  // Fast path: due this tick, FIFO, no sift.
+  } else if (time < horizon_ && time + kNearHorizon >= horizon_) {
+    // Inside the wheel's exact window [horizon_ - kNearHorizon, horizon_):
+    // bucket indices are collision-free only across a window this wide.
+    if (time < wheel_pos_) {
+      wheel_pos_ = time;  // Pull the scan cursor back to cover this tick.
+    }
+    WheelInsert(entry);
+  } else {
+    // Later than the window — or in the rare gap between the clock and a
+    // far-ahead window — the far heap holds it until a migration.
+    HeapPush(&far_, entry);
+  }
+  ++live_count_;
+  return (static_cast<EventId>(slot.generation) << 32) | index;
 }
 
-EventQueue::EventId EventQueue::ScheduleAfter(Tick delay,
-                                              std::function<void()> fn) {
+EventQueue::EventId EventQueue::ScheduleAfter(Tick delay, Callback fn) {
   return Schedule(now_ + delay, std::move(fn));
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (live_.erase(id) == 0) {
+  uint32_t index = static_cast<uint32_t>(id);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size() || slots_[index].generation != generation) {
     return false;  // Never issued, already run, or already cancelled.
   }
-  cancelled_.insert(id);
+  // The wheel/heap entry stays until popped; the generation bump marks it
+  // stale.
+  ReleaseSlot(index);
+  --live_count_;
   return true;
 }
 
-bool EventQueue::PopNext(Item* out) {
-  while (!heap_.empty()) {
-    Item item = heap_.top();
-    heap_.pop();
-    auto it = cancelled_.find(item.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+bool EventQueue::PopNext(Tick limit, Tick* time, Callback* fn) {
+  // `fn` must arrive empty: assigning into a non-empty Callback would run
+  // the old target's destructor mid-pop, which may reenter the queue.
+  if (wheel_pos_ < now_) {
+    wheel_pos_ = now_;  // Ticks behind the clock are fully consumed.
+  }
+  // Locate the wheel's next live entry, dropping stale entries and
+  // consumed buckets, refilling from the far heap when the wheel drains.
+  HeapEntry* wheel_entry = nullptr;
+  for (;;) {
+    // Cursor-bucket fast path: within the window a non-empty bucket at
+    // the cursor's index can only hold the cursor's own tick (indices are
+    // unique across the window), so the bitmap scan is skippable.
+    int bidx = static_cast<int>(wheel_pos_ & kWheelMask);
+    if (wheel_pos_ >= horizon_ ||
+        wheel_[static_cast<size_t>(bidx)].empty()) {
+      bidx = NextOccupiedBucket(wheel_pos_);
+    }
+    if (bidx < 0) {
+      if (!far_.empty()) {
+        // Advance the window to the earliest far event and pull everything
+        // inside the new window across (stale entries migrate too; the
+        // bucket scan drops them).
+        Tick base = far_.front().time;
+        wheel_pos_ = base;
+        horizon_ = base + kNearHorizon;
+        do {
+          WheelInsert(far_.front());
+          HeapPopTop(&far_);
+        } while (!far_.empty() && far_.front().time < horizon_);
+        continue;
+      }
+      break;
+    }
+    Bucket& bucket = wheel_[static_cast<size_t>(bidx)];
+    while (!bucket.empty() &&
+           slots_[bucket.entries[bucket.taken].slot].generation !=
+               bucket.entries[bucket.taken].generation) {
+      ++bucket.taken;  // Stale: cancelled since it was scheduled.
+    }
+    if (bucket.empty()) {
+      bucket.entries.clear();
+      bucket.taken = 0;
+      ClearBucket(static_cast<size_t>(bidx));
       continue;
     }
-    live_.erase(item.id);
-    *out = std::move(item);
-    return true;
+    wheel_entry = &bucket.entries[bucket.taken];
+    wheel_pos_ = wheel_entry->time;  // Park the cursor on this tick.
+    break;
   }
-  return false;
+  while (!DueEmpty() &&
+         slots_[DueFront().slot].generation != DueFront().generation) {
+    DuePop();
+  }
+
+  // Choose the (time, seq) minimum. A due entry's time is always the
+  // current tick; wheel leftovers at the current tick were scheduled
+  // earlier (smaller seq) and win, wheel entries at later ticks lose to
+  // due entries. The far heap can momentarily hold events earlier than
+  // the wheel's window (scheduled into the gap between a lagging clock
+  // and a far-ahead window), so when the wheel-future candidate would win
+  // its top joins the comparison.
+  enum class Source { kWheel, kDue, kFar };
+  Source source;
+  if (wheel_entry != nullptr && wheel_entry->time <= now_) {
+    source = Source::kWheel;
+  } else if (!DueEmpty()) {
+    source = Source::kDue;
+  } else if (wheel_entry == nullptr) {
+    return false;  // The scan loop drained the far heap into the wheel.
+  } else {
+    source = Source::kWheel;
+    while (!far_.empty() &&
+           slots_[far_.front().slot].generation != far_.front().generation) {
+      HeapPopTop(&far_);
+    }
+    if (!far_.empty() && Earlier(far_.front(), *wheel_entry)) {
+      source = Source::kFar;
+    }
+  }
+  HeapEntry top = source == Source::kDue
+                      ? DueFront()
+                      : (source == Source::kFar ? far_.front()
+                                                : *wheel_entry);
+  if (top.time > limit) {
+    return false;
+  }
+  switch (source) {
+    case Source::kDue:
+      DuePop();
+      break;
+    case Source::kFar:
+      HeapPopTop(&far_);
+      break;
+    case Source::kWheel: {
+      size_t index = static_cast<size_t>(top.time & kWheelMask);
+      Bucket& bucket = wheel_[index];
+      ++bucket.taken;
+      if (bucket.empty()) {
+        bucket.entries.clear();
+        bucket.taken = 0;
+        ClearBucket(index);
+      }
+      break;
+    }
+  }
+  *time = top.time;
+  *fn = std::move(slots_[top.slot].fn);
+  ReleaseSlot(top.slot);
+  --live_count_;
+  return true;
 }
 
 bool EventQueue::RunNext() {
-  Item item;
-  if (!PopNext(&item)) {
+  Tick time;
+  Callback fn;
+  if (!PopNext(std::numeric_limits<Tick>::max(), &time, &fn)) {
     return false;
   }
-  now_ = item.time;
+  now_ = time;
   ++executed_count_;
-  item.fn();
+  fn();
   return true;
 }
 
 size_t EventQueue::RunUntil(Tick end) {
   size_t executed = 0;
-  while (!heap_.empty()) {
-    const Item& top = heap_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.time > end) {
+  for (;;) {
+    Tick time;
+    Callback fn;
+    if (!PopNext(end, &time, &fn)) {
       break;
     }
-    Item item = heap_.top();
-    heap_.pop();
-    live_.erase(item.id);
-    now_ = item.time;
+    now_ = time;
     ++executed_count_;
     ++executed;
-    item.fn();
+    fn();
   }
   now_ = end;
   return executed;

@@ -24,6 +24,7 @@ class SimClock : public Clock {
  public:
   explicit SimClock(const EventQueue* queue) : queue_(queue) {}
   Tick Now() const override { return queue_->Now(); }
+  const Tick* NowSource() const override { return queue_->NowPtr(); }
 
  private:
   const EventQueue* queue_;

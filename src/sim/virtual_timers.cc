@@ -12,49 +12,67 @@ VirtualTimers::VirtualTimers(EventQueue* queue, CpuScheduler* cpu,
       config_(config),
       hw_device_(config.hw_timer_resource) {}
 
-VirtualTimers::TimerId VirtualTimers::StartPeriodic(
-    Tick interval, Cycles callback_cost, std::function<void()> callback) {
+VirtualTimers::TimerId VirtualTimers::StartPeriodic(Tick interval,
+                                                    Cycles callback_cost,
+                                                    Callback callback) {
   return Start(interval, interval, callback_cost, std::move(callback));
 }
 
-VirtualTimers::TimerId VirtualTimers::StartOneShot(
-    Tick delay, Cycles callback_cost, std::function<void()> callback) {
+VirtualTimers::TimerId VirtualTimers::StartOneShot(Tick delay,
+                                                   Cycles callback_cost,
+                                                   Callback callback) {
   return Start(delay, 0, callback_cost, std::move(callback));
+}
+
+VirtualTimers::Timer* VirtualTimers::Find(TimerId id) {
+  for (Timer& timer : timers_) {
+    if (timer.id == id) {
+      return &timer;
+    }
+  }
+  return nullptr;
 }
 
 VirtualTimers::TimerId VirtualTimers::Start(Tick delay, Tick interval,
                                             Cycles callback_cost,
-                                            std::function<void()> callback) {
+                                            Callback callback) {
   TimerId id = next_id_++;
-  Timer timer;
-  timer.deadline = queue_->Now() + delay;
-  timer.interval = interval;
-  timer.callback_cost = callback_cost;
+  Timer* slot = Find(kInvalidTimer);  // Reuse a free slot if any.
+  if (slot == nullptr) {
+    timers_.emplace_back();
+    slot = &timers_.back();
+  }
+  slot->id = id;
+  slot->deadline = queue_->Now() + delay;
+  slot->interval = interval;
+  slot->callback_cost = callback_cost;
   // Save the activity of the code arming the timer; the callback will run
   // under it.
-  timer.saved_activity = cpu_->activity().get();
-  timer.callback = std::move(callback);
-  hw_device_.add(timer.saved_activity);
-  timers_.emplace(id, std::move(timer));
+  slot->saved_activity = cpu_->activity().get();
+  slot->callback = std::move(callback);
+  ++armed_;
+  hw_device_.add(slot->saved_activity);
   UpdateCompare();
   return id;
 }
 
 void VirtualTimers::Stop(TimerId id) {
-  auto it = timers_.find(id);
-  if (it == timers_.end()) {
+  Timer* timer = Find(id);
+  if (timer == nullptr || id == kInvalidTimer) {
     return;
   }
-  hw_device_.remove(it->second.saved_activity);
-  timers_.erase(it);
+  hw_device_.remove(timer->saved_activity);
+  timer->id = kInvalidTimer;
+  timer->callback = nullptr;
+  --armed_;
   UpdateCompare();
 }
 
 void VirtualTimers::UpdateCompare() {
   Tick earliest = 0;
   bool have = false;
-  for (const auto& [id, timer] : timers_) {
-    if (!have || timer.deadline < earliest) {
+  for (const Timer& timer : timers_) {
+    if (timer.id != kInvalidTimer && (!have || timer.deadline < earliest)) {
       earliest = timer.deadline;
       have = true;
     }
@@ -91,29 +109,31 @@ void VirtualTimers::OnCompareInterrupt() {
 void VirtualTimers::VTimerTask() {
   Tick now = queue_->Now();
   // Collect expired timers first: firing callbacks may restart or stop
-  // timers and must not invalidate the iteration.
-  std::vector<TimerId> expired;
-  for (const auto& [id, timer] : timers_) {
-    if (timer.deadline <= now) {
-      expired.push_back(id);
+  // timers and must not invalidate the iteration. The scratch vector is a
+  // member so steady-state dispatch does not allocate.
+  expired_scratch_.clear();
+  for (const Timer& timer : timers_) {
+    if (timer.id != kInvalidTimer && timer.deadline <= now) {
+      expired_scratch_.push_back(timer.id);
     }
   }
-  for (TimerId id : expired) {
-    auto it = timers_.find(id);
-    if (it == timers_.end()) {
+  for (TimerId id : expired_scratch_) {
+    Timer* timer = Find(id);
+    if (timer == nullptr) {
       continue;
     }
-    Timer& timer = it->second;
     ++fires_;
     // The timer carries and restores the saved activity (Section 4.2.2:
     // "the timer carries and restores the activity").
-    cpu_->PostTaskWithActivity(timer.saved_activity, timer.callback_cost,
-                               timer.callback);
-    if (timer.interval > 0) {
-      timer.deadline += timer.interval;
+    cpu_->PostTaskWithActivity(timer->saved_activity, timer->callback_cost,
+                               timer->callback);
+    if (timer->interval > 0) {
+      timer->deadline += timer->interval;
     } else {
-      hw_device_.remove(timer.saved_activity);
-      timers_.erase(it);
+      hw_device_.remove(timer->saved_activity);
+      timer->id = kInvalidTimer;
+      timer->callback = nullptr;
+      --armed_;
     }
   }
   // Trailing bookkeeping under the VTimer activity (the second VTimer block

@@ -15,8 +15,7 @@
 #define QUANTO_SRC_SIM_VIRTUAL_TIMERS_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <vector>
 
 #include "src/core/activity.h"
 #include "src/core/activity_device.h"
@@ -45,30 +44,35 @@ class VirtualTimers {
   // Starts a periodic timer firing every `interval`; the callback runs as a
   // task of `callback_cost` cycles under the activity saved now.
   TimerId StartPeriodic(Tick interval, Cycles callback_cost,
-                        std::function<void()> callback);
+                        Callback callback);
 
   // One-shot variant.
-  TimerId StartOneShot(Tick delay, Cycles callback_cost,
-                       std::function<void()> callback);
+  TimerId StartOneShot(Tick delay, Cycles callback_cost, Callback callback);
 
   // Stops a timer; safe to call on an already-fired one-shot.
   void Stop(TimerId id);
 
-  size_t armed_count() const { return timers_.size(); }
+  size_t armed_count() const { return armed_; }
   MultiActivityDevice& hw_device() { return hw_device_; }
   uint64_t fires() const { return fires_; }
 
  private:
+  // Timer table slot. Timers per node are few, so a flat slab with linear
+  // scans beats a node-allocating map: arming/stopping a timer and the
+  // per-fire dispatch never touch the heap once the table has grown to the
+  // node's working set.
   struct Timer {
-    Tick deadline;
-    Tick interval;  // 0 for one-shot.
-    Cycles callback_cost;
-    act_t saved_activity;
-    std::function<void()> callback;
+    TimerId id = kInvalidTimer;  // kInvalidTimer marks a free slot.
+    Tick deadline = 0;
+    Tick interval = 0;  // 0 for one-shot.
+    Cycles callback_cost = 0;
+    act_t saved_activity = 0;
+    Callback callback;
   };
 
   TimerId Start(Tick delay, Tick interval, Cycles callback_cost,
-                std::function<void()> callback);
+                Callback callback);
+  Timer* Find(TimerId id);
   void UpdateCompare();
   void OnCompareInterrupt();
   void VTimerTask();
@@ -77,7 +81,9 @@ class VirtualTimers {
   CpuScheduler* cpu_;
   Config config_;
   MultiActivityDevice hw_device_;
-  std::map<TimerId, Timer> timers_;
+  std::vector<Timer> timers_;
+  std::vector<TimerId> expired_scratch_;  // Reused by VTimerTask.
+  size_t armed_ = 0;
   TimerId next_id_ = 1;
   EventQueue::EventId compare_event_ = EventQueue::kInvalidEvent;
   Tick compare_deadline_ = 0;

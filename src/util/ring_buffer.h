@@ -6,6 +6,13 @@
 // explicit overflow policy selected by the caller (drop-newest, matching the
 // paper's "stop logging when the buffer fills" RAM mode, or overwrite-oldest
 // for continuous tails).
+//
+// Hot-path notes: the logger pushes one entry per tracked event, so index
+// arithmetic matters at many-node scale. Storage is rounded up to a power
+// of two and indices advance with a mask instead of a modulo (the logical
+// capacity is still exactly what the caller asked for), and bulk
+// Drain/Snapshot copy the retained range as at most two contiguous spans
+// instead of element-by-element.
 #ifndef QUANTO_SRC_UTIL_RING_BUFFER_H_
 #define QUANTO_SRC_UTIL_RING_BUFFER_H_
 
@@ -24,12 +31,15 @@ class RingBuffer {
 
   explicit RingBuffer(size_t capacity,
                       OverflowPolicy policy = OverflowPolicy::kDropNewest)
-      : storage_(capacity), policy_(policy) {}
+      : storage_(RoundUpPow2(capacity)),
+        mask_(storage_.size() - 1),
+        capacity_(capacity),
+        policy_(policy) {}
 
-  size_t capacity() const { return storage_.size(); }
+  size_t capacity() const { return capacity_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  bool full() const { return size_ == storage_.size(); }
+  bool full() const { return size_ == capacity_; }
 
   // Number of pushes rejected (kDropNewest) or items clobbered
   // (kOverwriteOldest) since construction or the last Clear().
@@ -43,10 +53,13 @@ class RingBuffer {
       if (policy_ == OverflowPolicy::kDropNewest) {
         return false;
       }
-      // Overwrite the oldest element.
-      storage_[head_] = item;
-      head_ = Advance(head_);
+      // Overwrite the oldest element: append at tail and advance both
+      // ends. (The write must go to tail_, not head_ — with storage
+      // rounded up to a power of two they no longer coincide when the
+      // logical capacity is full.)
+      storage_[tail_] = item;
       tail_ = Advance(tail_);
+      head_ = Advance(head_);
       return true;
     }
     storage_[tail_] = item;
@@ -67,9 +80,7 @@ class RingBuffer {
   const T& Front() const { return storage_[head_]; }
 
   // Random access by age: index 0 is the oldest retained element.
-  const T& At(size_t index) const {
-    return storage_[(head_ + index) % storage_.size()];
-  }
+  const T& At(size_t index) const { return storage_[(head_ + index) & mask_]; }
 
   void Clear() {
     head_ = 0;
@@ -82,16 +93,60 @@ class RingBuffer {
   std::vector<T> Snapshot() const {
     std::vector<T> out;
     out.reserve(size_);
-    for (size_t i = 0; i < size_; ++i) {
-      out.push_back(At(i));
-    }
+    AppendTo(&out, size_);
     return out;
   }
 
+  // Appends the retained elements (oldest first) to `out` without removing
+  // them, as at most two contiguous spans.
+  void SnapshotInto(std::vector<T>* out) const {
+    out->reserve(out->size() + size_);
+    AppendTo(out, size_);
+  }
+
+  // Moves up to `max_items` of the oldest elements into `out` (appended),
+  // removing them from the buffer. Returns how many were moved. The copy
+  // happens as at most two contiguous spans.
+  size_t DrainInto(std::vector<T>* out, size_t max_items) {
+    size_t n = max_items < size_ ? max_items : size_;
+    if (n == 0) {
+      return 0;
+    }
+    AppendTo(out, n);
+    head_ = (head_ + n) & mask_;
+    size_ -= n;
+    return n;
+  }
+
  private:
-  size_t Advance(size_t i) const { return (i + 1) % storage_.size(); }
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  size_t Advance(size_t i) const { return (i + 1) & mask_; }
+
+  // Appends the oldest `n` retained elements (n <= size_) to `out` as one
+  // or two contiguous spans.
+  void AppendTo(std::vector<T>* out, size_t n) const {
+    size_t first = storage_.size() - head_;
+    if (first > n) {
+      first = n;
+    }
+    out->insert(out->end(), storage_.begin() + head_,
+                storage_.begin() + head_ + first);
+    if (n > first) {
+      out->insert(out->end(), storage_.begin(),
+                  storage_.begin() + (n - first));
+    }
+  }
 
   std::vector<T> storage_;
+  size_t mask_;
+  size_t capacity_;
   OverflowPolicy policy_;
   size_t head_ = 0;
   size_t tail_ = 0;

@@ -1,0 +1,244 @@
+// Invariant tests for the slab-backed event engine: O(1) generation-tag
+// cancellation, FIFO determinism of same-tick events under randomized
+// schedules, and id-generation reuse safety (a recycled slot must never
+// honour a stale id).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace quanto {
+namespace {
+
+TEST(EventEngineTest, CancelBeforeFireSuppressesExecution) {
+  EventQueue queue;
+  int fired = 0;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(queue.Schedule(10 + i, [&] { ++fired; }));
+  }
+  // Cancel every other event.
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(queue.Cancel(ids[i]));
+  }
+  queue.RunAll();
+  EXPECT_EQ(fired, 50);
+  EXPECT_EQ(queue.executed_count(), 50u);
+}
+
+TEST(EventEngineTest, DoubleCancelReturnsFalse) {
+  EventQueue queue;
+  auto id = queue.Schedule(5, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventEngineTest, CancelAfterFireReturnsFalse) {
+  EventQueue queue;
+  auto id = queue.Schedule(5, [] {});
+  queue.RunAll();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventEngineTest, CancelStressRandomized) {
+  // Heavy random mix of schedules and cancels; the engine must fire
+  // exactly the never-cancelled events, each exactly once.
+  EventQueue queue;
+  Rng rng(0xC0FFEE);
+  std::vector<std::pair<EventQueue::EventId, int>> live;
+  std::vector<int> fired;
+  int next_token = 0;
+  for (int round = 0; round < 10000; ++round) {
+    double coin = static_cast<double>(rng.UniformInt(0, 99));
+    if (coin < 60.0 || live.empty()) {
+      int token = next_token++;
+      Tick when = queue.Now() + rng.UniformInt(0, 5000);
+      auto id = queue.Schedule(when, [&fired, token] {
+        fired.push_back(token);
+      });
+      live.push_back({id, token});
+    } else if (coin < 85.0) {
+      // Cancel a random live event (it may have fired already).
+      size_t pick = rng.UniformInt(0, live.size() - 1);
+      queue.Cancel(live[pick].first);
+      live.erase(live.begin() + pick);
+    } else {
+      queue.RunFor(rng.UniformInt(0, 500));
+    }
+  }
+  // Whatever was never cancelled eventually fires exactly once.
+  queue.RunAll();
+  std::vector<int> sorted = fired;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end())
+      << "an event fired twice";
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.PendingCount(), 0u);
+}
+
+TEST(EventEngineTest, SameTickFifoAcross10kRandomizedSchedules) {
+  // Events landing on the same tick must run in schedule order, no matter
+  // how they were interleaved with other ticks, cancels and run windows.
+  EventQueue queue;
+  Rng rng(0xFEED);
+  std::vector<std::pair<Tick, int>> executed;  // (tick, sequence token).
+  int token = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Tick when = queue.Now() + rng.UniformInt(0, 50);
+    int my_token = token++;
+    queue.Schedule(when, [&executed, &queue, my_token] {
+      executed.push_back({queue.Now(), my_token});
+    });
+    if (rng.UniformInt(0, 9) == 0) {
+      queue.RunFor(rng.UniformInt(0, 30));
+    }
+  }
+  queue.RunAll();
+  ASSERT_EQ(executed.size(), 10000u);
+  for (size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_GE(executed[i].first, executed[i - 1].first) << "time order";
+    if (executed[i].first == executed[i - 1].first) {
+      // Same tick: schedule order (token order) must hold.
+      ASSERT_GT(executed[i].second, executed[i - 1].second)
+          << "FIFO violated at tick " << executed[i].first;
+    }
+  }
+}
+
+TEST(EventEngineTest, SameTickFifoIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    EventQueue queue;
+    Rng rng(42);
+    std::vector<int> order;
+    for (int i = 0; i < 2000; ++i) {
+      Tick when = rng.UniformInt(0, 100);
+      queue.Schedule(when, [&order, i] { order.push_back(i); });
+    }
+    queue.RunAll();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EventEngineTest, IdReuseSafety) {
+  // A slot freed by execution or cancellation is recycled with a bumped
+  // generation: stale ids must not cancel the slot's new occupant.
+  EventQueue queue;
+  auto first = queue.Schedule(10, [] {});
+  ASSERT_TRUE(queue.Cancel(first));
+  // The freed slot is reused by the very next schedule.
+  bool second_ran = false;
+  auto second = queue.Schedule(20, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(queue.Cancel(first)) << "stale id cancelled the new event";
+  queue.RunAll();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventEngineTest, IdReuseStressNeverCrossCancels) {
+  EventQueue queue;
+  Rng rng(7);
+  std::vector<EventQueue::EventId> stale;
+  int fired = 0;
+  for (int round = 0; round < 5000; ++round) {
+    auto id = queue.Schedule(queue.Now() + rng.UniformInt(1, 20), [&] {
+      ++fired;
+    });
+    if (rng.UniformInt(0, 1) == 0) {
+      queue.Cancel(id);
+      stale.push_back(id);
+    }
+    // Stale ids must stay dead forever.
+    for (size_t i = 0; i < stale.size(); i += 7) {
+      EXPECT_FALSE(queue.Cancel(stale[i]));
+    }
+    if (round % 50 == 0) {
+      queue.RunFor(30);
+    }
+  }
+  queue.RunAll();
+  EXPECT_EQ(queue.PendingCount(), 0u);
+  EXPECT_GT(fired, 0);
+}
+
+TEST(EventEngineTest, PopNeverCopiesTheCallback) {
+  // Events pop by move: from Schedule to execution the callback's state
+  // must never be copy-constructed (the seed engine copied the
+  // std::function out of the heap top on every RunUntil pop).
+  struct CopyCounter {
+    int* copies;
+    int* runs;
+    CopyCounter(int* copies, int* runs) : copies(copies), runs(runs) {}
+    CopyCounter(const CopyCounter& other)
+        : copies(other.copies), runs(other.runs) {
+      ++*copies;
+    }
+    CopyCounter(CopyCounter&& other) noexcept
+        : copies(other.copies), runs(other.runs) {}
+    void operator()() const { ++*runs; }
+  };
+  EventQueue queue;
+  int copies = 0;
+  int runs = 0;
+  queue.Schedule(5, CopyCounter(&copies, &runs));
+  queue.Schedule(500000, CopyCounter(&copies, &runs));  // Far heap path.
+  queue.RunAll();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventEngineTest, CancelDuringExecutionOfSameTick) {
+  // An event may cancel a later event scheduled for the same tick; the
+  // cancelled event must not run even though it is already in the due
+  // queue.
+  EventQueue queue;
+  int ran = 0;
+  EventQueue::EventId second = EventQueue::kInvalidEvent;
+  queue.Schedule(10, [&] {
+    ++ran;
+    EXPECT_TRUE(queue.Cancel(second));
+  });
+  second = queue.Schedule(10, [&] { ran += 100; });
+  queue.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventEngineTest, ReschedulingFromCallbackKeepsClockMonotone) {
+  EventQueue queue;
+  std::vector<Tick> times;
+  queue.Schedule(5, [&] {
+    times.push_back(queue.Now());
+    queue.Schedule(2, [&] { times.push_back(queue.Now()); });  // Past: clamps.
+    queue.ScheduleAfter(7, [&] { times.push_back(queue.Now()); });
+  });
+  queue.RunAll();
+  EXPECT_EQ(times, (std::vector<Tick>{5, 5, 12}));
+}
+
+TEST(EventEngineTest, LongHorizonMixedWithShortDelays) {
+  // Mixes far-future timers with dense short-delay events across the
+  // near/far boundary; ordering must hold across migrations.
+  EventQueue queue;
+  std::vector<Tick> fire_times;
+  for (int i = 0; i < 50; ++i) {
+    queue.Schedule(100000 + i * 10000, [&] {
+      fire_times.push_back(queue.Now());
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    queue.Schedule(i * 97 % 90000, [&] { fire_times.push_back(queue.Now()); });
+  }
+  queue.RunAll();
+  ASSERT_EQ(fire_times.size(), 2050u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+}
+
+}  // namespace
+}  // namespace quanto

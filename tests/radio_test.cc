@@ -378,5 +378,21 @@ TEST(LplTest, FalsePositiveHoldsRadioForTimeout) {
   EXPECT_GE(on, LowPowerListening::Config{}.detection_timeout);
 }
 
+TEST(RadioTest, PowerOffDuringStartupAbortsPowerUp) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Node::Config node_cfg;
+  Node node(&queue, node_cfg);
+  Cc2420 radio(&node, &medium, Cc2420::Config{});
+  bool ready_ran = false;
+  radio.PowerOn([&] { ready_ran = true; });
+  // Switch off before the regulator + oscillator startup completes.
+  queue.RunFor(Microseconds(100));
+  radio.PowerOff();
+  queue.RunFor(Seconds(1));
+  EXPECT_FALSE(radio.powered()) << "radio came back on after PowerOff";
+  EXPECT_FALSE(ready_ran) << "stale ready continuation ran after PowerOff";
+}
+
 }  // namespace
 }  // namespace quanto

@@ -122,5 +122,21 @@ TEST_P(RingBufferChurnTest, FifoInvariantUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferChurnTest,
                          ::testing::Values(1, 2, 3, 7, 64, 800));
 
+TEST(RingBufferTest, OverwriteOldestKeepsNewestAtNonPow2Capacity) {
+  // Regression: with storage rounded up to a power of two, the overwrite
+  // path must append at the tail (head and tail no longer coincide when
+  // the logical capacity is full).
+  RingBuffer<int> buffer(3, RingBuffer<int>::OverflowPolicy::kOverwriteOldest);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(buffer.Push(i));
+  }
+  EXPECT_EQ(buffer.Snapshot(), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  for (int i = 5; i <= 9; ++i) {
+    buffer.Push(i);
+  }
+  EXPECT_EQ(buffer.Snapshot(), (std::vector<int>{7, 8, 9}));
+}
+
 }  // namespace
 }  // namespace quanto

@@ -1,0 +1,189 @@
+// Equivalence of the single-pass streaming pipeline with the batch
+// Parse -> ExtractPowerIntervals -> BuildRegressionProblem -> SolveQuanto
+// chain: same groups, same columns, same collinearity notes, and
+// coefficients within 1e-9 (bit-identical in practice) on recorded traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/analysis/pipeline.h"
+#include "src/analysis/streaming.h"
+#include "src/analysis/trace.h"
+#include "src/apps/blink.h"
+#include "src/apps/lpl_listener.h"
+#include "src/apps/mote.h"
+#include "src/apps/sense_and_send.h"
+#include "src/net/wifi_interferer.h"
+
+namespace quanto {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+PipelineResult BatchSolve(const std::vector<LogEntry>& trace,
+                          MicroJoules energy_per_pulse) {
+  auto events = TraceParser::Parse(trace);
+  auto intervals = ExtractPowerIntervals(events, energy_per_pulse);
+  auto problem = BuildRegressionProblem(intervals);
+  return SolveQuanto(problem);
+}
+
+void ExpectEquivalent(const std::vector<LogEntry>& trace,
+                      MicroJoules energy_per_pulse) {
+  PipelineResult batch = BatchSolve(trace, energy_per_pulse);
+  StreamingPipeline::Options opts;
+  opts.energy_per_pulse = energy_per_pulse;
+  PipelineResult streamed = RunPipeline(trace, opts);
+
+  ASSERT_EQ(streamed.ok, batch.ok) << streamed.error << " / " << batch.error;
+  if (!batch.ok) {
+    EXPECT_EQ(streamed.error, batch.error);
+    return;
+  }
+  ASSERT_EQ(streamed.coefficients.size(), batch.coefficients.size());
+  for (size_t i = 0; i < batch.coefficients.size(); ++i) {
+    EXPECT_NEAR(streamed.coefficients[i], batch.coefficients[i], kTol)
+        << "coefficient " << i;
+  }
+  EXPECT_NEAR(streamed.relative_error, batch.relative_error, kTol);
+  EXPECT_EQ(streamed.notes, batch.notes);
+  ASSERT_EQ(streamed.reduced.coefficients.size(),
+            batch.reduced.coefficients.size());
+  for (size_t i = 0; i < batch.reduced.coefficients.size(); ++i) {
+    EXPECT_NEAR(streamed.reduced.coefficients[i],
+                batch.reduced.coefficients[i], kTol);
+  }
+}
+
+std::vector<LogEntry> BlinkTrace(double seconds) {
+  EventQueue queue;
+  Mote::Config cfg;
+  cfg.id = 1;
+  Mote mote(&queue, nullptr, cfg);
+  BlinkApp blink(&mote);
+  blink.Start();
+  queue.RunFor(Seconds(seconds));
+  return mote.logger().Trace();
+}
+
+TEST(StreamingPipelineTest, MatchesBatchOnBlinkTrace) {
+  auto trace = BlinkTrace(16.0);
+  ASSERT_GT(trace.size(), 100u);
+  ExpectEquivalent(trace, 8.33);
+}
+
+TEST(StreamingPipelineTest, MatchesBatchOnLplInterferenceTrace) {
+  // The fig13-style workload: LPL duty cycling next to an 802.11
+  // interferer — radio power states, false wake-ups, the works.
+  EventQueue queue;
+  Medium medium(&queue);
+  WifiInterferer::Config wifi_cfg;
+  wifi_cfg.seed = 0x1111;
+  WifiInterferer wifi(&queue, wifi_cfg);
+  medium.AddInterference(&wifi);
+  wifi.Start();
+  Mote::Config cfg;
+  cfg.id = 1;
+  cfg.radio.channel = 17;
+  Mote mote(&queue, &medium, cfg);
+  LplListenerApp app(&mote);
+  app.Start();
+  queue.RunFor(Seconds(14));
+
+  auto trace = mote.logger().Trace();
+  ASSERT_GT(trace.size(), 100u);
+  ExpectEquivalent(trace, mote.meter().config().energy_per_pulse);
+}
+
+TEST(StreamingPipelineTest, MatchesBatchOnSenseAndSendTrace) {
+  EventQueue queue;
+  Medium medium(&queue);
+  Mote::Config cfg;
+  cfg.id = 1;
+  Mote mote(&queue, &medium, cfg);
+  SenseAndSendApp::Config app_cfg;
+  app_cfg.sample_interval = Seconds(2);
+  SenseAndSendApp app(&mote, app_cfg);
+  app.Start();
+  queue.RunFor(Seconds(12));
+
+  auto trace = mote.logger().Trace();
+  ASSERT_GT(trace.size(), 100u);
+  ExpectEquivalent(trace, mote.meter().config().energy_per_pulse);
+}
+
+TEST(StreamingPipelineTest, IncrementalAddMatchesAddAll) {
+  auto trace = BlinkTrace(8.0);
+  StreamingPipeline one_shot;
+  one_shot.AddAll(trace);
+  StreamingPipeline incremental;
+  for (const LogEntry& e : trace) {
+    incremental.Add(e);
+  }
+  auto a = one_shot.Solve();
+  auto b = incremental.Solve();
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+  for (size_t i = 0; i < a.coefficients.size(); ++i) {
+    EXPECT_EQ(a.coefficients[i], b.coefficients[i]);
+  }
+  EXPECT_EQ(one_shot.group_count(), incremental.group_count());
+  EXPECT_EQ(one_shot.total_time(), incremental.total_time());
+}
+
+TEST(StreamingPipelineTest, UnwrapsCounterWraparound) {
+  // Synthetic power-state entries whose 32-bit counters wrap: the streamed
+  // totals must match the batch parser's 64-bit unwrapping.
+  std::vector<LogEntry> trace;
+  auto add = [&trace](uint32_t time, uint32_t icount, powerstate_t state) {
+    LogEntry e;
+    e.type = static_cast<uint8_t>(LogEntryType::kPowerState);
+    e.res_id = kSinkLed0;
+    e.time = time;
+    e.icount = icount;
+    e.payload = state;
+    trace.push_back(e);
+  };
+  add(0xFFFFFF00u, 0xFFFFFFF0u, kLedOn);
+  add(0x00000100u, 0x00000010u, kLedOff);  // Both counters wrapped.
+  add(0x00010000u, 0x00000020u, kLedOn);
+  add(0x00020000u, 0x00000030u, kLedOff);
+
+  StreamingPipeline stream;
+  stream.AddAll(trace);
+  auto events = TraceParser::Parse(trace);
+  auto intervals = ExtractPowerIntervals(events, 8.33);
+  Tick batch_total = 0;
+  MicroJoules batch_energy = 0.0;
+  for (const auto& interval : intervals) {
+    batch_total += interval.end - interval.start;
+    batch_energy += interval.energy;
+  }
+  stream.Solve();
+  EXPECT_EQ(stream.total_time(), batch_total);
+  EXPECT_DOUBLE_EQ(stream.total_energy(), batch_energy);
+  EXPECT_EQ(stream.intervals_seen(), intervals.size());
+  EXPECT_EQ(stream.last_time() - stream.first_time(),
+            events.back().time - events.front().time);
+}
+
+TEST(StreamingPipelineTest, EmptyTraceReportsEmptyProblem) {
+  PipelineResult result = RunPipeline({});
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, "empty problem");
+}
+
+TEST(StreamingPipelineTest, StreamStatisticsMatchTrace) {
+  auto trace = BlinkTrace(8.0);
+  StreamingPipeline stream;
+  stream.AddAll(trace);
+  EXPECT_EQ(stream.entries_seen(), trace.size());
+  EXPECT_GT(stream.group_count(), 0u);
+  EXPECT_GT(stream.total_time(), 0u);
+}
+
+}  // namespace
+}  // namespace quanto

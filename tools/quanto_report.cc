@@ -15,7 +15,7 @@
 #include <string>
 
 #include "src/analysis/accounting.h"
-#include "src/analysis/pipeline.h"
+#include "src/analysis/streaming.h"
 #include "src/analysis/trace.h"
 #include "src/analysis/trace_io.h"
 #include "src/util/table.h"
@@ -61,9 +61,15 @@ int Run(int argc, char** argv) {
                    2)
             << " s\n";
 
-  auto intervals = ExtractPowerIntervals(events, 8.33);
-  auto problem = BuildRegressionProblem(intervals);
-  auto fit = SolveQuanto(problem);
+  // Single-pass streaming regression: entries go straight from the trace
+  // file into XᵀWX / XᵀWy accumulation, no interval or design-matrix
+  // materialization (results match the batch pipeline bit-for-bit).
+  StreamingPipeline::Options stream_opts;
+  stream_opts.energy_per_pulse = 8.33;
+  StreamingPipeline stream(stream_opts);
+  stream.AddAll(*trace);
+  auto fit = stream.Solve();
+  const auto& columns = stream.columns();
   if (!fit.ok) {
     std::cerr << "regression failed: " << fit.error << "\n";
     return 1;
@@ -71,8 +77,8 @@ int Run(int argc, char** argv) {
 
   PrintSection(std::cout, "Estimated power draws (Section 2.5 regression)");
   TextTable draws({"column", "I (mA)", "P (mW)"});
-  for (size_t i = 0; i < problem.columns.size(); ++i) {
-    draws.AddRow({problem.columns[i].Name(),
+  for (size_t i = 0; i < columns.size(); ++i) {
+    draws.AddRow({columns[i].Name(),
                   TextTable::Num(fit.coefficients[i] / 3.0 / 1000.0, 3),
                   TextTable::Num(fit.coefficients[i] / 1000.0, 3)});
   }
@@ -84,9 +90,9 @@ int Run(int argc, char** argv) {
             << TextTable::Num(fit.relative_error * 100.0, 2) << "%\n";
 
   ActivityAccountant::Options opts;
-  opts.constant_power = fit.coefficients[problem.columns.size() - 1];
-  ActivityAccountant accountant(
-      PowerFromRegression(problem, fit.coefficients), opts);
+  opts.constant_power = fit.coefficients[columns.size() - 1];
+  ActivityAccountant accountant(PowerFromColumns(columns, fit.coefficients),
+                                opts);
   auto accounts = accountant.Run(events, node);
 
   PrintSection(std::cout, "Energy by activity");

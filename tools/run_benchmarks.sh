@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode, runs every bench_* binary, and
+# aggregates per-benchmark results into BENCH_results.json at the repo
+# root. Benchmarks that emit their own JSON (bench_scale_multihop via
+# --json, bench_table4_logging_costs via Google Benchmark's JSON reporter)
+# have it embedded inline; text-only benches contribute their exit status,
+# wall time and shape-check PASS/FAIL counts.
+#
+# Usage: tools/run_benchmarks.sh [build-dir]   (default: build-bench)
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-bench}"
+OUT_JSON="$REPO_ROOT/BENCH_results.json"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "== Configuring Release build in $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+  >"$SCRATCH/configure.log" 2>&1 || {
+  echo "configure failed; see $SCRATCH/configure.log"
+  exit 1
+}
+echo "== Building benchmarks"
+cmake --build "$BUILD_DIR" -j "$(nproc)" >"$SCRATCH/build.log" 2>&1 || {
+  tail -30 "$SCRATCH/build.log"
+  echo "build failed"
+  exit 1
+}
+
+entries="$SCRATCH/entries.txt"
+: >"$entries"
+
+run_bench() {
+  local bin="$1"
+  local name
+  name="$(basename "$bin")"
+  local extra_args=()
+  local own_json=""
+  case "$name" in
+    bench_scale_multihop)
+      own_json="$SCRATCH/$name.json"
+      extra_args=(--json "$own_json")
+      ;;
+    bench_table4_logging_costs)
+      own_json="$SCRATCH/$name.json"
+      extra_args=(--benchmark_format=json)
+      ;;
+  esac
+
+  echo "== Running $name"
+  local start end status
+  start=$(date +%s.%N)
+  if [ "$name" = "bench_table4_logging_costs" ]; then
+    "$bin" "${extra_args[@]}" >"$own_json" 2>"$SCRATCH/$name.err"
+    status=$?
+    cp "$SCRATCH/$name.err" "$SCRATCH/$name.out" 2>/dev/null || true
+  else
+    "$bin" "${extra_args[@]}" >"$SCRATCH/$name.out" 2>&1
+    status=$?
+  fi
+  end=$(date +%s.%N)
+  local wall
+  wall=$(python3 -c "print(f'{$end - $start:.3f}')")
+  local pass fail
+  pass=$(grep -c ': PASS' "$SCRATCH/$name.out" 2>/dev/null || true)
+  fail=$(grep -c ': FAIL' "$SCRATCH/$name.out" 2>/dev/null || true)
+  printf '%s\t%s\t%s\t%s\t%s\t%s\n' \
+    "$name" "$status" "$wall" "${pass:-0}" "${fail:-0}" "$own_json" \
+    >>"$entries"
+}
+
+found_any=0
+for bin in "$BUILD_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  [ -f "$bin" ] || continue
+  found_any=1
+  run_bench "$bin"
+done
+if [ "$found_any" = 0 ]; then
+  echo "no bench_* binaries found in $BUILD_DIR"
+  exit 1
+fi
+
+python3 - "$entries" "$OUT_JSON" <<'EOF'
+import json
+import sys
+import time
+
+entries_path, out_path = sys.argv[1], sys.argv[2]
+benchmarks = []
+for line in open(entries_path):
+    name, status, wall, passed, failed, own_json = line.rstrip("\n").split("\t")
+    record = {
+        "name": name,
+        "status": "ok" if status == "0" else f"exit {status}",
+        "wall_seconds": float(wall),
+        "shape_checks": {"pass": int(passed), "fail": int(failed)},
+    }
+    if own_json:
+        try:
+            with open(own_json) as f:
+                record["results"] = json.load(f)
+        except (OSError, ValueError):
+            record["results"] = None
+    benchmarks.append(record)
+
+out = {
+    "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "benchmarks": benchmarks,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+EOF
+
+# Keep the canonical copy of the scale benchmark's JSON at the repo root
+# so successive PRs have a perf trajectory.
+if [ -f "$SCRATCH/bench_scale_multihop.json" ]; then
+  cp "$SCRATCH/bench_scale_multihop.json" "$REPO_ROOT/BENCH_scale.json"
+  echo "wrote $REPO_ROOT/BENCH_scale.json"
+fi
+
+fails=$(awk -F'\t' '$2 != 0 { print $1 }' "$entries")
+if [ -n "$fails" ]; then
+  echo "benchmarks with non-zero exit:"
+  echo "$fails"
+  exit 1
+fi
+echo "all benchmarks completed"
