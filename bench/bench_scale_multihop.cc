@@ -1,20 +1,38 @@
 // Engine scale benchmark: a 64-256 mote low-power-listening relay network.
 //
 // Unlike the figure/table benches, this one reproduces no paper number; it
-// measures how fast the discrete-event engine itself runs at many-node
-// scale, which bounds every other experiment. The workload is the heaviest
-// mix the repo models: a backbone of always-on relays floods packets hop by
-// hop while every other mote duty-cycles its radio with LPL (timer events,
-// radio power transitions, CCA sampling, task dispatch, per-sample logging).
+// measures how fast the simulation core itself runs at many-node scale,
+// which bounds every other experiment. The workload (src/apps/
+// scale_network.h) is the heaviest mix the repo models: a backbone of
+// always-on relays floods packets hop by hop while every other mote
+// duty-cycles its radio with LPL (timer events, radio power transitions,
+// CCA sampling, task dispatch, per-sample logging).
 //
-// Reported per network size: executed events, wall-clock seconds and
-// simulated events per wall second. Results are also written as JSON
+// Two simulation cores are measured:
+//  * --threads 0: the single-engine path (one global EventQueue — the
+//    PR 1 baseline).
+//  * --threads N>=1: the sharded core (ShardedSimulator + MediumFabric,
+//    fixed shard count, lockstep lookahead windows, N worker threads).
+//    Every sharded run reports the deterministic merged-trace hash; equal
+//    hashes across thread counts are the determinism proof (byte-identical
+//    merged logs, hence byte-identical quanto_report output).
+//
+// Reported per run: executed events, wall-clock seconds, simulated events
+// per wall second and the merge hash. Results are also written as JSON
 // (default BENCH_scale.json, override with --json) so successive PRs can
-// track the engine's perf trajectory.
+// track the core's perf trajectory.
 //
 // Usage: bench_scale_multihop [--motes N] [--seconds S] [--json PATH]
-//   --motes    run only one network size instead of the 64/128/256 sweep
-//   --seconds  simulated seconds per run (default 10)
+//                             [--threads T1,T2,...] [--shards S]
+//                             [--lookahead-us U] [--trace PATH]
+//   --motes        run only one network size instead of the 64/128/256 sweep
+//   --seconds      simulated seconds per run (default 10)
+//   --threads      worker-thread sweep; 0 = single-engine baseline
+//                  (default 0,1,4)
+//   --shards       shard count for sharded runs (default 8; fixed across
+//                  the thread sweep so all runs simulate the same thing)
+//   --lookahead-us lockstep window width in microseconds (default 512)
+//   --trace        write the last run's merged trace (quanto_report input)
 
 #include <chrono>
 #include <cstdlib>
@@ -22,22 +40,23 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "src/apps/lpl_listener.h"
-#include "src/apps/mote.h"
-#include "src/apps/relay.h"
+#include "src/analysis/trace_io.h"
+#include "src/analysis/trace_merge.h"
+#include "src/apps/scale_network.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
 namespace quanto {
 namespace {
 
-constexpr uint8_t kAmFlood = 0x5C;
-
 struct RunResult {
   size_t motes = 0;
+  size_t threads = 0;  // 0 = single-engine baseline.
+  size_t shards = 0;
   double sim_seconds = 0.0;
   uint64_t events = 0;
   double wall_seconds = 0.0;
@@ -46,94 +65,92 @@ struct RunResult {
   uint64_t packets_delivered = 0;
   uint64_t lpl_wakeups = 0;
   uint64_t entries_logged = 0;
+  uint64_t windows = 0;
+  uint64_t cross_posts = 0;
+  uint64_t merge_hash = 0;
 };
 
-RunResult RunNetwork(size_t n_motes, double sim_seconds) {
-  EventQueue queue;
-  Medium medium(&queue);
+struct RunOptions {
+  size_t threads = 0;
+  size_t shards = 8;
+  Tick lookahead = Microseconds(512);
+  std::string trace_path;  // Empty: no trace dump.
+};
 
-  std::vector<std::unique_ptr<Mote>> motes;
-  std::vector<std::unique_ptr<RelayApp>> relays;
-  std::vector<std::unique_ptr<LplListenerApp>> listeners;
-  motes.reserve(n_motes);
-
-  // Every 4th mote is a backbone relay with an always-on radio; the rest
-  // duty-cycle with LPL. Bound per-mote log memory: the engine, not the
-  // archive, is under test.
-  auto is_backbone = [](size_t i) { return i % 4 == 0; };
-  for (size_t i = 0; i < n_motes; ++i) {
-    Mote::Config cfg;
-    cfg.id = static_cast<node_id_t>(i + 1);
-    cfg.log_capacity = 8192;
-    cfg.log_mode = QuantoLogger::Mode::kRamBuffer;
-    cfg.with_oscilloscope = false;
-    // Ground-truth probes no scale run ever reads: the pulse-train history
-    // grows with every power transition and would dominate memory here.
-    cfg.meter.record_history = false;
-    cfg.radio.seed = 0xCC2420 + i;
-    motes.push_back(std::make_unique<Mote>(&queue, &medium, cfg));
-  }
-  for (size_t i = 0; i < n_motes; ++i) {
-    Mote* mote = motes[i].get();
-    if (is_backbone(i)) {
-      mote->radio().PowerOn([mote] { mote->radio().StartListening(); });
+void FinishRun(const ScaleNetwork& net, const RunOptions& opts,
+               RunResult* result) {
+  result->lpl_wakeups = net.lpl_wakeups();
+  result->entries_logged = net.entries_logged();
+  std::vector<MergedEntry> merged = MergeTraces(CollectNodeTraces(net));
+  result->merge_hash = MergedTraceHash(merged);
+  if (!opts.trace_path.empty()) {
+    if (WriteTraceFile(opts.trace_path, MergedEntryStream(merged))) {
+      std::cout << "  wrote merged trace " << opts.trace_path << " ("
+                << merged.size() << " entries)\n";
+    } else {
+      std::cerr << "cannot write " << opts.trace_path << "\n";
     }
   }
-  queue.RunFor(Milliseconds(5));
+}
 
-  // Backbone relays forward the flood to the next backbone mote.
-  for (size_t i = 0; i < n_motes; ++i) {
-    if (!is_backbone(i)) {
-      LplListenerApp::Config cfg;
-      cfg.lpl.check_interval = Milliseconds(100);
-      cfg.lpl.cca_listen_time = Milliseconds(9);
-      cfg.lpl.detection_timeout = Milliseconds(50);
-      listeners.push_back(
-          std::make_unique<LplListenerApp>(motes[i].get(), cfg));
-      listeners.back()->Start();
-      continue;
-    }
-    RelayApp::Config cfg;
-    cfg.am_type = kAmFlood;
-    size_t next = i + 4;
-    cfg.next_hop =
-        next < n_motes ? static_cast<node_id_t>(next + 1) : node_id_t{0};
-    relays.push_back(std::make_unique<RelayApp>(motes[i].get(), cfg));
-    relays.back()->Start();
-  }
-
-  // The first backbone mote originates a flood packet every 250 ms.
-  Mote& origin = *motes[0];
-  constexpr act_id_t kActFlood = 9;
-  origin.timers().StartPeriodic(Milliseconds(250), 80, [&origin] {
-    origin.cpu().activity().set(origin.Label(kActFlood));
-    Packet p;
-    p.dst = 5;
-    p.am_type = kAmFlood;
-    p.payload = {0xF1, 0x00, 0x0D};
-    origin.am().Send(p);
-  });
-
-  auto start = std::chrono::steady_clock::now();
-  queue.RunFor(Seconds(sim_seconds));
-  auto stop = std::chrono::steady_clock::now();
+RunResult RunNetwork(size_t n_motes, double sim_seconds,
+                     const RunOptions& opts) {
+  ScaleNetworkConfig cfg;
+  cfg.motes = n_motes;
 
   RunResult result;
   result.motes = n_motes;
+  result.threads = opts.threads;
   result.sim_seconds = sim_seconds;
-  result.events = queue.executed_count();
-  result.wall_seconds =
-      std::chrono::duration<double>(stop - start).count();
+
+  if (opts.threads == 0) {
+    // Single-engine baseline: the exact PR 1 code path.
+    EventQueue queue;
+    Medium medium(&queue);
+    ScaleNetwork net(&queue, &medium, cfg);
+    net.PowerUp();
+    queue.RunFor(Milliseconds(5));
+    net.StartApps();
+
+    auto start = std::chrono::steady_clock::now();
+    queue.RunFor(Seconds(sim_seconds));
+    auto stop = std::chrono::steady_clock::now();
+
+    result.shards = 1;
+    result.events = queue.executed_count();
+    result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+    result.packets_sent = medium.packets_sent();
+    result.packets_delivered = medium.packets_delivered();
+    FinishRun(net, opts, &result);
+  } else {
+    ShardedSimulator::Config sim_cfg;
+    sim_cfg.shards = opts.shards;
+    sim_cfg.threads = opts.threads;
+    sim_cfg.lookahead = opts.lookahead;
+    ShardedSimulator sim(sim_cfg);
+    MediumFabric fabric(&sim);
+    // Window-batched logger self-charging: the sharded core's native mode.
+    cfg.batch_log_charging = true;
+    ScaleNetwork net(&sim, &fabric, cfg);
+    net.PowerUp();
+    sim.RunFor(Milliseconds(5));
+    net.StartApps();
+
+    auto start = std::chrono::steady_clock::now();
+    sim.RunFor(Seconds(sim_seconds));
+    auto stop = std::chrono::steady_clock::now();
+
+    result.shards = sim.shard_count();
+    result.events = sim.executed_count();
+    result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+    result.packets_sent = fabric.packets_sent();
+    result.packets_delivered = fabric.packets_delivered();
+    result.windows = sim.windows_run();
+    result.cross_posts = fabric.cross_posts();
+    FinishRun(net, opts, &result);
+  }
   result.events_per_sec =
       result.wall_seconds > 0 ? result.events / result.wall_seconds : 0.0;
-  result.packets_sent = medium.packets_sent();
-  result.packets_delivered = medium.packets_delivered();
-  for (auto& l : listeners) {
-    result.lpl_wakeups += l->lpl().wakeups();
-  }
-  for (auto& m : motes) {
-    result.entries_logged += m->logger().entries_logged();
-  }
   return result;
 }
 
@@ -208,6 +225,12 @@ struct CoreChurn {
   }
 };
 
+std::string HashHex(uint64_t hash) {
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
 void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
                const std::string& path) {
   std::ofstream out(path);
@@ -219,6 +242,8 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     out << "    {\"motes\": " << r.motes
+        << ", \"threads\": " << r.threads
+        << ", \"shards\": " << r.shards
         << ", \"sim_seconds\": " << r.sim_seconds
         << ", \"events\": " << r.events
         << ", \"wall_seconds\": " << r.wall_seconds
@@ -226,7 +251,10 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"packets_sent\": " << r.packets_sent
         << ", \"packets_delivered\": " << r.packets_delivered
         << ", \"lpl_wakeups\": " << r.lpl_wakeups
-        << ", \"entries_logged\": " << r.entries_logged << "}"
+        << ", \"entries_logged\": " << r.entries_logged
+        << ", \"windows\": " << r.windows
+        << ", \"cross_posts\": " << r.cross_posts
+        << ", \"merge_hash\": \"" << HashHex(r.merge_hash) << "\"}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -234,20 +262,26 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
       << ", \"wall_seconds\": " << core.wall_seconds
       << ", \"events_per_sec\": "
       << static_cast<uint64_t>(core.events_per_sec) << "},\n";
-  // Reference numbers recorded once against the pre-overhaul seed engine
-  // (same workload, same build flags, 60 s trials, median of 5); see
-  // docs/PERFORMANCE.md for the measurement protocol.
+  // Reference numbers recorded against earlier engines (same workload,
+  // same build flags; see docs/PERFORMANCE.md for the protocol). The
+  // pre-overhaul seed engine, and PR 1's single-engine numbers that the
+  // sharded core's thread sweep is measured against.
   out << "  \"seed_engine_baseline\": {\"motes\": 128, "
          "\"network_events_per_sec_median\": 2837350, "
-         "\"engine_core_events_per_sec_median\": 5366662}\n";
+         "\"engine_core_events_per_sec_median\": 5366662},\n";
+  out << "  \"pr1_single_engine_baseline\": {\"motes\": 256, "
+         "\"events_per_sec\": 4666063}\n";
   out << "}\n";
   std::cout << "  wrote " << path << "\n";
 }
 
 int Run(int argc, char** argv) {
   std::vector<size_t> sizes = {64, 128, 256};
+  std::vector<size_t> thread_sweep = {0, 1, 4};
   double sim_seconds = 10.0;
   std::string json_path = "BENCH_scale.json";
+  RunOptions opts;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--motes") == 0 && i + 1 < argc) {
       int n = std::atoi(argv[++i]);
@@ -256,26 +290,70 @@ int Run(int argc, char** argv) {
                      "origin and a peer)\n";
         return 2;
       }
+      if (n > 256) {
+        // node_id_t is uint8_t: beyond 256 motes ids silently collide,
+        // which corrupts delivery filtering and the per-node trace merge.
+        // At exactly 256 the ids are distinct but two are reserved values
+        // (mote index 254 gets 0xFF = broadcast, index 255 gets 0 = the
+        // relay no-next-hop sentinel); the flood workload never unicasts
+        // to either, so 256 stays the canonical sweep ceiling.
+        std::cerr << "--motes must be <= 256 until node_id_t is widened "
+                     "(see ROADMAP)\n";
+        return 2;
+      }
       sizes = {static_cast<size_t>(n)};
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       sim_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_sweep.clear();
+      std::stringstream list(argv[++i]);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        thread_sweep.push_back(static_cast<size_t>(std::atoi(item.c_str())));
+      }
+      if (thread_sweep.empty()) {
+        std::cerr << "--threads needs a comma-separated list\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "--shards must be >= 1\n";
+        return 2;
+      }
+      opts.shards = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--lookahead-us") == 0 && i + 1 < argc) {
+      opts.lookahead = Microseconds(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     }
   }
 
-  PrintSection(std::cout, "Engine scale: LPL relay network");
-  TextTable t({"motes", "sim s", "events", "wall s", "events/s", "delivered",
-               "wakeups"});
+  PrintSection(std::cout, "Simulation core scale: LPL relay network");
+  TextTable t({"motes", "thr", "shards", "sim s", "events", "wall s",
+               "events/s", "delivered", "merge hash"});
   std::vector<RunResult> runs;
   for (size_t n : sizes) {
-    RunResult r = RunNetwork(n, sim_seconds);
-    runs.push_back(r);
-    t.AddRow({std::to_string(r.motes), TextTable::Num(r.sim_seconds, 1),
-              std::to_string(r.events), TextTable::Num(r.wall_seconds, 3),
-              std::to_string(static_cast<uint64_t>(r.events_per_sec)),
-              std::to_string(r.packets_delivered),
-              std::to_string(r.lpl_wakeups)});
+    for (size_t threads : thread_sweep) {
+      RunOptions run_opts = opts;
+      run_opts.threads = threads;
+      // The merged trace (for quanto_report comparisons) is written by the
+      // last run of each thread sweep at the largest size, suffixed by the
+      // thread count so 1-thread and N-thread outputs can be diffed.
+      if (!trace_path.empty() && n == sizes.back()) {
+        run_opts.trace_path =
+            trace_path + "." + std::to_string(threads) + "t.qnto";
+      }
+      RunResult r = RunNetwork(n, sim_seconds, run_opts);
+      runs.push_back(r);
+      t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
+                std::to_string(r.shards), TextTable::Num(r.sim_seconds, 1),
+                std::to_string(r.events), TextTable::Num(r.wall_seconds, 3),
+                std::to_string(static_cast<uint64_t>(r.events_per_sec)),
+                std::to_string(r.packets_delivered), HashHex(r.merge_hash)});
+    }
   }
   t.Print(std::cout);
 

@@ -1,0 +1,73 @@
+#include "src/analysis/trace_merge.h"
+
+#include <algorithm>
+
+namespace quanto {
+
+std::vector<MergedEntry> MergeTraces(const std::vector<NodeTrace>& traces) {
+  size_t total = 0;
+  for (const NodeTrace& t : traces) {
+    total += t.entries.size();
+  }
+  std::vector<MergedEntry> merged;
+  merged.reserve(total);
+
+  for (const NodeTrace& t : traces) {
+    // Per-stream 32 -> 64 bit unwrap: the counter wrapped whenever a
+    // timestamp goes backwards within one node's (monotone) log.
+    uint64_t high = 0;
+    uint32_t prev = 0;
+    bool first = true;
+    for (const LogEntry& e : t.entries) {
+      if (!first && e.time < prev) {
+        high += uint64_t{1} << 32;
+      }
+      first = false;
+      prev = e.time;
+      merged.push_back(MergedEntry{high | e.time, t.node, e});
+    }
+  }
+
+  // Stable: same-key entries (one node, one tick, several samples) keep
+  // their log order. The key never involves anything thread-dependent.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedEntry& a, const MergedEntry& b) {
+                     if (a.time64 != b.time64) {
+                       return a.time64 < b.time64;
+                     }
+                     return a.node < b.node;
+                   });
+  return merged;
+}
+
+std::vector<LogEntry> MergedEntryStream(
+    const std::vector<MergedEntry>& merged) {
+  std::vector<LogEntry> entries;
+  entries.reserve(merged.size());
+  for (const MergedEntry& m : merged) {
+    entries.push_back(m.entry);
+  }
+  return entries;
+}
+
+uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged) {
+  // FNV-1a, field by field (host-endianness independent).
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t value, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const MergedEntry& m : merged) {
+    mix(m.node, 2);
+    mix(m.entry.type, 1);
+    mix(m.entry.res_id, 1);
+    mix(m.entry.time, 4);
+    mix(m.entry.icount, 4);
+    mix(m.entry.payload, 2);
+  }
+  return h;
+}
+
+}  // namespace quanto

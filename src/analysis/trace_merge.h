@@ -1,0 +1,76 @@
+// Merge-aware trace ingestion: deterministic, timestamp-stable merging of
+// per-node Quanto logs into one network-wide stream.
+//
+// Under the sharded simulation core every mote still logs into its own
+// buffer, and shards execute their lockstep windows on whatever worker
+// thread happens to own them. The merge defined here is what makes the
+// analysis input independent of that: entries are ordered by their
+// unwrapped 64-bit timestamp, ties broken by node id, then by each node's
+// own log order. Every key component is a simulation-determined value —
+// nothing about thread scheduling can reach it — so a 1-thread run and an
+// N-thread run of the same configuration produce byte-identical merged
+// streams (asserted by tests/sharded_determinism_test.cc, and the basis
+// for byte-identical quanto_report output at any thread count).
+//
+// The 32-bit log timestamps wrap (Figure 17's free-running counters); each
+// stream is unwrapped independently before merging, exactly as the
+// streaming pipeline's stage 1 does.
+#ifndef QUANTO_SRC_ANALYSIS_TRACE_MERGE_H_
+#define QUANTO_SRC_ANALYSIS_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/activity.h"
+#include "src/core/log_entry.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+// One node's log as collected from its QuantoLogger (Trace()).
+struct NodeTrace {
+  node_id_t node = 0;
+  std::vector<LogEntry> entries;
+};
+
+// One merged-stream record: the original entry plus its source node and
+// its unwrapped timestamp.
+struct MergedEntry {
+  uint64_t time64 = 0;
+  node_id_t node = 0;
+  LogEntry entry{};
+};
+
+// Collects per-node logs from any network-like container exposing
+// size(), mote(i).id() and mote(i).logger().Trace() — ScaleNetwork does.
+// Template so the analysis layer stays independent of the apps layer.
+template <typename Network>
+std::vector<NodeTrace> CollectNodeTraces(const Network& net) {
+  std::vector<NodeTrace> traces;
+  traces.reserve(net.size());
+  for (size_t i = 0; i < net.size(); ++i) {
+    traces.push_back(
+        NodeTrace{net.mote(i).id(), net.mote(i).logger().Trace()});
+  }
+  return traces;
+}
+
+// Merges per-node traces into (time64, node, per-node order) order. The
+// result does not depend on the order of `traces` (node ids are assumed
+// unique); each node's internal order is preserved exactly.
+std::vector<MergedEntry> MergeTraces(const std::vector<NodeTrace>& traces);
+
+// The merged stream's raw entries, for single-stream consumers
+// (SerializeTrace / WriteTraceFile / quanto_report). Timestamps stay as
+// logged (wrapped 32-bit); the merge order is globally time-sorted, which
+// is what those consumers expect of a single log.
+std::vector<LogEntry> MergedEntryStream(const std::vector<MergedEntry>& merged);
+
+// FNV-1a fingerprint over (node, entry fields) in merge order —
+// host-independent, so runs can assert sequence identity without carrying
+// full traces around.
+uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged);
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_ANALYSIS_TRACE_MERGE_H_

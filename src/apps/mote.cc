@@ -21,8 +21,11 @@ Mote::Mote(EventQueue* queue, Medium* medium, const Config& config)
   logger_ = std::make_unique<QuantoLogger>(&node_->clock(), meter_.get(),
                                            config.log_capacity,
                                            config.log_mode);
+  // Devirtualized per-sample meter read (the meter type is final).
+  logger_->SetFastMeter(meter_.get());
   if (config.charge_logging) {
     logger_->SetCpuChargeHook(&node_->cpu());
+    logger_->SetChargeBatching(config.batch_log_charging);
   }
 
   // --- Wiring: every tracked component feeds the logger; every power

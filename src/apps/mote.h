@@ -46,6 +46,12 @@ class Mote {
     QuantoLogger::Mode log_mode = QuantoLogger::Mode::kRamBuffer;
     // Charge the logger's 102-cycle synchronous cost to the CPU.
     bool charge_logging = true;
+    // Accumulate the self-charge and flush it once per lockstep window
+    // (QuantoLogger::SetChargeBatching) instead of per sample. Scale runs
+    // turn this on; figure/table experiments keep the paper-faithful
+    // per-sample charging. The flush hook must be installed by whoever
+    // drives the simulation (ScaleNetwork/the sharded runner do).
+    bool batch_log_charging = false;
     // Attach an oscilloscope ground-truth probe.
     bool with_oscilloscope = true;
   };
@@ -64,6 +70,7 @@ class Mote {
   IcountMeter& meter() { return *meter_; }
   Oscilloscope* scope() { return scope_.get(); }
   QuantoLogger& logger() { return *logger_; }
+  const QuantoLogger& logger() const { return *logger_; }
 
   LedDriver& led(int index) { return *leds_[index]; }
   Sht11Sensor& sensor() { return *sensor_; }

@@ -1,0 +1,121 @@
+#include "src/apps/scale_network.h"
+
+namespace quanto {
+namespace {
+
+constexpr uint8_t kAmFlood = 0x5C;
+constexpr act_id_t kActFlood = 9;
+
+}  // namespace
+
+ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
+                           const ScaleNetworkConfig& config)
+    : config_(config) {
+  std::vector<EventQueue*> queues;
+  std::vector<Medium*> media;
+  for (size_t s = 0; s < sim->shard_count(); ++s) {
+    queues.push_back(&sim->queue(s));
+    media.push_back(&fabric->medium(s));
+  }
+  Build(queues, media);
+  if (config_.batch_log_charging) {
+    // Flush after the fabric drain (the fabric registered its hook at
+    // construction, before us); the order is fixed per run either way.
+    sim->AddBarrierHook([this](Tick) { FlushAllCharges(); });
+  }
+}
+
+ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
+                           const ScaleNetworkConfig& config)
+    : config_(config) {
+  Build({queue}, {medium});
+}
+
+void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
+                         const std::vector<Medium*>& media) {
+  size_t shards = queues.size();
+  motes_.reserve(config_.motes);
+  for (size_t i = 0; i < config_.motes; ++i) {
+    Mote::Config cfg;
+    cfg.id = static_cast<node_id_t>(i + 1);
+    cfg.log_capacity = config_.log_capacity;
+    cfg.log_mode = QuantoLogger::Mode::kRamBuffer;
+    cfg.with_oscilloscope = false;
+    // Ground-truth probes no scale run ever reads: the pulse-train history
+    // grows with every power transition and would dominate memory here.
+    cfg.meter.record_history = false;
+    cfg.radio.seed = 0xCC2420 + i;
+    cfg.batch_log_charging = config_.batch_log_charging;
+    size_t shard = i % shards;
+    motes_.push_back(
+        std::make_unique<Mote>(queues[shard], media[shard], cfg));
+  }
+}
+
+void ScaleNetwork::PowerUp() {
+  for (size_t i = 0; i < motes_.size(); ++i) {
+    if (IsBackbone(i)) {
+      Mote* mote = motes_[i].get();
+      mote->radio().PowerOn([mote] { mote->radio().StartListening(); });
+    }
+  }
+}
+
+void ScaleNetwork::StartApps() {
+  for (size_t i = 0; i < motes_.size(); ++i) {
+    if (!IsBackbone(i)) {
+      LplListenerApp::Config cfg;
+      cfg.lpl.check_interval = config_.lpl_check_interval;
+      cfg.lpl.cca_listen_time = config_.lpl_cca_listen_time;
+      cfg.lpl.detection_timeout = config_.lpl_detection_timeout;
+      listeners_.push_back(
+          std::make_unique<LplListenerApp>(motes_[i].get(), cfg));
+      listeners_.back()->Start();
+      continue;
+    }
+    // Backbone relays forward the flood to the next backbone mote.
+    RelayApp::Config cfg;
+    cfg.am_type = kAmFlood;
+    size_t next = i + 4;
+    cfg.next_hop = next < motes_.size() ? static_cast<node_id_t>(next + 1)
+                                        : node_id_t{0};
+    relays_.push_back(std::make_unique<RelayApp>(motes_[i].get(), cfg));
+    relays_.back()->Start();
+  }
+
+  // The first backbone mote originates a flood packet periodically.
+  Mote& origin = *motes_[0];
+  Mote* origin_ptr = &origin;
+  origin.timers().StartPeriodic(config_.flood_interval, 80, [origin_ptr] {
+    origin_ptr->cpu().activity().set(origin_ptr->Label(kActFlood));
+    Packet p;
+    p.dst = 5;
+    p.am_type = kAmFlood;
+    p.payload = {0xF1, 0x00, 0x0D};
+    origin_ptr->am().Send(p);
+  });
+}
+
+uint64_t ScaleNetwork::lpl_wakeups() const {
+  uint64_t total = 0;
+  for (const auto& l : listeners_) {
+    total += l->lpl().wakeups();
+  }
+  return total;
+}
+
+uint64_t ScaleNetwork::entries_logged() const {
+  uint64_t total = 0;
+  for (const auto& m : motes_) {
+    total += m->logger().entries_logged();
+  }
+  return total;
+}
+
+void ScaleNetwork::FlushAllCharges() {
+  for (const auto& m : motes_) {
+    m->logger().FlushCpuCharge();
+  }
+}
+
+}  // namespace quanto

@@ -1,0 +1,87 @@
+// The many-mote LPL relay workload shared by bench_scale_multihop and the
+// sharded-determinism tests: a backbone of always-on relays floods packets
+// hop by hop while every other mote duty-cycles its radio with low-power
+// listening. This is the heaviest event mix the repo models (timer events,
+// radio power transitions, CCA sampling, task dispatch, per-sample
+// logging), which is why both the scale benchmark and the determinism
+// proof run it.
+//
+// The builder works against either simulation core:
+//  * single-engine: one EventQueue + one Medium (the PR 1 baseline path);
+//  * sharded: a ShardedSimulator + MediumFabric, with mote i assigned to
+//    shard i % shard_count — a fixed decomposition, so the simulated
+//    behaviour depends on the shard count but never on the thread count.
+#ifndef QUANTO_SRC_APPS_SCALE_NETWORK_H_
+#define QUANTO_SRC_APPS_SCALE_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/lpl_listener.h"
+#include "src/apps/mote.h"
+#include "src/apps/relay.h"
+#include "src/net/medium.h"
+#include "src/sim/sharded_sim.h"
+
+namespace quanto {
+
+struct ScaleNetworkConfig {
+  size_t motes = 64;
+  // Bound per-mote log memory: the engine, not the archive, is under test.
+  size_t log_capacity = 8192;
+  Tick lpl_check_interval = Milliseconds(100);
+  Tick lpl_cca_listen_time = Milliseconds(9);
+  Tick lpl_detection_timeout = Milliseconds(50);
+  Tick flood_interval = Milliseconds(250);
+  // Window-batched logger self-charging (satellite of the sharding PR).
+  // The sharded constructor installs the per-window flush hook itself;
+  // single-engine callers must call FlushAllCharges() manually if they
+  // turn this on.
+  bool batch_log_charging = false;
+};
+
+class ScaleNetwork {
+ public:
+  // Sharded build: motes land on sim->queue(i % shards) with the matching
+  // fabric medium replica.
+  ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
+               const ScaleNetworkConfig& config);
+  // Single-engine build.
+  ScaleNetwork(EventQueue* queue, Medium* medium,
+               const ScaleNetworkConfig& config);
+
+  // Every 4th mote is a backbone relay with an always-on radio; the rest
+  // duty-cycle with LPL.
+  static bool IsBackbone(size_t i) { return i % 4 == 0; }
+
+  // Phase 1: power the backbone radios. Run ~5 ms of simulation before
+  // StartApps() so the radios finish their power-up sequences.
+  void PowerUp();
+  // Phase 2: start the relay/LPL apps and the origin's periodic flood
+  // (one packet every flood_interval, labelled with activity 9).
+  void StartApps();
+
+  size_t size() const { return motes_.size(); }
+  Mote& mote(size_t i) { return *motes_[i]; }
+  const Mote& mote(size_t i) const { return *motes_[i]; }
+
+  uint64_t lpl_wakeups() const;
+  uint64_t entries_logged() const;
+
+  // Flushes every mote's batched logger self-charge (no-op per mote when
+  // nothing is pending).
+  void FlushAllCharges();
+
+ private:
+  void Build(const std::vector<EventQueue*>& queues,
+             const std::vector<Medium*>& media);
+
+  ScaleNetworkConfig config_;
+  std::vector<std::unique_ptr<Mote>> motes_;
+  std::vector<std::unique_ptr<RelayApp>> relays_;
+  std::vector<std::unique_ptr<LplListenerApp>> listeners_;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_APPS_SCALE_NETWORK_H_

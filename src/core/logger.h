@@ -31,6 +31,12 @@
 #include "src/core/hooks.h"
 #include "src/core/log_entry.h"
 #include "src/core/power_state.h"
+// Deliberate layering exception: the logger samples the meter on every
+// tracked event in the system, so it knows the simulation's concrete
+// (final) meter type and reads it without a virtual dispatch when the
+// Mote wiring provides one. Everything else still goes through the
+// EnergyCounter interface (fakes, tests, alternative meters).
+#include "src/meter/icount.h"
 #include "src/util/ring_buffer.h"
 
 namespace quanto {
@@ -69,6 +75,36 @@ class QuantoLogger {
   // Optional: charge the synchronous logging cost to the CPU.
   void SetCpuChargeHook(CpuChargeHook* hook) { charge_hook_ = hook; }
 
+  // Concrete-meter fast path: when the energy counter is the simulation's
+  // IcountMeter, Append reads it through the final concrete type, so the
+  // per-sample read devirtualizes and the integration inlines. The meter
+  // must be the same object as (or a stand-in for) the EnergyCounter
+  // passed at construction.
+  void SetFastMeter(IcountMeter* meter) { fast_meter_ = meter; }
+
+  // Batched CPU self-charging: accumulate the paper's 102-cycle per-sample
+  // cost and charge it in one ChargeCycles call at the next
+  // FlushCpuCharge() — the sharded runner flushes every lockstep window.
+  // Per-sample charging cancels and reschedules the open CPU frame's
+  // completion event on every sample; batching replaces that with one
+  // reschedule per window, at the cost of attributing the logger's own
+  // cycles to whatever frame (or idle) is current at flush time instead of
+  // at sample time. Off by default: per-sample charging is the
+  // paper-faithful mode every figure/table experiment uses.
+  void SetChargeBatching(bool on) { batch_charging_ = on; }
+  bool charge_batching() const { return batch_charging_; }
+  Cycles pending_charge() const { return pending_charge_; }
+  void FlushCpuCharge() {
+    if (pending_charge_ == 0) {
+      return;
+    }
+    Cycles cycles = pending_charge_;
+    pending_charge_ = 0;
+    if (charge_hook_ != nullptr) {
+      charge_hook_->ChargeCycles(cycles);
+    }
+  }
+
   void SetEnabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
@@ -96,7 +132,8 @@ class QuantoLogger {
     // counters.
     entry.time = static_cast<uint32_t>(now_source_ != nullptr ? *now_source_
                                                               : clock_->Now());
-    entry.icount = meter_->ReadPulses();
+    entry.icount = fast_meter_ != nullptr ? fast_meter_->ReadPulses()
+                                          : meter_->ReadPulses();
     entry.payload = payload;
 
     if (buffer_.Push(entry)) {
@@ -106,7 +143,9 @@ class QuantoLogger {
     }
 
     sync_cycles_spent_ += cost_per_sample_;
-    if (charge_hook_ != nullptr) {
+    if (batch_charging_) {
+      pending_charge_ += cost_per_sample_;
+    } else if (charge_hook_ != nullptr) {
       charge_hook_->ChargeCycles(cost_per_sample_);
     }
   }
@@ -166,7 +205,10 @@ class QuantoLogger {
   Clock* clock_;
   const Tick* now_source_ = nullptr;  // Clock fast path, may be null.
   EnergyCounter* meter_;
+  IcountMeter* fast_meter_ = nullptr;  // Concrete-type fast path, may be null.
   CpuChargeHook* charge_hook_ = nullptr;
+  bool batch_charging_ = false;
+  Cycles pending_charge_ = 0;
   LoggingCosts costs_;
   Cycles cost_per_sample_ = LoggingCosts().total();  // costs_.total() cached.
   Mode mode_;

@@ -25,7 +25,10 @@
 
 namespace quanto {
 
-class IcountMeter : public EnergyCounter {
+// Final: the logger's fast path reads the meter through the concrete type
+// (QuantoLogger::SetFastMeter), and finality is what lets that call
+// devirtualize and inline.
+class IcountMeter final : public EnergyCounter {
  public:
   struct Config {
     // Energy per regulator switch pulse (measured in Section 4.1).

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "src/sim/sharded_sim.h"
+
 namespace quanto {
 
 Medium::Medium(EventQueue* queue) : queue_(queue) {}
+
+Medium::Medium(EventQueue* queue, MediumFabric* fabric, size_t shard)
+    : queue_(queue), fabric_(fabric), shard_(shard) {}
 
 void Medium::Register(MediumClient* client) {
   clients_.push_back(client);
@@ -22,6 +27,11 @@ void Medium::Unregister(MediumClient* client) {
 
 std::vector<MediumClient*>& Medium::ChannelClients(int channel) {
   return clients_by_channel_[channel];
+}
+
+bool Medium::HasClients(int channel) const {
+  auto it = clients_by_channel_.find(channel);
+  return it != clients_by_channel_.end() && !it->second.empty();
 }
 
 void Medium::AddInterference(InterferenceSource* source) {
@@ -65,6 +75,9 @@ bool Medium::BeginTransmit(node_id_t sender, int channel, const Packet& packet,
   queue_->ScheduleAfter(airtime, [this, channel, delivered] {
     CompleteTransmit(channel, delivered);
   });
+  if (fabric_ != nullptr) {
+    fabric_->Post(shard_, channel, packet, airtime, queue_->Now());
+  }
   return true;
 }
 
@@ -84,6 +97,147 @@ void Medium::CompleteTransmit(int channel, const Packet& packet) {
     client->OnFrameComplete(packet);
     ++packets_delivered_;
   }
+}
+
+void Medium::DeliverRemote(const Packet& packet, int channel, Tick airtime) {
+  // A remote frame arriving while this shard's channel is already occupied
+  // is corrupted for our listeners (the senders were beyond each other's
+  // carrier-sense reach, so the later one never backed off); the earlier
+  // frame still delivers, matching the local model where the later
+  // transmission simply never airs. The corrupted frame still deposits
+  // energy (CCA sees it) for its whole airtime.
+  bool collided = ActiveTransmissions(channel) > 0;
+  if (collided) {
+    ++collisions_;
+  }
+  ++busy_count_[channel];
+  for (MediumClient* client : ChannelClients(channel)) {
+    if (client->NodeId() != packet.src && client->Listening()) {
+      client->OnFrameStart(packet.src);
+    }
+  }
+  Packet delivered = packet;
+  queue_->ScheduleAfter(airtime, [this, channel, delivered, collided] {
+    FinishRemote(channel, delivered, collided);
+  });
+}
+
+void Medium::FinishRemote(int channel, const Packet& packet, bool collided) {
+  auto it = busy_count_.find(channel);
+  if (it != busy_count_.end() && it->second > 0) {
+    --it->second;
+  }
+  if (collided) {
+    return;
+  }
+  for (MediumClient* client : ChannelClients(channel)) {
+    if (client->NodeId() == packet.src || !client->Listening()) {
+      continue;
+    }
+    client->OnFrameComplete(packet);
+    ++packets_delivered_;
+  }
+}
+
+// --- MediumFabric -------------------------------------------------------------
+
+MediumFabric::MediumFabric(ShardedSimulator* sim, const Config& config)
+    : config_(config) {
+  // Conservative lookahead: a frame posted inside a window must never land
+  // inside the same window, so the cross-shard latency can never be
+  // shorter than the window width.
+  if (config_.latency < sim->lookahead()) {
+    config_.latency = sim->lookahead();
+  }
+  size_t shards = sim->shard_count();
+  media_.reserve(shards);
+  queues_.reserve(shards);
+  posts_.resize(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    queues_.push_back(&sim->queue(s));
+    media_.push_back(
+        std::unique_ptr<Medium>(new Medium(queues_[s], this, s)));
+  }
+  sim->AddBarrierHook([this](Tick window_end) { Drain(window_end); });
+}
+
+void MediumFabric::Post(size_t src_shard, int channel, const Packet& packet,
+                        Tick airtime, Tick now) {
+  // Mailboxes are thread-confined (only the owning shard's worker writes
+  // posts_[src_shard]); shared counters are updated at drain time, on the
+  // coordinating thread, so Post stays synchronization-free.
+  posts_[src_shard].push_back(
+      CrossPost{now, src_shard, channel, airtime, packet});
+}
+
+void MediumFabric::Drain(Tick barrier_now) {
+  scratch_.clear();
+  for (std::vector<CrossPost>& shard_posts : posts_) {
+    cross_posts_ += shard_posts.size();
+    scratch_.insert(scratch_.end(), shard_posts.begin(), shard_posts.end());
+    shard_posts.clear();
+  }
+  if (scratch_.empty()) {
+    return;
+  }
+  // Per-shard lists are already time-ordered (posts happen in execution
+  // order); a stable sort on (time, source shard) therefore yields one
+  // deterministic total order, so destination engines hand out identical
+  // sequence numbers at every thread count.
+  std::stable_sort(scratch_.begin(), scratch_.end(),
+                   [](const CrossPost& a, const CrossPost& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     return a.src_shard < b.src_shard;
+                   });
+  for (const CrossPost& post : scratch_) {
+    Tick deliver = post.time + config_.latency;
+    if (deliver <= barrier_now) {
+      // A post at a window's first tick with latency == window width lands
+      // exactly on the barrier; push it just past it (deterministic: the
+      // barrier time does not depend on the thread count).
+      deliver = barrier_now + 1;
+    }
+    for (size_t dst = 0; dst < media_.size(); ++dst) {
+      if (dst == post.src_shard || !media_[dst]->HasClients(post.channel)) {
+        continue;
+      }
+      Medium* medium = media_[dst].get();
+      // Copies the packet into the closure; cross-shard frames are rare
+      // compared to engine events, so the copy is not a hot path.
+      Packet packet = post.packet;
+      int channel = post.channel;
+      Tick airtime = post.airtime;
+      queues_[dst]->Schedule(deliver, [medium, packet, channel, airtime] {
+        medium->DeliverRemote(packet, channel, airtime);
+      });
+    }
+  }
+}
+
+uint64_t MediumFabric::packets_sent() const {
+  uint64_t total = 0;
+  for (const auto& m : media_) {
+    total += m->packets_sent();
+  }
+  return total;
+}
+
+uint64_t MediumFabric::packets_delivered() const {
+  uint64_t total = 0;
+  for (const auto& m : media_) {
+    total += m->packets_delivered();
+  }
+  return total;
+}
+
+uint64_t MediumFabric::collisions() const {
+  uint64_t total = 0;
+  for (const auto& m : media_) {
+    total += m->collisions();
+  }
+  return total;
 }
 
 }  // namespace quanto

@@ -9,12 +9,27 @@
 // energy from both 802.15.4 transmissions and interference sources such as
 // the 802.11 b/g access point of Section 4.3 — which is how channel 17
 // "hears" the Wi-Fi network that channel 26 does not.
+//
+// Sharded operation: under the ShardedSimulator each shard gets its own
+// Medium replica covering the radios of that shard's motes, all connected
+// by a MediumFabric. Within a shard, delivery is synchronous exactly as in
+// the single-engine mode. Across shards, delivery is a two-phase protocol:
+// a successful BeginTransmit *posts* the frame to the fabric's per-shard
+// mailbox (lock-free: only the owning shard's thread appends), and the
+// fabric *drains* all mailboxes at the next window barrier, scheduling the
+// frame onto every other shard's engine at post-time + latency. The
+// latency models antenna propagation plus receiver turnaround and is the
+// simulator's lookahead: it is what guarantees no frame posted inside a
+// window can land inside the same window. Drains apply posts in a sorted
+// (time, source shard) order, so cross-shard delivery — and therefore
+// every downstream event sequence — is identical at any thread count.
 #ifndef QUANTO_SRC_NET_MEDIUM_H_
 #define QUANTO_SRC_NET_MEDIUM_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/net/packet.h"
@@ -22,6 +37,9 @@
 #include "src/util/units.h"
 
 namespace quanto {
+
+class MediumFabric;
+class ShardedSimulator;  // Full type needed only by medium.cc.
 
 // 802.15.4 channels are numbered 11..26 (2.405 + 5*(k-11) MHz centres).
 inline constexpr int kFirstZigbeeChannel = 11;
@@ -60,6 +78,8 @@ class InterferenceSource {
 
 class Medium {
  public:
+  // Single-engine (global) medium: the pre-sharding behaviour, used by
+  // every one-queue experiment and test.
   explicit Medium(EventQueue* queue);
 
   void Register(MediumClient* client);
@@ -70,36 +90,120 @@ class Medium {
   // Starts a transmission: occupies `channel` for `airtime`, notifies
   // listening peers of frame start now and frame completion at the end.
   // Returns false (and sends nothing) if the sender collides with an
-  // ongoing 802.15.4 transmission on the channel.
+  // ongoing 802.15.4 transmission on the channel. In sharded mode a
+  // successful transmit is additionally posted to the fabric for delivery
+  // to the other shards' airspace at now + fabric latency.
   bool BeginTransmit(node_id_t sender, int channel, const Packet& packet,
                      Tick airtime);
 
   // Clear-channel assessment: energy detected on `channel` right now,
-  // from either an in-flight 802.15.4 frame or an interference source.
+  // from an in-flight 802.15.4 frame (local or remote), or an
+  // interference source.
   bool EnergyDetected(int channel) const;
 
-  // Number of in-flight 802.15.4 transmissions on the channel.
+  // Number of in-flight 802.15.4 transmissions occupying the channel here
+  // (local transmissions plus remote frames currently on the air in this
+  // shard's airspace).
   size_t ActiveTransmissions(int channel) const;
+
+  // True when any registered client is tuned to `channel`.
+  bool HasClients(int channel) const;
 
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t collisions() const { return collisions_; }
 
  private:
+  friend class MediumFabric;
+
+  // Sharded replica: created by MediumFabric only.
+  Medium(EventQueue* queue, MediumFabric* fabric, size_t shard);
+
   void CompleteTransmit(int channel, const Packet& packet);
+
+  // A frame transmitted in another shard reaches this shard's airspace
+  // now: occupy the channel for `airtime`, raise frame starts, and at the
+  // end deliver it — unless the channel was already occupied here, in
+  // which case the arriving frame is dropped as corrupted. Mirrors the
+  // local model's earlier-frame-wins semantics (BeginTransmit refuses the
+  // later transmission; here the senders were out of each other's
+  // carrier-sense reach, so the later frame airs but cannot be decoded).
+  void DeliverRemote(const Packet& packet, int channel, Tick airtime);
+  void FinishRemote(int channel, const Packet& packet, bool collided);
+
   // Clients tuned to `channel` (queried at Register time; radios in this
   // model never retune). Keeps per-packet notification from scanning every
   // client in the network.
   std::vector<MediumClient*>& ChannelClients(int channel);
 
   EventQueue* queue_;
+  MediumFabric* fabric_ = nullptr;  // Null in single-engine mode.
+  size_t shard_ = 0;
   std::vector<MediumClient*> clients_;
   std::map<int, std::vector<MediumClient*>> clients_by_channel_;
   std::vector<InterferenceSource*> interference_;
-  std::map<int, size_t> busy_count_;  // channel -> active transmissions.
+  std::map<int, size_t> busy_count_;  // channel -> frames on the air here.
   uint64_t packets_sent_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t collisions_ = 0;
+};
+
+// The cross-shard radio interconnect: one Medium replica per shard plus
+// the mailbox/drain machinery. Owns the replicas; registers its drain as a
+// barrier hook on the simulator at construction.
+class MediumFabric {
+ public:
+  struct Config {
+    // Cross-shard visibility latency (propagation + receiver turnaround).
+    // Clamped up to the simulator's lookahead — the conservative-lookahead
+    // invariant requires latency >= window width.
+    Tick latency = Microseconds(512);
+  };
+
+  MediumFabric(ShardedSimulator* sim, const Config& config);
+  explicit MediumFabric(ShardedSimulator* sim)
+      : MediumFabric(sim, Config()) {}
+
+  MediumFabric(const MediumFabric&) = delete;
+  MediumFabric& operator=(const MediumFabric&) = delete;
+
+  size_t shard_count() const { return media_.size(); }
+  Medium& medium(size_t shard) { return *media_[shard]; }
+  Tick latency() const { return config_.latency; }
+
+  // Network-wide statistics, aggregated over the shard replicas.
+  uint64_t packets_sent() const;
+  uint64_t packets_delivered() const;
+  uint64_t collisions() const;
+  uint64_t cross_posts() const { return cross_posts_; }
+
+ private:
+  friend class Medium;
+
+  struct CrossPost {
+    Tick time;         // Transmit start time in the source shard.
+    size_t src_shard;
+    int channel;
+    Tick airtime;
+    Packet packet;
+  };
+
+  // Called by a shard's Medium during its window. Only the owning shard's
+  // worker touches posts_[src_shard], so no synchronization is needed;
+  // the window barrier publishes the writes to the draining thread.
+  void Post(size_t src_shard, int channel, const Packet& packet,
+            Tick airtime, Tick now);
+
+  // Barrier hook: applies all posts in (time, src_shard, post order) to
+  // every other shard's engine. Runs single-threaded between windows.
+  void Drain(Tick barrier_now);
+
+  Config config_;
+  std::vector<std::unique_ptr<Medium>> media_;
+  std::vector<EventQueue*> queues_;
+  std::vector<std::vector<CrossPost>> posts_;  // Indexed by source shard.
+  std::vector<CrossPost> scratch_;             // Drain merge buffer.
+  uint64_t cross_posts_ = 0;
 };
 
 }  // namespace quanto

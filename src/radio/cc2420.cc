@@ -48,7 +48,7 @@ void Cc2420::PowerOn(Callback ready) {
   }
   powering_up_ = true;
   regulator_ps_.set(kRegulatorOn);
-  node_->queue().ScheduleAfter(
+  powerup_event_ = node_->queue().ScheduleAfter(
       config_.regulator_startup + config_.oscillator_startup,
       [this] { FinishPowerUp(); });
 }
@@ -57,6 +57,7 @@ void Cc2420::FinishPowerUp() {
   if (!powering_up_) {
     return;  // PowerOff() won the race with the startup delay.
   }
+  powerup_event_ = EventQueue::kInvalidEvent;
   powering_up_ = false;
   powered_ = true;
   control_ps_.set(kRadioControlIdle);
@@ -70,10 +71,12 @@ void Cc2420::FinishPowerUp() {
 void Cc2420::PowerOff() {
   StopListening();
   powered_ = false;
-  // Abort an in-flight power-up: the startup event still fires, but
-  // FinishPowerUp no-ops once this flag is cleared (otherwise the chip
-  // would come back on — and run stale ready continuations — after being
-  // switched off).
+  // Abort an in-flight power-up. Cancelling the startup event matters
+  // beyond tidiness: a later PowerOn sets powering_up_ again, and a stale
+  // event still in the queue would then complete that power-up at the
+  // *old* deadline — earlier than the modeled startup time.
+  node_->queue().Cancel(powerup_event_);
+  powerup_event_ = EventQueue::kInvalidEvent;
   powering_up_ = false;
   power_ready_ = nullptr;
   control_ps_.set(kRadioControlOff);

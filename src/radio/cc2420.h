@@ -135,6 +135,9 @@ class Cc2420 : public MediumClient {
   // Continuation(s) waiting for the chip to come up. Held in a member so
   // the per-wakeup power-on path schedules a bare [this] closure.
   Callback power_ready_;
+  // In-flight startup completion event; cancelled by PowerOff so a quick
+  // off/on cycle cannot complete the new power-up at the old deadline.
+  EventQueue::EventId powerup_event_ = EventQueue::kInvalidEvent;
   Packet outgoing_;
   act_t tx_owner_ = 0;
   SendDone send_done_;

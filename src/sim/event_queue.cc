@@ -25,24 +25,27 @@ void EventQueue::ReleaseSlot(uint32_t index) {
   free_head_ = index;
 }
 
-void EventQueue::HeapPush(std::vector<HeapEntry>* heap,
-                          const HeapEntry& entry) {
-  heap->push_back(entry);
-  size_t child = heap->size() - 1;
+void EventQueue::FarPush(const HeapEntry& entry) {
+  far_keys_.push_back(entry.time);
+  far_payloads_.push_back({entry.seq, entry.slot, entry.generation});
+  size_t child = far_keys_.size() - 1;
   while (child > 0) {
     size_t parent = (child - 1) / 4;
-    if (!Earlier((*heap)[child], (*heap)[parent])) {
+    if (!FarEarlier(child, parent)) {
       break;
     }
-    std::swap((*heap)[child], (*heap)[parent]);
+    std::swap(far_keys_[child], far_keys_[parent]);
+    std::swap(far_payloads_[child], far_payloads_[parent]);
     child = parent;
   }
 }
 
-void EventQueue::HeapPopTop(std::vector<HeapEntry>* heap) {
-  heap->front() = heap->back();
-  heap->pop_back();
-  size_t n = heap->size();
+void EventQueue::FarPopTop() {
+  far_keys_.front() = far_keys_.back();
+  far_keys_.pop_back();
+  far_payloads_.front() = far_payloads_.back();
+  far_payloads_.pop_back();
+  size_t n = far_keys_.size();
   size_t parent = 0;
   for (;;) {
     size_t first_child = parent * 4 + 1;
@@ -52,14 +55,15 @@ void EventQueue::HeapPopTop(std::vector<HeapEntry>* heap) {
     size_t best = first_child;
     size_t last_child = first_child + 4 < n ? first_child + 4 : n;
     for (size_t c = first_child + 1; c < last_child; ++c) {
-      if (Earlier((*heap)[c], (*heap)[best])) {
+      if (FarEarlier(c, best)) {
         best = c;
       }
     }
-    if (!Earlier((*heap)[best], (*heap)[parent])) {
+    if (!FarEarlier(best, parent)) {
       break;
     }
-    std::swap((*heap)[parent], (*heap)[best]);
+    std::swap(far_keys_[parent], far_keys_[best]);
+    std::swap(far_payloads_[parent], far_payloads_[best]);
     parent = best;
   }
 }
@@ -127,7 +131,7 @@ EventQueue::EventId EventQueue::Schedule(Tick time, Callback fn) {
   } else {
     // Later than the window — or in the rare gap between the clock and a
     // far-ahead window — the far heap holds it until a migration.
-    HeapPush(&far_, entry);
+    FarPush(entry);
   }
   ++live_count_;
   return (static_cast<EventId>(slot.generation) << 32) | index;
@@ -150,6 +154,28 @@ bool EventQueue::Cancel(EventId id) {
   return true;
 }
 
+Tick EventQueue::NextEventLowerBound() const {
+  Tick best = kNoEventTime;
+  if (!DueEmpty()) {
+    best = now_;
+  }
+  Tick from = wheel_pos_ < now_ ? now_ : wheel_pos_;
+  int bidx = NextOccupiedBucket(from);
+  if (bidx >= 0) {
+    const Bucket& bucket = wheel_[static_cast<size_t>(bidx)];
+    if (!bucket.empty()) {
+      Tick t = bucket.entries[bucket.taken].time;
+      if (t < best) {
+        best = t;
+      }
+    }
+  }
+  if (!far_keys_.empty() && far_keys_.front() < best) {
+    best = far_keys_.front();
+  }
+  return best;
+}
+
 bool EventQueue::PopNext(Tick limit, Tick* time, Callback* fn) {
   // `fn` must arrive empty: assigning into a non-empty Callback would run
   // the old target's destructor mid-pop, which may reenter the queue.
@@ -169,17 +195,17 @@ bool EventQueue::PopNext(Tick limit, Tick* time, Callback* fn) {
       bidx = NextOccupiedBucket(wheel_pos_);
     }
     if (bidx < 0) {
-      if (!far_.empty()) {
+      if (!far_keys_.empty()) {
         // Advance the window to the earliest far event and pull everything
         // inside the new window across (stale entries migrate too; the
         // bucket scan drops them).
-        Tick base = far_.front().time;
+        Tick base = far_keys_.front();
         wheel_pos_ = base;
         horizon_ = base + kNearHorizon;
         do {
-          WheelInsert(far_.front());
-          HeapPopTop(&far_);
-        } while (!far_.empty() && far_.front().time < horizon_);
+          WheelInsert(FarTop());
+          FarPopTop();
+        } while (!far_keys_.empty() && far_keys_.front() < horizon_);
         continue;
       }
       break;
@@ -222,18 +248,18 @@ bool EventQueue::PopNext(Tick limit, Tick* time, Callback* fn) {
     return false;  // The scan loop drained the far heap into the wheel.
   } else {
     source = Source::kWheel;
-    while (!far_.empty() &&
-           slots_[far_.front().slot].generation != far_.front().generation) {
-      HeapPopTop(&far_);
+    while (!far_keys_.empty() &&
+           slots_[far_payloads_.front().slot].generation !=
+               far_payloads_.front().generation) {
+      FarPopTop();
     }
-    if (!far_.empty() && Earlier(far_.front(), *wheel_entry)) {
+    if (!far_keys_.empty() && FarTopEarlier(*wheel_entry)) {
       source = Source::kFar;
     }
   }
   HeapEntry top = source == Source::kDue
                       ? DueFront()
-                      : (source == Source::kFar ? far_.front()
-                                                : *wheel_entry);
+                      : (source == Source::kFar ? FarTop() : *wheel_entry);
   if (top.time > limit) {
     return false;
   }
@@ -242,7 +268,7 @@ bool EventQueue::PopNext(Tick limit, Tick* time, Callback* fn) {
       DuePop();
       break;
     case Source::kFar:
-      HeapPopTop(&far_);
+      FarPopTop();
       break;
     case Source::kWheel: {
       size_t index = static_cast<size_t>(top.time & kWheelMask);

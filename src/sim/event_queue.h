@@ -32,6 +32,13 @@
 //    only when it drains. Invariant: every far entry's time is >=
 //    horizon_, every wheel entry's is in [wheel_pos_, horizon_), so the
 //    wheel's next entry is always the global minimum among non-due events.
+//  * The far heap stores keys and payloads in separate parallel arrays:
+//    sift compares touch a dense array of 8-byte time keys (three per
+//    cache line vs one 24-byte entry), and the (seq, slot, generation)
+//    payload is fetched only on pop — or on the rare same-time tie, where
+//    the sequence number breaks the tie exactly. At 1000+ motes the far
+//    heap holds one long timer per duty-cycled node, so compare locality
+//    is what bounds migration cost.
 #ifndef QUANTO_SRC_SIM_EVENT_QUEUE_H_
 #define QUANTO_SRC_SIM_EVENT_QUEUE_H_
 
@@ -87,6 +94,17 @@ class EventQueue {
   size_t PendingCount() const { return live_count_; }
   uint64_t executed_count() const { return executed_count_; }
 
+  // "Nothing pending" sentinel for NextEventLowerBound().
+  static constexpr Tick kNoEventTime = ~Tick{0};
+
+  // Lower bound on the time of the next live event, without popping. May
+  // be earlier than the true next event while lazily-cancelled entries are
+  // still buffered (a stale entry's time is reported as if live). Returns
+  // kNoEventTime when nothing is pending at all. The sharded runner uses
+  // this to fast-forward across empty lockstep windows; a conservatively
+  // early bound only costs an empty window, never correctness.
+  Tick NextEventLowerBound() const;
+
  private:
   static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
 
@@ -139,9 +157,35 @@ class EventQueue {
 
   uint32_t AcquireSlot();
   void ReleaseSlot(uint32_t index);
-  static void HeapPush(std::vector<HeapEntry>* heap, const HeapEntry& entry);
-  static void HeapPopTop(std::vector<HeapEntry>* heap);
   void WheelInsert(const HeapEntry& entry);
+
+  // --- Split-array far heap --------------------------------------------------
+  // far_keys_[i] / far_payloads_[i] describe one entry; heap order is
+  // (time, seq) with time in the key array and seq consulted only on ties.
+  struct FarPayload {
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+  };
+  bool FarEarlier(size_t a, size_t b) const {
+    if (far_keys_[a] != far_keys_[b]) {
+      return far_keys_[a] < far_keys_[b];
+    }
+    return far_payloads_[a].seq < far_payloads_[b].seq;
+  }
+  // True when the far top sorts before `e` by (time, seq).
+  bool FarTopEarlier(const HeapEntry& e) const {
+    if (far_keys_.front() != e.time) {
+      return far_keys_.front() < e.time;
+    }
+    return far_payloads_.front().seq < e.seq;
+  }
+  HeapEntry FarTop() const {
+    const FarPayload& p = far_payloads_.front();
+    return HeapEntry{far_keys_.front(), p.seq, p.slot, p.generation};
+  }
+  void FarPush(const HeapEntry& entry);
+  void FarPopTop();
   // Index of the first occupied bucket at or after `from`'s bucket within
   // the window [from, horizon_), or -1 when the wheel is empty there.
   int NextOccupiedBucket(Tick from) const;
@@ -162,7 +206,8 @@ class EventQueue {
   uint32_t free_head_ = kNoSlot;
   std::vector<Bucket> wheel_ = std::vector<Bucket>(kNearHorizon);
   uint64_t occupied_[kBitmapWords] = {};
-  std::vector<HeapEntry> far_;
+  std::vector<Tick> far_keys_;
+  std::vector<FarPayload> far_payloads_;
   // Events due at the current tick, in schedule order. Since the clock
   // never goes backwards and seq is monotone, this FIFO is always sorted
   // by (time, seq) by construction. Vector + take cursor: it fully drains

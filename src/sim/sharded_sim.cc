@@ -1,0 +1,127 @@
+#include "src/sim/sharded_sim.h"
+
+#include <algorithm>
+
+namespace quanto {
+
+ShardedSimulator::ShardedSimulator(const Config& config) : config_(config) {
+  size_t shards = std::max<size_t>(1, config.shards);
+  config_.shards = shards;
+  if (config_.lookahead == 0) {
+    config_.lookahead = 1;
+  }
+  threads_ = std::min(std::max<size_t>(1, config.threads), shards);
+  queues_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    queues_.push_back(std::make_unique<EventQueue>());
+  }
+  // The coordinating thread is worker 0; spawn the rest.
+  for (size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ShardedSimulator::RunShardRange(size_t worker, Tick target) {
+  size_t shards = queues_.size();
+  size_t begin = worker * shards / threads_;
+  size_t end = (worker + 1) * shards / threads_;
+  for (size_t s = begin; s < end; ++s) {
+    queues_[s]->RunUntil(target);
+  }
+}
+
+void ShardedSimulator::WorkerLoop(size_t worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Tick target;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      target = target_;
+    }
+    RunShardRange(worker, target);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+uint64_t ShardedSimulator::RunUntil(Tick end) {
+  uint64_t executed_before = executed_count();
+  while (now_ < end) {
+    // Place the window. The lookahead guarantee only has to cover ticks
+    // where events can run, so a globally idle gap can be skipped: if no
+    // shard has anything before `bound`, the window may end as late as
+    // bound-1+W while still never executing more than W ticks of busy
+    // time — and every cross-shard post made inside it still delivers
+    // strictly after it.
+    Tick bound = EventQueue::kNoEventTime;
+    for (const auto& q : queues_) {
+      bound = std::min(bound, q->NextEventLowerBound());
+    }
+    Tick base = now_;
+    if (bound == EventQueue::kNoEventTime) {
+      base = end;  // Nothing pending anywhere: one final empty window.
+    } else if (bound > now_ + 1) {
+      base = std::min(bound - 1, end);
+    }
+    Tick target = std::min(end, base + config_.lookahead);
+    if (target > end || target <= now_) {
+      target = end;
+    }
+
+    if (threads_ == 1) {
+      RunShardRange(0, target);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        target_ = target;
+        running_ = workers_.size();
+        ++epoch_;
+      }
+      cv_work_.notify_all();
+      RunShardRange(0, target);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return running_ == 0; });
+    }
+
+    // Barrier: all shards parked at `target`. Exchange cross-shard
+    // effects (and any other per-window bookkeeping) single-threaded, in
+    // registration order — identical at every thread count.
+    for (const BarrierHook& hook : hooks_) {
+      hook(target);
+    }
+    now_ = target;
+    ++windows_run_;
+  }
+  return executed_count() - executed_before;
+}
+
+uint64_t ShardedSimulator::executed_count() const {
+  uint64_t total = 0;
+  for (const auto& q : queues_) {
+    total += q->executed_count();
+  }
+  return total;
+}
+
+}  // namespace quanto

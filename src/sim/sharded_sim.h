@@ -1,0 +1,124 @@
+// Sharded parallel simulation core: N per-shard event engines advanced in
+// lockstep windows by a pool of worker threads.
+//
+// Conservative parallel discrete-event simulation: each shard owns a
+// disjoint set of motes and a private EventQueue (timing wheel, far heap,
+// slab — see event_queue.h), so everything a mote does to itself and to
+// shard-mates is ordinary sequential simulation. Shards only interact
+// through cross-shard effects (radio frames) whose minimum latency — the
+// lookahead — is at least one window width. That makes every window
+// embarrassingly parallel: during the window (t, t+W] no shard can affect
+// another, so all shards run concurrently with no locks on the hot path,
+// and cross-shard effects are exchanged at the window barrier (see
+// MediumFabric in src/net/medium.h).
+//
+// Determinism is by construction, not by luck:
+//  * The shard decomposition is fixed by configuration, independent of the
+//    worker-thread count. Threads only decide *who* executes a shard's
+//    window, never *what* executes: a 1-thread run and an 8-thread run
+//    perform the identical per-shard event sequences.
+//  * Barrier hooks (mailbox drains, batched-charge flushes) run on the
+//    coordinating thread, in registration order, between windows — so the
+//    events they schedule get identical sequence numbers at any thread
+//    count.
+//  * Each queue's same-tick FIFO ordering is untouched; merged per-node
+//    logs are therefore bit-identical across thread counts (asserted by
+//    tests/sharded_determinism_test.cc).
+//
+// Windows fast-forward across globally idle gaps: if every shard's next
+// event is at time B > now, the window is placed to end at B-1+W instead
+// of grinding through empty barriers (duty-cycled networks sleep orders of
+// magnitude longer than a window).
+#ifndef QUANTO_SRC_SIM_SHARDED_SIM_H_
+#define QUANTO_SRC_SIM_SHARDED_SIM_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/util/units.h"
+
+namespace quanto {
+
+class ShardedSimulator {
+ public:
+  struct Config {
+    // Shard count fixes the decomposition (and thus the exact simulated
+    // behaviour); it deliberately does NOT default to the thread count.
+    size_t shards = 8;
+    // Worker threads executing shard windows; clamped to [1, shards]. The
+    // coordinating thread is one of them.
+    size_t threads = 1;
+    // Window width in ticks. Must be <= the minimum cross-shard latency
+    // (the MediumFabric enforces its side; see medium.h). 512 us default:
+    // one CC2420 CSMA backoff period (320 us) + RX turnaround (192 us),
+    // the shortest path from a transmit decision to another node hearing
+    // the frame.
+    Tick lookahead = Microseconds(512);
+  };
+
+  explicit ShardedSimulator(const Config& config);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  size_t shard_count() const { return queues_.size(); }
+  size_t thread_count() const { return threads_; }
+  Tick lookahead() const { return config_.lookahead; }
+  Tick Now() const { return now_; }
+
+  // The shard's private engine. Build each mote against the queue of the
+  // shard it is assigned to; never schedule onto another shard's queue
+  // except from a barrier hook.
+  EventQueue& queue(size_t shard) { return *queues_[shard]; }
+
+  // Runs after every window, on the coordinating thread, in registration
+  // order, with all shards parked at `window_end`. This is where the
+  // medium fabric drains its mailboxes and batched loggers flush.
+  using BarrierHook = std::function<void(Tick window_end)>;
+  void AddBarrierHook(BarrierHook hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  // Advances every shard to `end` in lockstep windows. Returns the number
+  // of events executed across all shards during this call.
+  uint64_t RunUntil(Tick end);
+  uint64_t RunFor(Tick duration) { return RunUntil(now_ + duration); }
+
+  // Total events executed across all shards since construction.
+  uint64_t executed_count() const;
+
+  uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  // Runs worker `w`'s static shard range [w*S/T, (w+1)*S/T) up to target.
+  void RunShardRange(size_t worker, Tick target);
+  void WorkerLoop(size_t worker);
+
+  Config config_;
+  size_t threads_ = 1;
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  std::vector<BarrierHook> hooks_;
+  Tick now_ = 0;
+  uint64_t windows_run_ = 0;
+
+  // Window dispatch: the coordinator publishes (epoch_, target_) under
+  // mu_, workers run their ranges, the last one signals cv_done_.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  Tick target_ = 0;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_SIM_SHARDED_SIM_H_

@@ -240,5 +240,84 @@ TEST(EventEngineTest, LongHorizonMixedWithShortDelays) {
   EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
 }
 
+TEST(EventEngineTest, FarHeapSameTickKeepsScheduleOrder) {
+  // Far-heap entries (beyond the wheel horizon) with equal times must pop
+  // in schedule order: the split key/payload heap breaks time ties by
+  // sequence number, fetched from the payload array.
+  EventQueue queue;
+  std::vector<int> order;
+  constexpr Tick kFar = 500000;  // Well past the 8192-tick wheel window.
+  for (int i = 0; i < 64; ++i) {
+    queue.Schedule(kFar, [&order, i] { order.push_back(i); });
+    // Interleave other far times so the heap actually has to sift.
+    queue.Schedule(kFar + 1 + (i % 7), [] {});
+  }
+  queue.RunAll();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventEngineTest, FarHeapCancellationWithSplitArrays) {
+  EventQueue queue;
+  std::vector<EventQueue::EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        queue.Schedule(300000 + i * 10, [&fired] { ++fired; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(queue.Cancel(ids[i]));
+  }
+  queue.RunAll();
+  EXPECT_EQ(fired, 50);
+}
+
+TEST(EventEngineTest, NextEventLowerBoundTracksPendingWork) {
+  EventQueue queue;
+  EXPECT_EQ(queue.NextEventLowerBound(), EventQueue::kNoEventTime);
+
+  queue.Schedule(400000, [] {});  // Far heap.
+  EXPECT_EQ(queue.NextEventLowerBound(), 400000u);
+
+  queue.Schedule(100, [] {});  // Timing wheel.
+  EXPECT_EQ(queue.NextEventLowerBound(), 100u);
+
+  queue.Schedule(0, [] {});  // Due FIFO (clamped to now).
+  EXPECT_EQ(queue.NextEventLowerBound(), 0u);
+
+  queue.RunUntil(200);
+  EXPECT_EQ(queue.NextEventLowerBound(), 400000u);
+  queue.RunAll();
+  EXPECT_EQ(queue.NextEventLowerBound(), EventQueue::kNoEventTime);
+}
+
+TEST(EventEngineTest, NextEventLowerBoundNeverLate) {
+  // The bound may be early (stale entries) but must never be later than
+  // the next event that actually fires.
+  EventQueue queue;
+  Tick next_fire = 0;
+  for (int round = 0; round < 200; ++round) {
+    Tick t = static_cast<Tick>(137 * round % 9000 + round * 50);
+    queue.Schedule(t, [] {});
+  }
+  for (;;) {
+    Tick bound = queue.NextEventLowerBound();
+    if (bound == EventQueue::kNoEventTime) {
+      break;
+    }
+    next_fire = bound;
+    size_t ran = queue.RunUntil(next_fire);
+    (void)ran;
+    // Anything not yet run must be at or after the reported bound.
+    if (queue.Empty()) {
+      break;
+    }
+    EXPECT_GE(queue.NextEventLowerBound(), queue.Now());
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
 }  // namespace
 }  // namespace quanto

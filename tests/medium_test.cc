@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/net/wifi_interferer.h"
+#include "src/sim/sharded_sim.h"
 
 namespace quanto {
 namespace {
@@ -212,6 +213,162 @@ TEST(WifiInterfererTest, MediumConsultsInterference) {
     saw_energy = medium.EnergyDetected(17);
   }
   EXPECT_TRUE(saw_energy);
+}
+
+// --- Cross-shard fabric -------------------------------------------------------
+
+// A FakeRadio that stamps each notification with its shard clock.
+class TimedRadio : public MediumClient {
+ public:
+  TimedRadio(node_id_t id, int channel, const EventQueue* queue)
+      : id_(id), channel_(channel), queue_(queue) {}
+
+  node_id_t NodeId() const override { return id_; }
+  int Channel() const override { return channel_; }
+  bool Listening() const override { return true; }
+  void OnFrameStart(node_id_t) override {
+    start_times.push_back(queue_->Now());
+  }
+  void OnFrameComplete(const Packet& packet) override {
+    complete_times.push_back(queue_->Now());
+    completes.push_back(packet);
+  }
+
+  std::vector<Tick> start_times;
+  std::vector<Tick> complete_times;
+  std::vector<Packet> completes;
+
+ private:
+  node_id_t id_;
+  int channel_;
+  const EventQueue* queue_;
+};
+
+TEST(MediumFabricTest, CrossShardDeliveryArrivesAfterLatency) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.lookahead = Microseconds(512);
+  ShardedSimulator sim(cfg);
+  MediumFabric fabric(&sim);
+  ASSERT_EQ(fabric.latency(), Microseconds(512));
+
+  TimedRadio sender(1, 26, &sim.queue(0));
+  TimedRadio peer(2, 26, &sim.queue(1));
+  fabric.medium(0).Register(&sender);
+  fabric.medium(1).Register(&peer);
+
+  constexpr Tick kSendAt = 1000;
+  constexpr Tick kAirtime = Microseconds(500);
+  sim.queue(0).Schedule(kSendAt, [&] {
+    Packet p = MakePacket(1, 2);
+    EXPECT_TRUE(fabric.medium(0).BeginTransmit(1, 26, p, kAirtime));
+  });
+  sim.RunFor(Milliseconds(5));
+
+  // The remote shard hears the frame start exactly one latency after the
+  // transmit began, and the completion one airtime after that.
+  ASSERT_EQ(peer.start_times.size(), 1u);
+  EXPECT_EQ(peer.start_times[0], kSendAt + fabric.latency());
+  ASSERT_EQ(peer.complete_times.size(), 1u);
+  EXPECT_EQ(peer.complete_times[0], kSendAt + fabric.latency() + kAirtime);
+  ASSERT_EQ(peer.completes.size(), 1u);
+  EXPECT_EQ(peer.completes[0].src, 1);
+  // The sender's own shard heard nothing (no other local clients).
+  EXPECT_TRUE(sender.completes.empty());
+  EXPECT_EQ(fabric.cross_posts(), 1u);
+  EXPECT_EQ(fabric.packets_delivered(), 1u);
+}
+
+TEST(MediumFabricTest, RemoteFrameOccupiesChannelForCca) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.lookahead = Microseconds(512);
+  ShardedSimulator sim(cfg);
+  MediumFabric fabric(&sim);
+  TimedRadio sender(1, 26, &sim.queue(0));
+  TimedRadio peer(2, 26, &sim.queue(1));
+  fabric.medium(0).Register(&sender);
+  fabric.medium(1).Register(&peer);
+
+  constexpr Tick kSendAt = 1000;
+  constexpr Tick kAirtime = Microseconds(800);
+  sim.queue(0).Schedule(kSendAt, [&] {
+    EXPECT_TRUE(
+        fabric.medium(0).BeginTransmit(1, 26, MakePacket(1, 2), kAirtime));
+  });
+  // Probe CCA in the remote shard mid-frame and after it.
+  Tick on_air = kSendAt + fabric.latency() + kAirtime / 2;
+  Tick after = kSendAt + fabric.latency() + kAirtime + Microseconds(100);
+  bool energy_mid = false;
+  bool energy_after = true;
+  sim.queue(1).Schedule(on_air, [&] {
+    energy_mid = fabric.medium(1).EnergyDetected(26);
+  });
+  sim.queue(1).Schedule(after, [&] {
+    energy_after = fabric.medium(1).EnergyDetected(26);
+  });
+  sim.RunFor(Milliseconds(5));
+  EXPECT_TRUE(energy_mid);
+  EXPECT_FALSE(energy_after);
+}
+
+TEST(MediumFabricTest, OverlappingRemoteFramesCollideAtTheListener) {
+  // Senders in shards 0 and 1 cannot carrier-sense each other; their
+  // overlapping frames reach shard 2 where the later arrival is corrupted
+  // and only the earlier frame is delivered.
+  ShardedSimulator::Config cfg;
+  cfg.shards = 3;
+  cfg.threads = 1;
+  cfg.lookahead = Microseconds(512);
+  ShardedSimulator sim(cfg);
+  MediumFabric fabric(&sim);
+  TimedRadio a(1, 26, &sim.queue(0));
+  TimedRadio b(2, 26, &sim.queue(1));
+  TimedRadio listener(3, 26, &sim.queue(2));
+  fabric.medium(0).Register(&a);
+  fabric.medium(1).Register(&b);
+  fabric.medium(2).Register(&listener);
+
+  sim.queue(0).Schedule(1000, [&] {
+    EXPECT_TRUE(fabric.medium(0).BeginTransmit(1, 26, MakePacket(1, 3),
+                                               Microseconds(2000)));
+  });
+  sim.queue(1).Schedule(1500, [&] {
+    EXPECT_TRUE(fabric.medium(1).BeginTransmit(2, 26, MakePacket(2, 3),
+                                               Microseconds(500)));
+  });
+  sim.RunFor(Milliseconds(10));
+
+  // Both frame starts are heard; only the first frame completes cleanly.
+  EXPECT_EQ(listener.start_times.size(), 2u);
+  ASSERT_EQ(listener.completes.size(), 1u);
+  EXPECT_EQ(listener.completes[0].src, 1);
+  EXPECT_GE(fabric.collisions(), 1u);
+}
+
+TEST(MediumFabricTest, ShardWithoutChannelClientsIsSkipped) {
+  ShardedSimulator::Config cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  ShardedSimulator sim(cfg);
+  MediumFabric fabric(&sim);
+  TimedRadio sender(1, 26, &sim.queue(0));
+  fabric.medium(0).Register(&sender);
+  // Shard 1 has a client on a different channel only.
+  TimedRadio other(2, 11, &sim.queue(1));
+  fabric.medium(1).Register(&other);
+
+  sim.queue(0).Schedule(1000, [&] {
+    EXPECT_TRUE(fabric.medium(0).BeginTransmit(1, 26, MakePacket(1, 2),
+                                               Microseconds(500)));
+  });
+  uint64_t before = sim.queue(1).executed_count();
+  sim.RunFor(Milliseconds(5));
+  // Nothing was scheduled into shard 1 for the off-channel frame.
+  EXPECT_EQ(sim.queue(1).executed_count(), before);
+  EXPECT_TRUE(other.completes.empty());
 }
 
 }  // namespace

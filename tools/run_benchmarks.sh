@@ -41,7 +41,11 @@ run_bench() {
   case "$name" in
     bench_scale_multihop)
       own_json="$SCRATCH/$name.json"
-      extra_args=(--json "$own_json")
+      # Thread sweep for the sharded simulation core: 0 keeps the legacy
+      # single-engine trajectory comparable across PRs, 1/2/4/8 record the
+      # lockstep-window core (fixed 8-shard decomposition; equal merge
+      # hashes across the sweep are the determinism check).
+      extra_args=(--json "$own_json" --threads "${SCALE_THREADS:-0,1,2,4,8}")
       ;;
     bench_table4_logging_costs)
       own_json="$SCRATCH/$name.json"
