@@ -25,6 +25,8 @@
 // Usage: bench_scale_multihop [--motes N] [--seconds S] [--json PATH]
 //                             [--threads T1,T2,...] [--shards S]
 //                             [--lookahead-us U] [--trace PATH]
+//                             [--topology chain|grid] [--sinks K]
+//                             [--grid-width W] [--wide-motes N]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -33,15 +35,26 @@
 //                  the thread sweep so all runs simulate the same thing)
 //   --lookahead-us lockstep window width in microseconds (default 512)
 //   --trace        write the last run's merged trace (quanto_report input)
+//   --topology     backbone layout (default chain — the PR 1/2 trajectory;
+//                  grid enables the multi-sink wide-network layout)
+//   --sinks        independent flood bands in grid mode (default 1)
+//   --grid-width   grid row length (default 0 = floor(sqrt(motes)))
+//   --wide-motes   wide-network smoke phase appended to the default sweep:
+//                  a grid/4-sink network of N motes at 1/2/4 threads for
+//                  2 simulated seconds, proving merge-hash determinism
+//                  past the old 256-node ceiling (default 1024; 0
+//                  disables; skipped when --motes is given)
 
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/trace_io.h"
@@ -57,6 +70,8 @@ struct RunResult {
   size_t motes = 0;
   size_t threads = 0;  // 0 = single-engine baseline.
   size_t shards = 0;
+  ScaleTopology topology = ScaleTopology::kChain;
+  size_t sinks = 1;
   double sim_seconds = 0.0;
   uint64_t events = 0;
   double wall_seconds = 0.0;
@@ -74,6 +89,9 @@ struct RunOptions {
   size_t threads = 0;
   size_t shards = 8;
   Tick lookahead = Microseconds(512);
+  ScaleTopology topology = ScaleTopology::kChain;
+  size_t sinks = 1;
+  size_t grid_width = 0;
   std::string trace_path;  // Empty: no trace dump.
 };
 
@@ -97,10 +115,14 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
                      const RunOptions& opts) {
   ScaleNetworkConfig cfg;
   cfg.motes = n_motes;
+  cfg.topology = opts.topology;
+  cfg.sinks = opts.sinks;
+  cfg.grid_width = opts.grid_width;
 
   RunResult result;
   result.motes = n_motes;
   result.threads = opts.threads;
+  result.topology = opts.topology;
   result.sim_seconds = sim_seconds;
 
   if (opts.threads == 0) {
@@ -108,6 +130,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     EventQueue queue;
     Medium medium(&queue);
     ScaleNetwork net(&queue, &medium, cfg);
+    // Effective band count after ScaleNetwork clamps sinks to the rows.
+    result.sinks = net.origin_count();
     net.PowerUp();
     queue.RunFor(Milliseconds(5));
     net.StartApps();
@@ -132,6 +156,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     // Window-batched logger self-charging: the sharded core's native mode.
     cfg.batch_log_charging = true;
     ScaleNetwork net(&sim, &fabric, cfg);
+    result.sinks = net.origin_count();
     net.PowerUp();
     sim.RunFor(Milliseconds(5));
     net.StartApps();
@@ -238,12 +263,20 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
     std::cerr << "cannot write " << path << "\n";
     return;
   }
-  out << "{\n  \"benchmark\": \"scale_multihop\",\n  \"runs\": [\n";
+  // Host parallelism context for interpreting multi-thread rows. The
+  // canonical "timesliced" per-run marking (threads > nproc) is stamped
+  // by tools/run_benchmarks.sh, which owns that policy; host_cores is
+  // recorded here so standalone runs carry the context too.
+  out << "{\n  \"benchmark\": \"scale_multihop\",\n  \"host_cores\": "
+      << std::thread::hardware_concurrency() << ",\n  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     out << "    {\"motes\": " << r.motes
         << ", \"threads\": " << r.threads
         << ", \"shards\": " << r.shards
+        << ", \"topology\": \""
+        << (r.topology == ScaleTopology::kGrid ? "grid" : "chain") << "\""
+        << ", \"sinks\": " << r.sinks
         << ", \"sim_seconds\": " << r.sim_seconds
         << ", \"events\": " << r.events
         << ", \"wall_seconds\": " << r.wall_seconds
@@ -282,26 +315,29 @@ int Run(int argc, char** argv) {
   std::string json_path = "BENCH_scale.json";
   RunOptions opts;
   std::string trace_path;
+  size_t wide_motes = 1024;
+  bool single_size = false;
+  // Mote ids are 1..N and the top id is the 802.15.4 broadcast address,
+  // so the ceiling follows node_id_t directly (65534 with uint16_t).
+  constexpr size_t kMaxMotes =
+      static_cast<size_t>(std::numeric_limits<node_id_t>::max()) - 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--motes") == 0 && i + 1 < argc) {
-      int n = std::atoi(argv[++i]);
+      long n = std::atol(argv[++i]);
       if (n < 2) {
         std::cerr << "--motes must be >= 2 (a relay network needs an "
                      "origin and a peer)\n";
         return 2;
       }
-      if (n > 256) {
-        // node_id_t is uint8_t: beyond 256 motes ids silently collide,
-        // which corrupts delivery filtering and the per-node trace merge.
-        // At exactly 256 the ids are distinct but two are reserved values
-        // (mote index 254 gets 0xFF = broadcast, index 255 gets 0 = the
-        // relay no-next-hop sentinel); the flood workload never unicasts
-        // to either, so 256 stays the canonical sweep ceiling.
-        std::cerr << "--motes must be <= 256 until node_id_t is widened "
-                     "(see ROADMAP)\n";
+      if (static_cast<size_t>(n) > kMaxMotes) {
+        std::cerr << "--motes must be <= " << kMaxMotes
+                  << " (node ids are "
+                  << 8 * sizeof(node_id_t)
+                  << "-bit and the top id is the broadcast address)\n";
         return 2;
       }
       sizes = {static_cast<size_t>(n)};
+      single_size = true;
     } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       sim_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -328,13 +364,53 @@ int Run(int argc, char** argv) {
       opts.lookahead = Microseconds(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      std::string t = argv[++i];
+      if (t == "chain") {
+        opts.topology = ScaleTopology::kChain;
+      } else if (t == "grid") {
+        opts.topology = ScaleTopology::kGrid;
+      } else {
+        std::cerr << "--topology must be chain or grid\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sinks") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "--sinks must be >= 1\n";
+        return 2;
+      }
+      opts.sinks = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--grid-width") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 0) {
+        std::cerr << "--grid-width must be >= 0 (0 = floor(sqrt(motes)))\n";
+        return 2;
+      }
+      opts.grid_width = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--wide-motes") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n < 0 || static_cast<size_t>(n) > kMaxMotes) {
+        std::cerr << "--wide-motes must be in [0, " << kMaxMotes << "]\n";
+        return 2;
+      }
+      wide_motes = static_cast<size_t>(n);
     }
   }
 
   PrintSection(std::cout, "Simulation core scale: LPL relay network");
-  TextTable t({"motes", "thr", "shards", "sim s", "events", "wall s",
+  TextTable t({"motes", "thr", "shards", "topo", "sim s", "events", "wall s",
                "events/s", "delivered", "merge hash"});
   std::vector<RunResult> runs;
+  auto add_row = [&t](const RunResult& r) {
+    t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
+              std::to_string(r.shards),
+              r.topology == ScaleTopology::kGrid ? "grid" : "chain",
+              TextTable::Num(r.sim_seconds, 1), std::to_string(r.events),
+              TextTable::Num(r.wall_seconds, 3),
+              std::to_string(static_cast<uint64_t>(r.events_per_sec)),
+              std::to_string(r.packets_delivered), HashHex(r.merge_hash)});
+  };
   for (size_t n : sizes) {
     for (size_t threads : thread_sweep) {
       RunOptions run_opts = opts;
@@ -348,11 +424,22 @@ int Run(int argc, char** argv) {
       }
       RunResult r = RunNetwork(n, sim_seconds, run_opts);
       runs.push_back(r);
-      t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
-                std::to_string(r.shards), TextTable::Num(r.sim_seconds, 1),
-                std::to_string(r.events), TextTable::Num(r.wall_seconds, 3),
-                std::to_string(static_cast<uint64_t>(r.events_per_sec)),
-                std::to_string(r.packets_delivered), HashHex(r.merge_hash)});
+      add_row(r);
+    }
+  }
+
+  // Wide-network smoke phase: a grid/multi-sink network past the old
+  // 256-node ceiling, swept over 1/2/4 threads. Equal merge hashes across
+  // the sweep prove the widened addressing stays deterministic.
+  if (!single_size && wide_motes > 0) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      RunOptions run_opts = opts;
+      run_opts.threads = threads;
+      run_opts.topology = ScaleTopology::kGrid;
+      run_opts.sinks = 4;
+      RunResult r = RunNetwork(wide_motes, 2.0, run_opts);
+      runs.push_back(r);
+      add_row(r);
     }
   }
   t.Print(std::cout);

@@ -1,4 +1,4 @@
-// Offline trace processing: from raw 12-byte log entries to the regression
+// Offline trace processing: from raw log entries to the regression
 // inputs of Section 2.5.
 //
 // Stage 1 (TraceParser): unwrap the 32-bit time and iCount counters into
@@ -29,7 +29,7 @@ struct TraceEvent {
   uint64_t icount;
   LogEntryType type;
   res_id_t res;
-  uint16_t payload;
+  uint32_t payload;
 };
 
 class TraceParser {

@@ -10,9 +10,9 @@ namespace quanto {
 namespace {
 
 constexpr uint8_t kMagic[4] = {'Q', 'N', 'T', 'O'};
-constexpr uint16_t kVersion = 1;
 constexpr size_t kHeaderBytes = 4 + 2 + 2 + 4;
-constexpr size_t kEntryBytes = 12;
+constexpr size_t kEntryBytesV1 = 12;  // u16 payload, legacy labels.
+constexpr size_t kEntryBytesV2 = 14;  // u32 payload, wide labels.
 
 void PutU16(std::vector<uint8_t>& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v & 0xFF));
@@ -37,11 +37,28 @@ uint32_t GetU32(const uint8_t* p) {
 
 }  // namespace
 
-std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries) {
+uint16_t TraceSerializationVersion(const std::vector<LogEntry>& entries) {
+  for (const LogEntry& e : entries) {
+    if (!IsLegacyEntry(e)) {
+      return kTraceVersionWide;
+    }
+  }
+  return kTraceVersionLegacy;
+}
+
+std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
+                                    TraceFormat format) {
+  uint16_t version = format == TraceFormat::kV2
+                         ? kTraceVersionWide
+                         : TraceSerializationVersion(entries);
+  size_t entry_bytes =
+      version == kTraceVersionLegacy ? kEntryBytesV1 : kEntryBytesV2;
   std::vector<uint8_t> out;
-  out.reserve(kHeaderBytes + entries.size() * kEntryBytes);
-  out.insert(out.end(), kMagic, kMagic + 4);
-  PutU16(out, kVersion);
+  out.reserve(kHeaderBytes + entries.size() * entry_bytes);
+  for (uint8_t m : kMagic) {
+    out.push_back(m);
+  }
+  PutU16(out, version);
   PutU16(out, 0);  // Reserved.
   PutU32(out, static_cast<uint32_t>(entries.size()));
   for (const LogEntry& e : entries) {
@@ -49,7 +66,11 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries) {
     out.push_back(e.res_id);
     PutU32(out, e.time);
     PutU32(out, e.icount);
-    PutU16(out, e.payload);
+    if (version == kTraceVersionLegacy) {
+      PutU16(out, LegacyEntryPayload(e));
+    } else {
+      PutU32(out, e.payload);
+    }
   }
   return out;
 }
@@ -64,11 +85,14 @@ std::optional<std::vector<LogEntry>> DeserializeTrace(
       return std::nullopt;
     }
   }
-  if (GetU16(blob.data() + 4) != kVersion) {
+  uint16_t version = GetU16(blob.data() + 4);
+  if (version != kTraceVersionLegacy && version != kTraceVersionWide) {
     return std::nullopt;
   }
+  size_t entry_bytes =
+      version == kTraceVersionLegacy ? kEntryBytesV1 : kEntryBytesV2;
   uint32_t count = GetU32(blob.data() + 8);
-  if (blob.size() < kHeaderBytes + static_cast<size_t>(count) * kEntryBytes) {
+  if (blob.size() < kHeaderBytes + static_cast<size_t>(count) * entry_bytes) {
     return std::nullopt;  // Truncated dump.
   }
   std::vector<LogEntry> entries;
@@ -80,20 +104,24 @@ std::optional<std::vector<LogEntry>> DeserializeTrace(
     e.res_id = p[1];
     e.time = GetU32(p + 2);
     e.icount = GetU32(p + 6);
-    e.payload = GetU16(p + 10);
+    if (version == kTraceVersionLegacy) {
+      e.payload = WideEntryPayload(e, GetU16(p + 10));
+    } else {
+      e.payload = GetU32(p + 10);
+    }
     entries.push_back(e);
-    p += kEntryBytes;
+    p += entry_bytes;
   }
   return entries;
 }
 
 bool WriteTraceFile(const std::string& path,
-                    const std::vector<LogEntry>& entries) {
+                    const std::vector<LogEntry>& entries, TraceFormat format) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return false;
   }
-  auto blob = SerializeTrace(entries);
+  auto blob = SerializeTrace(entries, format);
   out.write(reinterpret_cast<const char*>(blob.data()),
             static_cast<std::streamsize>(blob.size()));
   return static_cast<bool>(out);
@@ -120,8 +148,9 @@ std::string DumpTraceText(const std::vector<LogEntry>& entries,
     switch (EntryType(e)) {
       case LogEntryType::kPowerState:
         os << "POW " << res_name << " "
-           << (sink < kSinkCount ? StateName(sink, e.payload)
-                                 : std::to_string(e.payload));
+           << (sink < kSinkCount
+                   ? StateName(sink, static_cast<powerstate_t>(e.payload))
+                   : std::to_string(e.payload));
         break;
       case LogEntryType::kActivitySet:
         os << "ACT " << res_name << " " << registry.Name(e.payload);

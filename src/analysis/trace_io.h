@@ -2,9 +2,18 @@
 //
 // The paper's prototype dumps its RAM buffer over the serial port or radio
 // and parses it offline with custom tools. This module is that pipeline's
-// host side: a compact binary container for raw 12-byte entries (with a
+// host side: a compact binary container for raw entries (with a
 // magic/version header so partial dumps are detected) and a human-readable
 // text dump for eyeballing, both round-trippable.
+//
+// Two container versions coexist:
+//  * v1 — the paper's 12-byte records with 16-bit payloads, labels in the
+//    legacy <8-bit node : 8-bit id> encoding. Every trace whose labels fit
+//    that encoding (all ≤256-node workloads) serializes to v1, keeping the
+//    files byte-identical with what the pre-widening toolchain wrote.
+//  * v2 — 14-byte records with 32-bit payloads carrying wide labels
+//    (16-bit node field), introduced with the 1000+ mote refactor.
+// The writer picks automatically; the reader accepts both.
 #ifndef QUANTO_SRC_ANALYSIS_TRACE_IO_H_
 #define QUANTO_SRC_ANALYSIS_TRACE_IO_H_
 
@@ -20,21 +29,37 @@ namespace quanto {
 
 // --- Binary container ---------------------------------------------------------
 
+// Container versions (the u16 after the magic).
+inline constexpr uint16_t kTraceVersionLegacy = 1;  // 12-byte records.
+inline constexpr uint16_t kTraceVersionWide = 2;    // 14-byte records.
+
+enum class TraceFormat {
+  kAuto,  // v1 when every entry is legacy-representable, else v2.
+  kV2,    // Force wide records (there is no forced v1: the paper layout
+          //  cannot represent wide labels, so v1 is only ever automatic).
+};
+
+// The version kAuto resolves to for these entries.
+uint16_t TraceSerializationVersion(const std::vector<LogEntry>& entries);
+
 // Serializes entries into a self-describing byte blob:
 //   magic "QNTO" | u16 version | u16 reserved | u32 count | entries...
 // Entries are written little-endian field by field (not memcpy'd), so the
 // format is stable across hosts.
-std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries);
+std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
+                                    TraceFormat format = TraceFormat::kAuto);
 
-// Parses a blob; returns nullopt on bad magic/version/truncation. A blob
-// whose count field exceeds the available bytes is rejected rather than
-// partially parsed (a truncated dump is a broken dump).
+// Parses a blob of either version; returns nullopt on bad
+// magic/version/truncation. A blob whose count field exceeds the available
+// bytes is rejected rather than partially parsed (a truncated dump is a
+// broken dump). v1 activity labels are widened to the in-memory encoding.
 std::optional<std::vector<LogEntry>> DeserializeTrace(
     const std::vector<uint8_t>& blob);
 
 // File convenience wrappers. Return false / nullopt on I/O failure.
 bool WriteTraceFile(const std::string& path,
-                    const std::vector<LogEntry>& entries);
+                    const std::vector<LogEntry>& entries,
+                    TraceFormat format = TraceFormat::kAuto);
 std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path);
 
 // --- Text dump ------------------------------------------------------------------

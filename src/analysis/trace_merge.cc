@@ -65,7 +65,7 @@ uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged) {
     mix(m.entry.res_id, 1);
     mix(m.entry.time, 4);
     mix(m.entry.icount, 4);
-    mix(m.entry.payload, 2);
+    mix(m.entry.payload, 4);
   }
   return h;
 }

@@ -1,5 +1,7 @@
 #include "src/apps/scale_network.h"
 
+#include <cmath>
+
 namespace quanto {
 namespace {
 
@@ -32,7 +34,37 @@ ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
 }
 
 void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
-                         const std::vector<Medium*>& media) {
+                        const std::vector<Medium*>& media) {
+  if (config_.topology == ScaleTopology::kChain) {
+    backbone_stride_ = 4;
+    band_motes_ = 0;  // One band spanning the whole network.
+    origins_ = {0};
+  } else {
+    size_t width = config_.grid_width;
+    if (width == 0) {
+      width = static_cast<size_t>(
+          std::sqrt(static_cast<double>(config_.motes)));
+    }
+    if (width > config_.motes) {
+      width = config_.motes;  // A wider row than the network is a chain.
+    }
+    if (width < 4) {
+      width = 4;
+    }
+    backbone_stride_ = width;
+    size_t rows = (config_.motes + width - 1) / width;
+    size_t sinks = config_.sinks < 1 ? 1 : config_.sinks;
+    if (sinks > rows) {
+      sinks = rows;
+    }
+    size_t rows_per_band = rows / sinks;
+    band_motes_ = rows_per_band * width;
+    origins_.clear();
+    for (size_t k = 0; k < sinks; ++k) {
+      origins_.push_back(k * band_motes_);
+    }
+  }
+
   size_t shards = queues.size();
   motes_.reserve(config_.motes);
   for (size_t i = 0; i < config_.motes; ++i) {
@@ -50,6 +82,29 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
     motes_.push_back(
         std::make_unique<Mote>(queues[shard], media[shard], cfg));
   }
+}
+
+size_t ScaleNetwork::NextBackbone(size_t i) const {
+  size_t next = i + backbone_stride_;
+  if (next >= motes_.size()) {
+    return motes_.size();
+  }
+  if (band_motes_ != 0) {
+    // The last band absorbs any remainder rows, so clamp the band index.
+    size_t last_band = origins_.size() - 1;
+    size_t band_i = i / band_motes_;
+    size_t band_next = next / band_motes_;
+    if (band_i > last_band) {
+      band_i = last_band;
+    }
+    if (band_next > last_band) {
+      band_next = last_band;
+    }
+    if (band_i != band_next) {
+      return motes_.size();  // `i` is this band's sink.
+    }
+  }
+  return next;
 }
 
 void ScaleNetwork::PowerUp() {
@@ -73,27 +128,54 @@ void ScaleNetwork::StartApps() {
       listeners_.back()->Start();
       continue;
     }
-    // Backbone relays forward the flood to the next backbone mote.
+    // Backbone relays forward the flood to the next backbone mote of
+    // their band; each band's last backbone is its sink (next_hop 0).
     RelayApp::Config cfg;
     cfg.am_type = kAmFlood;
-    size_t next = i + 4;
+    size_t next = NextBackbone(i);
     cfg.next_hop = next < motes_.size() ? static_cast<node_id_t>(next + 1)
                                         : node_id_t{0};
     relays_.push_back(std::make_unique<RelayApp>(motes_[i].get(), cfg));
     relays_.back()->Start();
   }
 
-  // The first backbone mote originates a flood packet periodically.
-  Mote& origin = *motes_[0];
-  Mote* origin_ptr = &origin;
-  origin.timers().StartPeriodic(config_.flood_interval, 80, [origin_ptr] {
-    origin_ptr->cpu().activity().set(origin_ptr->Label(kActFlood));
+  // Each band's first backbone mote originates a flood packet
+  // periodically; origins beyond the first are phase-staggered so the
+  // bands don't transmit in lockstep. A band whose origin is also its
+  // sink (a single backbone mote) has no relay chain to exercise, so it
+  // originates nothing rather than flooding a nonexistent address.
+  for (size_t k = 0; k < origins_.size(); ++k) {
+    if (NextBackbone(origins_[k]) >= motes_.size()) {
+      continue;
+    }
+    Tick delay = origins_.size() > 1
+                     ? static_cast<Tick>(k) *
+                           (config_.flood_interval / origins_.size())
+                     : 0;
+    StartFlood(origins_[k], delay);
+  }
+}
+
+void ScaleNetwork::StartFlood(size_t origin_index, Tick initial_delay) {
+  Mote* origin = motes_[origin_index].get();
+  node_id_t first_hop = static_cast<node_id_t>(NextBackbone(origin_index) + 1);
+  Tick interval = config_.flood_interval;
+  auto flood = [origin, first_hop] {
+    origin->cpu().activity().set(origin->Label(kActFlood));
     Packet p;
-    p.dst = 5;
+    p.dst = first_hop;
     p.am_type = kAmFlood;
     p.payload = {0xF1, 0x00, 0x0D};
-    origin_ptr->am().Send(p);
-  });
+    origin->am().Send(p);
+  };
+  if (initial_delay == 0) {
+    origin->timers().StartPeriodic(interval, 80, flood);
+  } else {
+    origin->timers().StartOneShot(initial_delay, 80, [origin, interval,
+                                                      flood] {
+      origin->timers().StartPeriodic(interval, 80, flood);
+    });
+  }
 }
 
 uint64_t ScaleNetwork::lpl_wakeups() const {

@@ -25,6 +25,22 @@
 
 namespace quanto {
 
+// How the backbone relays and flood origins are laid out.
+enum class ScaleTopology {
+  // The original single-sink chain: every 4th mote is a backbone relay,
+  // each forwarding to the backbone mote 4 indices later; mote 0
+  // originates all floods and the last backbone mote is the sink.
+  kChain,
+  // Row-major grid: motes form rows of `grid_width`; the first mote of
+  // each row is a backbone relay forwarding down the first column. The
+  // rows split into `sinks` contiguous bands, each with its own flood
+  // origin (the band's first backbone mote) and its own sink (the band's
+  // last backbone mote), with origins' flood phases staggered so the
+  // bands don't transmit in lockstep. This is the 1000+ mote workload:
+  // multiple concurrent flood chains instead of one long one.
+  kGrid,
+};
+
 struct ScaleNetworkConfig {
   size_t motes = 64;
   // Bound per-mote log memory: the engine, not the archive, is under test.
@@ -38,6 +54,13 @@ struct ScaleNetworkConfig {
   // single-engine callers must call FlushAllCharges() manually if they
   // turn this on.
   bool batch_log_charging = false;
+  // Topology. kChain reproduces the original benchmark byte for byte;
+  // kGrid adds the grid/multi-sink layout for wide networks.
+  ScaleTopology topology = ScaleTopology::kChain;
+  // Grid row length (kGrid only). 0 = floor(sqrt(motes)), min 4.
+  size_t grid_width = 0;
+  // Number of independent flood origin/sink bands (kGrid only, >= 1).
+  size_t sinks = 1;
 };
 
 class ScaleNetwork {
@@ -50,9 +73,12 @@ class ScaleNetwork {
   ScaleNetwork(EventQueue* queue, Medium* medium,
                const ScaleNetworkConfig& config);
 
-  // Every 4th mote is a backbone relay with an always-on radio; the rest
-  // duty-cycle with LPL.
-  static bool IsBackbone(size_t i) { return i % 4 == 0; }
+  // Backbone relays keep their radio always on; the rest duty-cycle with
+  // LPL. Chain: every 4th mote. Grid: the first mote of every row.
+  bool IsBackbone(size_t i) const { return i % backbone_stride_ == 0; }
+
+  // The configured number of flood origins (1 for kChain).
+  size_t origin_count() const { return origins_.size(); }
 
   // Phase 1: power the backbone radios. Run ~5 ms of simulation before
   // StartApps() so the radios finish their power-up sequences.
@@ -75,8 +101,15 @@ class ScaleNetwork {
  private:
   void Build(const std::vector<EventQueue*>& queues,
              const std::vector<Medium*>& media);
+  // Next backbone index in this origin band, or motes_.size() when `i` is
+  // the band's sink.
+  size_t NextBackbone(size_t i) const;
+  void StartFlood(size_t origin_index, Tick initial_delay);
 
   ScaleNetworkConfig config_;
+  size_t backbone_stride_ = 4;
+  size_t band_motes_ = 0;  // Motes per origin band (kGrid; 0 = one band).
+  std::vector<size_t> origins_;
   std::vector<std::unique_ptr<Mote>> motes_;
   std::vector<std::unique_ptr<RelayApp>> relays_;
   std::vector<std::unique_ptr<LplListenerApp>> listeners_;

@@ -4,9 +4,14 @@ namespace quanto {
 
 namespace {
 
-// Raw 12-byte little-endian records in the payload (no container header;
-// the AM type identifies the format and the src field identifies the node).
-void AppendEntry(PayloadBytes& out, const LogEntry& e) {
+// Raw little-endian records in the payload (no container header; the AM
+// type identifies the format and the src field identifies the node).
+// Legacy records are 12 bytes with the 16-bit label encoding; wide records
+// are 14 bytes with the full 32-bit payload.
+constexpr size_t kLegacyRecordBytes = 12;
+constexpr size_t kWideRecordBytes = 14;
+
+void PutCommonFields(PayloadBytes& out, const LogEntry& e) {
   out.push_back(e.type);
   out.push_back(e.res_id);
   for (int i = 0; i < 4; ++i) {
@@ -15,12 +20,25 @@ void AppendEntry(PayloadBytes& out, const LogEntry& e) {
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<uint8_t>((e.icount >> (8 * i)) & 0xFF));
   }
-  out.push_back(static_cast<uint8_t>(e.payload & 0xFF));
-  out.push_back(static_cast<uint8_t>(e.payload >> 8));
 }
 
-bool ParseEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
-  if (offset + 12 > in.size()) {
+void AppendLegacyEntry(PayloadBytes& out, const LogEntry& e) {
+  PutCommonFields(out, e);
+  uint16_t payload = LegacyEntryPayload(e);
+  out.push_back(static_cast<uint8_t>(payload & 0xFF));
+  out.push_back(static_cast<uint8_t>(payload >> 8));
+}
+
+void AppendWideEntry(PayloadBytes& out, const LogEntry& e) {
+  PutCommonFields(out, e);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((e.payload >> (8 * i)) & 0xFF));
+  }
+}
+
+bool ParseCommonFields(const PayloadBytes& in, size_t offset, size_t bytes,
+                       LogEntry* e) {
+  if (offset + bytes > in.size()) {
     return false;
   }
   const uint8_t* p = in.data() + offset;
@@ -32,7 +50,28 @@ bool ParseEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
     e->time |= static_cast<uint32_t>(p[2 + i]) << (8 * i);
     e->icount |= static_cast<uint32_t>(p[6 + i]) << (8 * i);
   }
-  e->payload = static_cast<uint16_t>(p[10] | (p[11] << 8));
+  return true;
+}
+
+bool ParseLegacyEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
+  if (!ParseCommonFields(in, offset, kLegacyRecordBytes, e)) {
+    return false;
+  }
+  const uint8_t* p = in.data() + offset;
+  uint16_t legacy = static_cast<uint16_t>(p[10] | (p[11] << 8));
+  e->payload = WideEntryPayload(*e, legacy);
+  return true;
+}
+
+bool ParseWideEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
+  if (!ParseCommonFields(in, offset, kWideRecordBytes, e)) {
+    return false;
+  }
+  const uint8_t* p = in.data() + offset;
+  e->payload = 0;
+  for (int i = 0; i < 4; ++i) {
+    e->payload |= static_cast<uint32_t>(p[10 + i]) << (8 * i);
+  }
   return true;
 }
 
@@ -81,37 +120,54 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
   mote_->logger().SetEnabled(false);
 
   // Chain one packet per batch until the buffer is empty.
-  auto send_next = std::make_shared<std::function<void()>>();
-  *send_next = [this, send_next] {
-    // Pull up to kEntriesPerPacket entries out of the node's RAM buffer
+  send_next_ = [this] {
+    // Pull up to one frame's worth of entries out of the node's RAM buffer
     // (they leave the node; Drain+archive models exactly that, with the
-    // archive standing in for "bits already on the air").
-    size_t batch = mote_->logger().buffered() < kEntriesPerPacket
-                       ? mote_->logger().buffered()
-                       : kEntriesPerPacket;
-    if (batch == 0) {
+    // archive standing in for "bits already on the air"). Frames prefer
+    // the legacy 12-byte records: a legacy-encodable prefix ships as a
+    // (possibly short) legacy frame, so only frames that *start* with a
+    // wide label pay the wide format (legacy-encodable entries may ride
+    // along behind it).
+    size_t buffered = mote_->logger().buffered();
+    if (buffered == 0) {
       mote_->logger().SetEnabled(true);
       in_flight_ = false;
       return;
+    }
+    size_t batch = buffered < kEntriesPerPacket ? buffered : kEntriesPerPacket;
+    size_t first_wide = 0;
+    while (first_wide < batch &&
+           IsLegacyEntry(mote_->logger().BufferedAt(first_wide))) {
+      ++first_wide;
+    }
+    bool legacy = first_wide > 0;
+    if (legacy) {
+      batch = first_wide;  // == batch when every candidate fits.
+    } else if (batch > kEntriesPerPacketWide) {
+      batch = kEntriesPerPacketWide;
     }
     size_t start = mote_->logger().archived();
     mote_->logger().Drain(batch);
     Packet packet;
     packet.dst = config_.collector;
-    packet.am_type = kAmType;
-    auto all = mote_->logger().Trace();
+    packet.am_type = legacy ? kAmType : kAmTypeWide;
+    const std::vector<LogEntry>& archive = mote_->logger().archived_entries();
     for (size_t i = start; i < start + batch; ++i) {
-      AppendEntry(packet.payload, all[i]);
+      if (legacy) {
+        AppendLegacyEntry(packet.payload, archive[i]);
+      } else {
+        AppendWideEntry(packet.payload, archive[i]);
+      }
     }
     mote_->cpu().ChargeCycles(config_.marshal_cost);
     act_t prev = mote_->cpu().activity().get();
     mote_->cpu().activity().set(mote_->Label(kActLogger));
-    bool queued = mote_->am().Send(packet, [this, send_next](bool ok) {
+    bool queued = mote_->am().Send(packet, [this, batch](bool ok) {
       if (ok) {
         ++packets_sent_;
-        entries_shipped_ += kEntriesPerPacket;  // Upper bound; last may be short.
+        entries_shipped_ += batch;
       }
-      (*send_next)();
+      send_next_();
     });
     mote_->cpu().activity().set(prev);
     if (!queued) {
@@ -120,7 +176,7 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
       in_flight_ = false;
     }
   };
-  (*send_next)();
+  send_next_();
 }
 
 TraceCollector::TraceCollector(Mote* mote) : mote_(mote) {}
@@ -129,15 +185,21 @@ void TraceCollector::Start() {
   mote_->am().RegisterHandler(
       TraceDumpService::kAmType,
       [this](const Packet& packet) { OnPacket(packet); });
+  mote_->am().RegisterHandler(
+      TraceDumpService::kAmTypeWide,
+      [this](const Packet& packet) { OnPacket(packet); });
 }
 
 void TraceCollector::OnPacket(const Packet& packet) {
   ++packets_received_;
+  bool legacy = packet.am_type == TraceDumpService::kAmType;
+  size_t record = legacy ? kLegacyRecordBytes : kWideRecordBytes;
   std::vector<LogEntry>& trace = traces_[packet.src];
-  for (size_t offset = 0; offset + 12 <= packet.payload.size();
-       offset += 12) {
+  for (size_t offset = 0; offset + record <= packet.payload.size();
+       offset += record) {
     LogEntry e;
-    if (ParseEntry(packet.payload, offset, &e)) {
+    if (legacy ? ParseLegacyEntry(packet.payload, offset, &e)
+               : ParseWideEntry(packet.payload, offset, &e)) {
       trace.push_back(e);
     }
   }

@@ -20,10 +20,18 @@ namespace quanto {
 
 class TraceDumpService {
  public:
-  static constexpr uint8_t kAmType = 0x7D;
-  // 12-byte entries; 8 per frame keeps the payload within an 802.15.4
-  // frame alongside the headers.
+  // Two wire formats, dispatched by AM type (the radio-side counterpart of
+  // the v1/v2 trace container, see docs/TRACE_FORMAT.md): the legacy type
+  // carries the paper's 12-byte records with 16-bit legacy labels and is
+  // used whenever a batch's entries all fit that encoding — so ≤256-node
+  // workloads put byte-identical dump traffic on the air — and the wide
+  // type carries 14-byte records with 32-bit labels.
+  static constexpr uint8_t kAmType = 0x7D;      // Legacy 12-byte records.
+  static constexpr uint8_t kAmTypeWide = 0x7E;  // Wide 14-byte records.
+  // 8 legacy entries (96 B) or 7 wide entries (98 B) per frame keep the
+  // payload within an 802.15.4 frame alongside the headers.
   static constexpr size_t kEntriesPerPacket = 8;
+  static constexpr size_t kEntriesPerPacketWide = 7;
 
   struct Config {
     node_id_t collector = 0;
@@ -53,6 +61,10 @@ class TraceDumpService {
   Mote* mote_;
   Config config_;
   VirtualTimers::TimerId timer_ = VirtualTimers::kInvalidTimer;
+  // The packet-chaining continuation. Owned here (not by a shared_ptr
+  // captured in its own closure, which leaks by reference cycle); the
+  // service outlives any in-flight send by construction.
+  std::function<void()> send_next_;
   bool in_flight_ = false;
   uint64_t packets_sent_ = 0;
   uint64_t entries_shipped_ = 0;

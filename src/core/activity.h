@@ -2,10 +2,16 @@
 //
 // An activity is "a logical set of operations whose resource usage should be
 // grouped together" (borrowed from Rialto / Resource Containers). Quanto
-// represents activities as 16-bit labels of the form <origin node : id>,
-// "sufficient for networks of up to 256 nodes with 256 distinct activity
-// ids" (Section 3.3). The same encoding is carried in the hidden per-packet
-// field, so it must stay exactly 16 bits wide.
+// represents activities as labels of the form <origin node : id>. The paper's
+// prototype packs them into 16 bits — "sufficient for networks of up to 256
+// nodes with 256 distinct activity ids" (Section 3.3) — which caps the
+// reproduction at 256 motes. This port widens the label to 32 bits with a
+// 16-bit origin-node field and a 16-bit node-local id field, unlocking
+// 1000+ mote networks, while keeping the paper's 16-bit form as the *legacy
+// wire encoding*: any label whose origin and id both fit in 8 bits converts
+// losslessly to and from the original <8-bit node : 8-bit id> layout
+// (ToLegacyLabel / FromLegacyLabel), so v1 trace files and the hidden
+// 2-byte packet field stay byte-identical for every ≤256-node workload.
 #ifndef QUANTO_SRC_CORE_ACTIVITY_H_
 #define QUANTO_SRC_CORE_ACTIVITY_H_
 
@@ -14,21 +20,29 @@
 
 namespace quanto {
 
-// The wire/in-memory representation of an activity label.
-using act_t = uint16_t;
+// The in-memory representation of an activity label:
+//   bits 31..16  origin node id
+//   bits 15..0   node-local activity id
+using act_t = uint32_t;
 
-// Node-local activity identifier (the low byte of a label).
-using act_id_t = uint8_t;
+// Node-local activity identifier (the low half of a label).
+using act_id_t = uint16_t;
 
-// Node identifier (the high byte of a label).
-using node_id_t = uint8_t;
+// Node identifier (the high half of a label).
+using node_id_t = uint16_t;
+
+// Field geometry shared by the encode/decode helpers and the wire formats.
+inline constexpr int kActivityOriginShift = 16;
+inline constexpr act_t kActivityLocalMask = 0xFFFF;
 
 // --- Reserved node-local activity ids -------------------------------------
 //
-// Application activities use ids in [1, kFirstSystemActivity). System
-// activities (the ones Quanto's OS instrumentation creates) and interrupt
-// proxy activities live in a reserved range so that analysis code can
-// recognise them without a registry lookup.
+// Application activities use ids in [1, kFirstSystemActivity) plus the wide
+// range (0xFF, 0xFFFF] opened by the 16-bit id field. System activities
+// (the ones Quanto's OS instrumentation creates) and interrupt proxy
+// activities live in the byte-range reserved slots the paper's prototype
+// used, so that analysis code — and v1 trace files — can recognise them
+// without a registry lookup.
 
 // "No activity": the CPU idles under this label (Table 3 shows the CPU
 // spending 47.92 s of a 48 s Blink run in 1:Idle).
@@ -44,8 +58,10 @@ inline constexpr act_id_t kActScheduler = 0xC2; // Task-queue bookkeeping.
 
 // First id reserved for interrupt proxy activities (Section 3.3: "we
 // statically assign to each interrupt handling routine a fixed proxy
-// activity").
+// activity"). The proxy range ends at the top of the legacy byte range:
+// ids above 0xFF are plain (wide) application ids.
 inline constexpr act_id_t kFirstProxyActivity = 0xE0;
+inline constexpr act_id_t kLastReservedActivity = 0xFF;
 
 inline constexpr act_id_t kActIntTimer = 0xE0;     // int_TIMER (compare 0).
 inline constexpr act_id_t kActIntTimerB0 = 0xE1;   // int_TIMERB0.
@@ -59,16 +75,40 @@ inline constexpr act_id_t kActIntSfd = 0xE8;       // int_SFD (radio frame).
 
 // Composes a label from its origin node and node-local id.
 constexpr act_t MakeActivity(node_id_t origin, act_id_t id) {
-  return static_cast<act_t>((static_cast<act_t>(origin) << 8) |
-                            static_cast<act_t>(id));
+  return (static_cast<act_t>(origin) << kActivityOriginShift) |
+         static_cast<act_t>(id);
 }
 
 constexpr node_id_t ActivityOrigin(act_t label) {
-  return static_cast<node_id_t>(label >> 8);
+  return static_cast<node_id_t>(label >> kActivityOriginShift);
 }
 
 constexpr act_id_t ActivityLocalId(act_t label) {
-  return static_cast<act_id_t>(label & 0xFF);
+  return static_cast<act_id_t>(label & kActivityLocalMask);
+}
+
+// --- Legacy (paper) 16-bit encoding ---------------------------------------
+//
+// The v1 trace format and the 2-byte hidden packet field carry labels in
+// the paper's <8-bit origin : 8-bit id> layout. A label is representable
+// there exactly when both halves fit a byte.
+
+constexpr bool IsLegacyEncodable(act_t label) {
+  return ActivityOrigin(label) <= 0xFF && ActivityLocalId(label) <= 0xFF;
+}
+
+// Narrows a legacy-encodable label to the paper's 16-bit layout. The
+// result is unspecified garbage-free truncation for non-encodable labels;
+// callers must check IsLegacyEncodable first.
+constexpr uint16_t ToLegacyLabel(act_t label) {
+  return static_cast<uint16_t>(
+      ((ActivityOrigin(label) & 0xFF) << 8) | (ActivityLocalId(label) & 0xFF));
+}
+
+// Widens a paper-layout 16-bit label to the in-memory form.
+constexpr act_t FromLegacyLabel(uint16_t legacy) {
+  return MakeActivity(static_cast<node_id_t>(legacy >> 8),
+                      static_cast<act_id_t>(legacy & 0xFF));
 }
 
 constexpr bool IsIdleActivity(act_t label) {
@@ -76,7 +116,8 @@ constexpr bool IsIdleActivity(act_t label) {
 }
 
 constexpr bool IsProxyActivity(act_t label) {
-  return ActivityLocalId(label) >= kFirstProxyActivity;
+  act_id_t id = ActivityLocalId(label);
+  return id >= kFirstProxyActivity && id <= kLastReservedActivity;
 }
 
 constexpr bool IsSystemActivity(act_t label) {
@@ -86,7 +127,8 @@ constexpr bool IsSystemActivity(act_t label) {
 
 constexpr bool IsApplicationActivity(act_t label) {
   act_id_t id = ActivityLocalId(label);
-  return id != kActIdle && id < kFirstSystemActivity;
+  return id != kActIdle &&
+         (id < kFirstSystemActivity || id > kLastReservedActivity);
 }
 
 // Human-readable rendering ("4:BounceApp", "1:int_TIMER", "1:pxy_RX") using

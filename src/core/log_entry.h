@@ -1,15 +1,22 @@
 // The Quanto log record (Figure 17 of the paper).
 //
 // Each power-state or activity event is recorded synchronously as one
-// 12-byte entry: type, hardware resource id, 32-bit local time, 32-bit
-// cumulative iCount energy reading, and a 16-bit payload that is either an
-// activity label or a power state, depending on the type. Both the time and
-// the energy counter are free-running 32-bit values that wrap; the analysis
-// layer (src/analysis/interval_extractor) unwraps them.
+// entry: type, hardware resource id, 32-bit local time, 32-bit cumulative
+// iCount energy reading, and a payload that is either an activity label or
+// a power state, depending on the type. The paper's prototype packs this
+// into 12 bytes with a 16-bit payload; widening the activity label to
+// 32 bits (16-bit node field — see src/core/activity.h) grows the
+// in-memory record to 14 bytes. The serialized formats keep both shapes:
+// v1 trace files still write the paper's 12-byte records whenever every
+// label fits the legacy encoding (src/analysis/trace_io.h). Both the time
+// and the energy counter are free-running 32-bit values that wrap; the
+// analysis layer unwraps them.
 #ifndef QUANTO_SRC_CORE_LOG_ENTRY_H_
 #define QUANTO_SRC_CORE_LOG_ENTRY_H_
 
 #include <cstdint>
+
+#include "src/core/activity.h"
 
 namespace quanto {
 
@@ -25,19 +32,19 @@ enum class LogEntryType : uint8_t {
   kActivityRemove = 4, // payload = activity removed from a multi device.
 };
 
-// Packed to exactly 12 bytes, matching the paper's RAM footprint claim
-// ("each sample takes ... 12 bytes of RAM").
+// Packed to exactly 14 bytes: the paper's 12-byte layout ("each sample
+// takes ... 12 bytes of RAM") plus 2 bytes for the widened activity label.
 #pragma pack(push, 1)
 struct LogEntry {
   uint8_t type;        // LogEntryType.
   res_id_t res_id;     // Hardware resource the entry refers to.
   uint32_t time;       // Local node time, wraps (ticks truncated to 32 bit).
   uint32_t icount;     // Cumulative iCount pulse counter, wraps.
-  uint16_t payload;    // act_t or powerstate_t, by type.
+  uint32_t payload;    // act_t or powerstate_t, by type.
 };
 #pragma pack(pop)
 
-static_assert(sizeof(LogEntry) == 12, "LogEntry must pack to 12 bytes");
+static_assert(sizeof(LogEntry) == 14, "LogEntry must pack to 14 bytes");
 
 inline constexpr LogEntryType EntryType(const LogEntry& e) {
   return static_cast<LogEntryType>(e.type);
@@ -45,6 +52,31 @@ inline constexpr LogEntryType EntryType(const LogEntry& e) {
 
 inline constexpr bool IsActivityEntry(const LogEntry& e) {
   return EntryType(e) != LogEntryType::kPowerState;
+}
+
+// True when the entry's payload is representable in the paper's 12-byte
+// record: activity labels must fit the legacy 16-bit encoding; power
+// states are 16-bit by construction but a corrupt payload is rejected the
+// same way.
+inline constexpr bool IsLegacyEntry(const LogEntry& e) {
+  return static_cast<LogEntryType>(e.type) == LogEntryType::kPowerState
+             ? e.payload <= 0xFFFF
+             : IsLegacyEncodable(e.payload);
+}
+
+// Payload conversion shared by every legacy (12-byte) record writer and
+// reader — the v1 file container and the legacy radio dump format.
+// Activity labels translate between the wide in-memory layout and the
+// paper's 16-bit layout; power states pass through.
+inline constexpr uint16_t LegacyEntryPayload(const LogEntry& e) {
+  return IsActivityEntry(e) ? ToLegacyLabel(e.payload)
+                            : static_cast<uint16_t>(e.payload);
+}
+
+inline constexpr uint32_t WideEntryPayload(const LogEntry& e,
+                                           uint16_t legacy) {
+  return IsActivityEntry(e) ? FromLegacyLabel(legacy)
+                            : static_cast<uint32_t>(legacy);
 }
 
 }  // namespace quanto

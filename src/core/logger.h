@@ -120,7 +120,7 @@ class QuantoLogger {
   // so microbenchmarks can measure the synchronous cost directly). Inline:
   // this runs for every tracked event in the system, so the time read goes
   // through the clock's NowSource fast path when it has one.
-  void Append(LogEntryType type, res_id_t resource, uint16_t payload) {
+  void Append(LogEntryType type, res_id_t resource, uint32_t payload) {
     if (!enabled_) {
       return;
     }
@@ -163,6 +163,14 @@ class QuantoLogger {
   // Archive + still-buffered entries, in order. This is what the offline
   // analysis consumes.
   std::vector<LogEntry> Trace() const;
+
+  // O(1) peek at the i-th oldest still-buffered entry (i < buffered());
+  // lets the dump service choose a batch's wire format without copying
+  // the whole trace.
+  const LogEntry& BufferedAt(size_t i) const { return buffer_.At(i); }
+
+  // The archived prefix of the trace, by reference (no copy).
+  const std::vector<LogEntry>& archived_entries() const { return archive_; }
 
   size_t buffered() const { return buffer_.size(); }
   size_t archived() const { return archive_.size(); }

@@ -57,7 +57,7 @@ void OnlineAccumulators::Accumulate() {
 }
 
 void OnlineAccumulators::OnEvent(LogEntryType type, res_id_t res,
-                                 uint16_t payload) {
+                                 uint32_t payload) {
   Accumulate();
   last_pulses_ = meter_->ReadPulses();
   ++updates_;

@@ -92,7 +92,7 @@ class OnlineAccumulators {
     std::vector<act_t> acts;  // Current activity set (singleton for single).
   };
 
-  void OnEvent(LogEntryType type, res_id_t res, uint16_t payload);
+  void OnEvent(LogEntryType type, res_id_t res, uint32_t payload);
   void Accumulate();
   ResourceState* StateFor(res_id_t res);
 

@@ -71,12 +71,15 @@ bool Medium::BeginTransmit(node_id_t sender, int channel, const Packet& packet,
       client->OnFrameStart(sender);
     }
   }
-  Packet delivered = packet;
-  queue_->ScheduleAfter(airtime, [this, channel, delivered] {
-    CompleteTransmit(channel, delivered);
+  // The one frame allocation for this transmission: the local completion
+  // event and every cross-shard delivery closure share it by refcount.
+  SharedFrame frame = std::make_shared<const Packet>(packet);
+  ++frames_allocated_;
+  queue_->ScheduleAfter(airtime, [this, channel, frame] {
+    CompleteTransmit(channel, *frame);
   });
   if (fabric_ != nullptr) {
-    fabric_->Post(shard_, channel, packet, airtime, queue_->Now());
+    fabric_->Post(shard_, channel, frame, airtime, queue_->Now());
   }
   return true;
 }
@@ -99,7 +102,8 @@ void Medium::CompleteTransmit(int channel, const Packet& packet) {
   }
 }
 
-void Medium::DeliverRemote(const Packet& packet, int channel, Tick airtime) {
+void Medium::DeliverRemote(const SharedFrame& frame, int channel,
+                           Tick airtime) {
   // A remote frame arriving while this shard's channel is already occupied
   // is corrupted for our listeners (the senders were beyond each other's
   // carrier-sense reach, so the later one never backed off); the earlier
@@ -112,17 +116,17 @@ void Medium::DeliverRemote(const Packet& packet, int channel, Tick airtime) {
   }
   ++busy_count_[channel];
   for (MediumClient* client : ChannelClients(channel)) {
-    if (client->NodeId() != packet.src && client->Listening()) {
-      client->OnFrameStart(packet.src);
+    if (client->NodeId() != frame->src && client->Listening()) {
+      client->OnFrameStart(frame->src);
     }
   }
-  Packet delivered = packet;
-  queue_->ScheduleAfter(airtime, [this, channel, delivered, collided] {
-    FinishRemote(channel, delivered, collided);
+  queue_->ScheduleAfter(airtime, [this, channel, frame, collided] {
+    FinishRemote(channel, frame, collided);
   });
 }
 
-void Medium::FinishRemote(int channel, const Packet& packet, bool collided) {
+void Medium::FinishRemote(int channel, const SharedFrame& frame,
+                          bool collided) {
   auto it = busy_count_.find(channel);
   if (it != busy_count_.end() && it->second > 0) {
     --it->second;
@@ -131,10 +135,10 @@ void Medium::FinishRemote(int channel, const Packet& packet, bool collided) {
     return;
   }
   for (MediumClient* client : ChannelClients(channel)) {
-    if (client->NodeId() == packet.src || !client->Listening()) {
+    if (client->NodeId() == frame->src || !client->Listening()) {
       continue;
     }
-    client->OnFrameComplete(packet);
+    client->OnFrameComplete(*frame);
     ++packets_delivered_;
   }
 }
@@ -161,13 +165,13 @@ MediumFabric::MediumFabric(ShardedSimulator* sim, const Config& config)
   sim->AddBarrierHook([this](Tick window_end) { Drain(window_end); });
 }
 
-void MediumFabric::Post(size_t src_shard, int channel, const Packet& packet,
-                        Tick airtime, Tick now) {
+void MediumFabric::Post(size_t src_shard, int channel,
+                        const SharedFrame& frame, Tick airtime, Tick now) {
   // Mailboxes are thread-confined (only the owning shard's worker writes
   // posts_[src_shard]); shared counters are updated at drain time, on the
   // coordinating thread, so Post stays synchronization-free.
   posts_[src_shard].push_back(
-      CrossPost{now, src_shard, channel, airtime, packet});
+      CrossPost{now, src_shard, channel, airtime, frame});
 }
 
 void MediumFabric::Drain(Tick barrier_now) {
@@ -204,13 +208,16 @@ void MediumFabric::Drain(Tick barrier_now) {
         continue;
       }
       Medium* medium = media_[dst].get();
-      // Copies the packet into the closure; cross-shard frames are rare
-      // compared to engine events, so the copy is not a hot path.
-      Packet packet = post.packet;
+      // Refcount bump only: every destination shard shares the immutable
+      // frame allocated at transmit time, so a broadcast fanning out to N
+      // shards costs zero packet copies here. The closure (pointer +
+      // shared_ptr + channel + airtime) stays within the event queue's
+      // inline callback buffer — no heap allocation per destination.
+      SharedFrame frame = post.frame;
       int channel = post.channel;
       Tick airtime = post.airtime;
-      queues_[dst]->Schedule(deliver, [medium, packet, channel, airtime] {
-        medium->DeliverRemote(packet, channel, airtime);
+      queues_[dst]->Schedule(deliver, [medium, frame, channel, airtime] {
+        medium->DeliverRemote(frame, channel, airtime);
       });
     }
   }
@@ -236,6 +243,14 @@ uint64_t MediumFabric::collisions() const {
   uint64_t total = 0;
   for (const auto& m : media_) {
     total += m->collisions();
+  }
+  return total;
+}
+
+uint64_t MediumFabric::frames_allocated() const {
+  uint64_t total = 0;
+  for (const auto& m : media_) {
+    total += m->frames_allocated();
   }
   return total;
 }

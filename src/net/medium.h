@@ -41,6 +41,14 @@ namespace quanto {
 class MediumFabric;
 class ShardedSimulator;  // Full type needed only by medium.cc.
 
+// A frame on the air: one immutable, refcounted copy of the transmitted
+// packet shared by every delivery path that needs it — the local
+// completion event and, in sharded mode, one closure per destination
+// shard. A broadcast fanning out to N shards therefore performs exactly
+// one frame allocation at transmit time, however large N is (asserted by
+// MediumFabricTest.BroadcastFanOutAllocatesOneFrame).
+using SharedFrame = std::shared_ptr<const Packet>;
+
 // 802.15.4 channels are numbered 11..26 (2.405 + 5*(k-11) MHz centres).
 inline constexpr int kFirstZigbeeChannel = 11;
 inline constexpr int kLastZigbeeChannel = 26;
@@ -112,6 +120,9 @@ class Medium {
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t collisions() const { return collisions_; }
+  // Frame objects allocated by BeginTransmit here (one per accepted
+  // transmission, shared across every delivery path).
+  uint64_t frames_allocated() const { return frames_allocated_; }
 
  private:
   friend class MediumFabric;
@@ -128,8 +139,8 @@ class Medium {
   // local model's earlier-frame-wins semantics (BeginTransmit refuses the
   // later transmission; here the senders were out of each other's
   // carrier-sense reach, so the later frame airs but cannot be decoded).
-  void DeliverRemote(const Packet& packet, int channel, Tick airtime);
-  void FinishRemote(int channel, const Packet& packet, bool collided);
+  void DeliverRemote(const SharedFrame& frame, int channel, Tick airtime);
+  void FinishRemote(int channel, const SharedFrame& frame, bool collided);
 
   // Clients tuned to `channel` (queried at Register time; radios in this
   // model never retune). Keeps per-packet notification from scanning every
@@ -146,6 +157,7 @@ class Medium {
   uint64_t packets_sent_ = 0;
   uint64_t packets_delivered_ = 0;
   uint64_t collisions_ = 0;
+  uint64_t frames_allocated_ = 0;
 };
 
 // The cross-shard radio interconnect: one Medium replica per shard plus
@@ -176,6 +188,9 @@ class MediumFabric {
   uint64_t packets_delivered() const;
   uint64_t collisions() const;
   uint64_t cross_posts() const { return cross_posts_; }
+  // Frame allocations across all replicas: one per accepted transmission,
+  // independent of how many shards each frame fans out to.
+  uint64_t frames_allocated() const;
 
  private:
   friend class Medium;
@@ -185,13 +200,15 @@ class MediumFabric {
     size_t src_shard;
     int channel;
     Tick airtime;
-    Packet packet;
+    SharedFrame frame;  // Shared with the source shard's local delivery.
   };
 
   // Called by a shard's Medium during its window. Only the owning shard's
   // worker touches posts_[src_shard], so no synchronization is needed;
-  // the window barrier publishes the writes to the draining thread.
-  void Post(size_t src_shard, int channel, const Packet& packet,
+  // the window barrier publishes the writes to the draining thread. The
+  // frame is the transmit-time allocation — posting and draining only
+  // bump its refcount.
+  void Post(size_t src_shard, int channel, const SharedFrame& frame,
             Tick airtime, Tick now);
 
   // Barrier hook: applies all posts in (time, src_shard, post order) to

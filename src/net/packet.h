@@ -7,6 +7,13 @@
 // labels are 16-bit integers representing both the node id and the activity
 // id, which is sufficient for networks of up to 256 nodes with 256 distinct
 // activity ids."
+//
+// Node addressing uses 802.15.4 short addresses, which are 16 bits on the
+// wire — so widening node_id_t to uint16_t costs no header bytes. The
+// hidden activity field stays the paper's 2 bytes whenever the label fits
+// the legacy <8-bit node : 8-bit id> encoding (every ≤256-node workload,
+// keeping their airtimes byte-identical) and grows to 4 bytes only for
+// wide labels.
 #ifndef QUANTO_SRC_NET_PACKET_H_
 #define QUANTO_SRC_NET_PACKET_H_
 
@@ -20,8 +27,8 @@
 
 namespace quanto {
 
-// Broadcast destination.
-inline constexpr node_id_t kBroadcastAddr = 0xFF;
+// Broadcast destination (the 802.15.4 short broadcast address).
+inline constexpr node_id_t kBroadcastAddr = 0xFFFF;
 
 // Payload byte buffer with inline storage for typical sensor payloads.
 //
@@ -172,17 +179,27 @@ struct Packet {
   node_id_t src = 0;
   node_id_t dst = 0;
   uint8_t am_type = 0;      // Active Message dispatch id.
-  act_t activity = 0;       // Hidden Quanto label (16 bits on the wire).
+  act_t activity = 0;       // Hidden Quanto label (2 or 4 bytes on the wire).
   PayloadBytes payload;
 
+  // On-air size of the hidden activity field: the paper's 2 bytes for
+  // legacy-encodable labels, 4 for wide ones.
+  size_t ActivityWireBytes() const {
+    return IsLegacyEncodable(activity) ? 2 : 4;
+  }
+
   // Bytes occupied on the air: 802.15.4 synchronisation header + PHY
-  // header (6), MAC header + FCS (11), the AM type byte, the hidden
-  // 2-byte activity field, and the payload.
-  size_t WireBytes() const { return 6 + 11 + 1 + 2 + payload.size(); }
+  // header (6), MAC header + FCS (11, 16-bit short addresses), the AM type
+  // byte, the hidden activity field, and the payload.
+  size_t WireBytes() const {
+    return 6 + 11 + 1 + ActivityWireBytes() + payload.size();
+  }
 
   // Bytes transferred over the SPI bus between MCU and radio FIFO (no
   // preamble; length byte + MAC header/FCS + AM type + label + payload).
-  size_t FifoBytes() const { return 1 + 11 + 1 + 2 + payload.size(); }
+  size_t FifoBytes() const {
+    return 1 + 11 + 1 + ActivityWireBytes() + payload.size();
+  }
 };
 
 }  // namespace quanto

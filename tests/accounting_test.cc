@@ -10,7 +10,7 @@ namespace {
 
 constexpr node_id_t kNode = 1;
 
-TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint16_t payload) {
+TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint32_t payload) {
   TraceEvent e;
   e.time = time;
   e.icount = 0;

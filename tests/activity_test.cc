@@ -13,12 +13,29 @@ TEST(ActivityLabelTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(ActivityLocalId(label), 17);
 }
 
-TEST(ActivityLabelTest, SixteenBitsOnTheWire) {
-  // The hidden AM field is 16 bits; the extremes must round-trip.
-  act_t label = MakeActivity(255, 255);
-  EXPECT_EQ(ActivityOrigin(label), 255);
-  EXPECT_EQ(ActivityLocalId(label), 255);
-  static_assert(sizeof(act_t) == 2);
+TEST(ActivityLabelTest, WideLabelLayout) {
+  // 32-bit labels, 16-bit fields; the extremes of both the legacy byte
+  // range and the wide range must round-trip.
+  act_t legacy_max = MakeActivity(255, 255);
+  EXPECT_EQ(ActivityOrigin(legacy_max), 255);
+  EXPECT_EQ(ActivityLocalId(legacy_max), 255);
+  act_t wide_max = MakeActivity(65534, 65535);
+  EXPECT_EQ(ActivityOrigin(wide_max), 65534);
+  EXPECT_EQ(ActivityLocalId(wide_max), 65535);
+  static_assert(sizeof(act_t) == 4);
+  static_assert(sizeof(node_id_t) == 2);
+}
+
+TEST(ActivityLabelTest, LegacyEncodingRoundTrip) {
+  // The paper's 16-bit <node:id> layout survives exactly for byte-range
+  // labels — the v1 wire compatibility contract.
+  act_t label = MakeActivity(4, 17);
+  EXPECT_TRUE(IsLegacyEncodable(label));
+  EXPECT_EQ(ToLegacyLabel(label), (4 << 8) | 17);
+  EXPECT_EQ(FromLegacyLabel(ToLegacyLabel(label)), label);
+  EXPECT_TRUE(IsLegacyEncodable(MakeActivity(255, 255)));
+  EXPECT_FALSE(IsLegacyEncodable(MakeActivity(256, 1)));
+  EXPECT_FALSE(IsLegacyEncodable(MakeActivity(1, 256)));
 }
 
 TEST(ActivityLabelTest, DistinctNodesDistinctLabels) {

@@ -5,7 +5,7 @@
 namespace quanto {
 namespace {
 
-TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint16_t payload,
+TraceEvent Ev(LogEntryType type, res_id_t res, Tick time, uint32_t payload,
               uint64_t icount = 0) {
   TraceEvent e;
   e.time = time;

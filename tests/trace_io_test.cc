@@ -9,6 +9,8 @@
 namespace quanto {
 namespace {
 
+// Every label fits the legacy encoding, so this serializes as v1 — the
+// paper's 12-byte records.
 std::vector<LogEntry> SampleTrace() {
   std::vector<LogEntry> entries;
   for (uint32_t i = 0; i < 100; ++i) {
@@ -17,7 +19,25 @@ std::vector<LogEntry> SampleTrace() {
     e.res_id = static_cast<res_id_t>(i % kSinkCount);
     e.time = i * 1000;
     e.icount = i * 7;
-    e.payload = static_cast<uint16_t>(0x0100 | i);
+    e.payload = EntryType(e) == LogEntryType::kPowerState
+                    ? i
+                    : MakeActivity(1, static_cast<act_id_t>(i & 0xFF));
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+// At least one label needs the wide encoding (origin > 255), forcing v2.
+std::vector<LogEntry> WideSampleTrace() {
+  auto entries = SampleTrace();
+  for (uint32_t i = 0; i < 40; ++i) {
+    LogEntry e;
+    e.type = static_cast<uint8_t>(LogEntryType::kActivitySet);
+    e.res_id = kSinkCpu;
+    e.time = 200000 + i;
+    e.icount = i;
+    e.payload = MakeActivity(static_cast<node_id_t>(300 + i),
+                             static_cast<act_id_t>(1000 + i));
     entries.push_back(e);
   }
   return entries;
@@ -45,9 +65,65 @@ TEST(TraceIoTest, EmptyTraceRoundTrips) {
   EXPECT_TRUE(restored->empty());
 }
 
-TEST(TraceIoTest, BlobSizeIsHeaderPlusTwelvePerEntry) {
+TEST(TraceIoTest, LegacyBlobSizeIsHeaderPlusTwelvePerEntry) {
+  // Legacy-encodable traces keep the paper's 12-byte records (v1).
   auto blob = SerializeTrace(SampleTrace());
   EXPECT_EQ(blob.size(), 12u + 100 * 12);
+  EXPECT_EQ(blob[4], kTraceVersionLegacy);
+}
+
+TEST(TraceIoTest, WideLabelsSelectVersionTwo) {
+  auto trace = WideSampleTrace();
+  EXPECT_EQ(TraceSerializationVersion(trace), kTraceVersionWide);
+  auto blob = SerializeTrace(trace);
+  EXPECT_EQ(blob[4], kTraceVersionWide);
+  EXPECT_EQ(blob.size(), 12u + trace.size() * 14);
+  // And wide records round-trip every field, including >8-bit origins.
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*restored)[i].payload, trace[i].payload) << "entry " << i;
+  }
+  EXPECT_EQ(ActivityOrigin(restored->back().payload), 339);
+}
+
+TEST(TraceIoTest, ForcedV2RoundTripsLegacyTrace) {
+  auto trace = SampleTrace();
+  auto blob = SerializeTrace(trace, TraceFormat::kV2);
+  EXPECT_EQ(blob[4], kTraceVersionWide);
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*restored)[i].payload, trace[i].payload) << "entry " << i;
+  }
+}
+
+TEST(TraceIoTest, VersionOneBlobParsesToWideLabels) {
+  // A v1 file written by the pre-widening toolchain: its 16-bit activity
+  // payloads must widen into the in-memory <<16 encoding on read.
+  std::vector<uint8_t> blob = {'Q', 'N', 'T', 'O', 1, 0, 0, 0, 1, 0, 0, 0};
+  LogEntry e{};
+  e.type = static_cast<uint8_t>(LogEntryType::kActivitySet);
+  e.res_id = kSinkCpu;
+  e.time = 42;
+  e.icount = 7;
+  blob.push_back(e.type);
+  blob.push_back(e.res_id);
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<uint8_t>((e.time >> (8 * i)) & 0xFF));
+  }
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<uint8_t>((e.icount >> (8 * i)) & 0xFF));
+  }
+  // Legacy label 0x0403 = node 4, activity 3.
+  blob.push_back(0x03);
+  blob.push_back(0x04);
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ((*restored)[0].payload, MakeActivity(4, 3));
 }
 
 TEST(TraceIoTest, BadMagicRejected) {

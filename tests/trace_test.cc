@@ -11,7 +11,7 @@ namespace quanto {
 namespace {
 
 LogEntry Entry(LogEntryType type, res_id_t res, uint32_t time,
-               uint32_t icount, uint16_t payload) {
+               uint32_t icount, uint32_t payload) {
   LogEntry e;
   e.type = static_cast<uint8_t>(type);
   e.res_id = res;
