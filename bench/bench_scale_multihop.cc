@@ -27,6 +27,8 @@
 //                             [--lookahead-us U] [--trace PATH]
 //                             [--topology chain|grid] [--sinks K]
 //                             [--grid-width W] [--wide-motes N]
+//                             [--stream-traces] [--stream-log-capacity N]
+//                             [--max-rss-mb M] [--mem-motes N]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -44,6 +46,28 @@
 //                  2 simulated seconds, proving merge-hash determinism
 //                  past the old 256-node ceiling (default 1024; 0
 //                  disables; skipped when --motes is given)
+//   --stream-traces  sharded runs collect traces through the streaming
+//                  TraceSink pipeline (bounded per-mote archives sealed at
+//                  window barriers into an incremental merge) instead of
+//                  the post-hoc whole-trace merge; the reported hash is
+//                  the merger's online fingerprint, which equals the
+//                  batch hash whenever no entries were dropped. Baseline
+//                  (--threads 0) runs always use the batch path.
+//   --stream-log-capacity  per-mote RAM ring in streaming mode (default
+//                  1024 entries; batch mode keeps the usual 8192). The
+//                  ring only needs to cover one lockstep window.
+//   --max-rss-mb   fail (exit 1) if the process peak RSS exceeds this
+//                  after any run — the CI guard for bounded-memory mode
+//                  (0 = no limit)
+//   --mem-motes    memory-scaling phase appended to the default sweep: a
+//                  grid/4-sink network of N motes, streamed, at 1/2/4
+//                  threads for 2 simulated seconds (default 8192; 0
+//                  disables; skipped when --motes is given). Peak RSS is
+//                  recorded per run but is process-monotone; for per-row
+//                  RSS use tools/run_benchmarks.sh, which runs each
+//                  memory row in its own process.
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdlib>
@@ -72,6 +96,7 @@ struct RunResult {
   size_t shards = 0;
   ScaleTopology topology = ScaleTopology::kChain;
   size_t sinks = 1;
+  bool stream = false;
   double sim_seconds = 0.0;
   uint64_t events = 0;
   double wall_seconds = 0.0;
@@ -80,9 +105,18 @@ struct RunResult {
   uint64_t packets_delivered = 0;
   uint64_t lpl_wakeups = 0;
   uint64_t entries_logged = 0;
+  uint64_t entries_dropped = 0;
   uint64_t windows = 0;
   uint64_t cross_posts = 0;
   uint64_t merge_hash = 0;
+  // Entries resident in the streaming merger at its high-water mark (the
+  // streamed stand-in for "how big the batch merge vector would be").
+  uint64_t stream_peak_buffered = 0;
+  // Process peak RSS after this run, in MB. getrusage is process-wide and
+  // monotone: within one invocation later rows inherit earlier peaks, so
+  // per-row numbers need one process per row (run_benchmarks.sh's memory
+  // phase does exactly that).
+  size_t peak_rss_mb = 0;
 };
 
 struct RunOptions {
@@ -92,13 +126,29 @@ struct RunOptions {
   ScaleTopology topology = ScaleTopology::kChain;
   size_t sinks = 1;
   size_t grid_width = 0;
+  bool stream = false;              // Streaming TraceSink collection.
+  size_t stream_log_capacity = 1024;
   std::string trace_path;  // Empty: no trace dump.
 };
+
+// Seconds() takes an integral count; convert fractional durations
+// explicitly so "--seconds 0.5" runs half a second instead of silently
+// truncating to zero.
+Tick SimTicks(double seconds) {
+  return static_cast<Tick>(seconds * kTicksPerSecond);
+}
+
+size_t PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss) / 1024;  // KB on Linux.
+}
 
 void FinishRun(const ScaleNetwork& net, const RunOptions& opts,
                RunResult* result) {
   result->lpl_wakeups = net.lpl_wakeups();
   result->entries_logged = net.entries_logged();
+  result->entries_dropped = net.entries_dropped();
   std::vector<MergedEntry> merged = MergeTraces(CollectNodeTraces(net));
   result->merge_hash = MergedTraceHash(merged);
   if (!opts.trace_path.empty()) {
@@ -137,7 +187,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     net.StartApps();
 
     auto start = std::chrono::steady_clock::now();
-    queue.RunFor(Seconds(sim_seconds));
+    queue.RunFor(SimTicks(sim_seconds));
     auto stop = std::chrono::steady_clock::now();
 
     result.shards = 1;
@@ -155,14 +205,39 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     MediumFabric fabric(&sim);
     // Window-batched logger self-charging: the sharded core's native mode.
     cfg.batch_log_charging = true;
+
+    // Streaming collection: loggers seal chunks to the merger at every
+    // window barrier (bounded archives), merged entries spill to the
+    // optional trace file online, and the hash is the merger's online
+    // fingerprint. The batch path below keeps whole traces in RAM and
+    // merges post hoc.
+    StreamingTraceMerger merger;
+    std::unique_ptr<FileTraceSink> spill;
+    if (opts.stream) {
+      if (!opts.trace_path.empty()) {
+        spill = std::make_unique<FileTraceSink>(opts.trace_path);
+        FileTraceSink* sink = spill.get();
+        merger.SetEmit(
+            [sink](const MergedEntry& m) { sink->Append(m.entry); });
+      }
+      cfg.trace_sink = &merger;
+      cfg.log_capacity = opts.stream_log_capacity;
+      result.stream = true;
+    }
     ScaleNetwork net(&sim, &fabric, cfg);
+    if (opts.stream) {
+      // After ScaleNetwork's seal hook: every chunk of the window is in
+      // the merger before its watermark advances.
+      sim.AddBarrierHook(
+          [&merger](Tick window_end) { merger.AdvanceWatermark(window_end); });
+    }
     result.sinks = net.origin_count();
     net.PowerUp();
     sim.RunFor(Milliseconds(5));
     net.StartApps();
 
     auto start = std::chrono::steady_clock::now();
-    sim.RunFor(Seconds(sim_seconds));
+    sim.RunFor(SimTicks(sim_seconds));
     auto stop = std::chrono::steady_clock::now();
 
     result.shards = sim.shard_count();
@@ -172,10 +247,35 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     result.packets_delivered = fabric.packets_delivered();
     result.windows = sim.windows_run();
     result.cross_posts = fabric.cross_posts();
-    FinishRun(net, opts, &result);
+    if (opts.stream) {
+      net.SealAllChunks();
+      merger.Finish();
+      result.lpl_wakeups = net.lpl_wakeups();
+      result.entries_logged = net.entries_logged();
+      result.entries_dropped = net.entries_dropped();
+      result.merge_hash = merger.hash();
+      result.stream_peak_buffered = merger.peak_buffered();
+      if (spill != nullptr) {
+        if (spill->Close()) {
+          std::cout << "  spilled merged trace " << opts.trace_path << " ("
+                    << spill->entries_written() << " entries, "
+                    << spill->segments_written() << " segments)\n";
+        } else {
+          std::cerr << "cannot write " << opts.trace_path << "\n";
+        }
+      }
+      if (result.entries_dropped > 0) {
+        std::cerr << "  WARNING: " << result.entries_dropped
+                  << " entries dropped (ring too small for one flush "
+                     "interval); streamed hash will not match a batch run\n";
+      }
+    } else {
+      FinishRun(net, opts, &result);
+    }
   }
   result.events_per_sec =
       result.wall_seconds > 0 ? result.events / result.wall_seconds : 0.0;
+  result.peak_rss_mb = PeakRssMb();
   return result;
 }
 
@@ -277,6 +377,7 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"topology\": \""
         << (r.topology == ScaleTopology::kGrid ? "grid" : "chain") << "\""
         << ", \"sinks\": " << r.sinks
+        << ", \"stream\": " << (r.stream ? "true" : "false")
         << ", \"sim_seconds\": " << r.sim_seconds
         << ", \"events\": " << r.events
         << ", \"wall_seconds\": " << r.wall_seconds
@@ -285,8 +386,11 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"packets_delivered\": " << r.packets_delivered
         << ", \"lpl_wakeups\": " << r.lpl_wakeups
         << ", \"entries_logged\": " << r.entries_logged
+        << ", \"entries_dropped\": " << r.entries_dropped
         << ", \"windows\": " << r.windows
         << ", \"cross_posts\": " << r.cross_posts
+        << ", \"stream_peak_buffered\": " << r.stream_peak_buffered
+        << ", \"peak_rss_mb\": " << r.peak_rss_mb
         << ", \"merge_hash\": \"" << HashHex(r.merge_hash) << "\"}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -316,6 +420,8 @@ int Run(int argc, char** argv) {
   RunOptions opts;
   std::string trace_path;
   size_t wide_motes = 1024;
+  size_t mem_motes = 8192;
+  size_t max_rss_mb = 0;
   bool single_size = false;
   // Mote ids are 1..N and the top id is the 802.15.4 broadcast address,
   // so the ceiling follows node_id_t directly (65534 with uint16_t).
@@ -395,21 +501,53 @@ int Run(int argc, char** argv) {
         return 2;
       }
       wide_motes = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--mem-motes") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n < 0 || static_cast<size_t>(n) > kMaxMotes) {
+        std::cerr << "--mem-motes must be in [0, " << kMaxMotes << "]\n";
+        return 2;
+      }
+      mem_motes = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--stream-traces") == 0) {
+      opts.stream = true;
+    } else if (std::strcmp(argv[i], "--stream-log-capacity") == 0 &&
+               i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "--stream-log-capacity must be >= 1\n";
+        return 2;
+      }
+      opts.stream_log_capacity = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--max-rss-mb") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n < 0) {
+        std::cerr << "--max-rss-mb must be >= 0 (0 = no limit)\n";
+        return 2;
+      }
+      max_rss_mb = static_cast<size_t>(n);
     }
   }
 
   PrintSection(std::cout, "Simulation core scale: LPL relay network");
-  TextTable t({"motes", "thr", "shards", "topo", "sim s", "events", "wall s",
-               "events/s", "delivered", "merge hash"});
+  TextTable t({"motes", "thr", "shards", "topo", "coll", "sim s", "events",
+               "wall s", "events/s", "delivered", "rss MB", "merge hash"});
   std::vector<RunResult> runs;
-  auto add_row = [&t](const RunResult& r) {
+  bool rss_exceeded = false;
+  auto add_row = [&t, &rss_exceeded, max_rss_mb](const RunResult& r) {
     t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
               std::to_string(r.shards),
               r.topology == ScaleTopology::kGrid ? "grid" : "chain",
+              r.stream ? "stream" : "batch",
               TextTable::Num(r.sim_seconds, 1), std::to_string(r.events),
               TextTable::Num(r.wall_seconds, 3),
               std::to_string(static_cast<uint64_t>(r.events_per_sec)),
-              std::to_string(r.packets_delivered), HashHex(r.merge_hash)});
+              std::to_string(r.packets_delivered),
+              std::to_string(r.peak_rss_mb), HashHex(r.merge_hash)});
+    if (max_rss_mb > 0 && r.peak_rss_mb > max_rss_mb) {
+      std::cerr << "  FAIL: peak RSS " << r.peak_rss_mb << " MB exceeds --max-rss-mb "
+                << max_rss_mb << "\n";
+      rss_exceeded = true;
+    }
   };
   for (size_t n : sizes) {
     for (size_t threads : thread_sweep) {
@@ -442,6 +580,25 @@ int Run(int argc, char** argv) {
       add_row(r);
     }
   }
+
+  // Memory-scaling phase: the many-thousand-mote grid the streaming
+  // TraceSink pipeline exists for. Streamed collection at 1/2/4 threads —
+  // equal online merge hashes extend the determinism proof to the sizes
+  // where the batch path would hold the whole network's trace in RAM.
+  // (peak_rss_mb here is process-monotone; run_benchmarks.sh records the
+  // per-row numbers from one process per row.)
+  if (!single_size && mem_motes > 0) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      RunOptions run_opts = opts;
+      run_opts.threads = threads;
+      run_opts.topology = ScaleTopology::kGrid;
+      run_opts.sinks = 4;
+      run_opts.stream = true;
+      RunResult r = RunNetwork(mem_motes, 2.0, run_opts);
+      runs.push_back(r);
+      add_row(r);
+    }
+  }
   t.Print(std::cout);
 
   PrintSection(std::cout, "Engine core churn (scheduler isolated)");
@@ -452,7 +609,7 @@ int Run(int argc, char** argv) {
             << static_cast<uint64_t>(core.events_per_sec) << " events/s\n";
 
   WriteJson(runs, core, json_path);
-  return 0;
+  return rss_exceeded ? 1 : 0;
 }
 
 }  // namespace

@@ -75,29 +75,35 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
   return out;
 }
 
-std::optional<std::vector<LogEntry>> DeserializeTrace(
-    const std::vector<uint8_t>& blob) {
-  if (blob.size() < kHeaderBytes) {
-    return std::nullopt;
+namespace {
+
+// Parses one complete container starting at `offset`, appending its
+// entries to `out` and advancing `offset` past it. Returns false on bad
+// magic/version or truncation (offset is left unspecified).
+bool ParseSegment(const std::vector<uint8_t>& blob, size_t* offset,
+                  std::vector<LogEntry>* out) {
+  size_t at = *offset;
+  if (blob.size() - at < kHeaderBytes) {
+    return false;
   }
   for (int i = 0; i < 4; ++i) {
-    if (blob[static_cast<size_t>(i)] != kMagic[i]) {
-      return std::nullopt;
+    if (blob[at + static_cast<size_t>(i)] != kMagic[i]) {
+      return false;
     }
   }
-  uint16_t version = GetU16(blob.data() + 4);
+  uint16_t version = GetU16(blob.data() + at + 4);
   if (version != kTraceVersionLegacy && version != kTraceVersionWide) {
-    return std::nullopt;
+    return false;
   }
   size_t entry_bytes =
       version == kTraceVersionLegacy ? kEntryBytesV1 : kEntryBytesV2;
-  uint32_t count = GetU32(blob.data() + 8);
-  if (blob.size() < kHeaderBytes + static_cast<size_t>(count) * entry_bytes) {
-    return std::nullopt;  // Truncated dump.
+  uint32_t count = GetU32(blob.data() + at + 8);
+  if (blob.size() - at - kHeaderBytes <
+      static_cast<size_t>(count) * entry_bytes) {
+    return false;  // Truncated dump.
   }
-  std::vector<LogEntry> entries;
-  entries.reserve(count);
-  const uint8_t* p = blob.data() + kHeaderBytes;
+  out->reserve(out->size() + count);
+  const uint8_t* p = blob.data() + at + kHeaderBytes;
   for (uint32_t i = 0; i < count; ++i) {
     LogEntry e;
     e.type = p[0];
@@ -109,9 +115,26 @@ std::optional<std::vector<LogEntry>> DeserializeTrace(
     } else {
       e.payload = GetU32(p + 10);
     }
-    entries.push_back(e);
+    out->push_back(e);
     p += entry_bytes;
   }
+  *offset = at + kHeaderBytes + static_cast<size_t>(count) * entry_bytes;
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<LogEntry>> DeserializeTrace(
+    const std::vector<uint8_t>& blob) {
+  std::vector<LogEntry> entries;
+  size_t offset = 0;
+  // At least one segment, then as many as the blob holds; any leftover
+  // bytes that do not parse as a full segment reject the whole blob.
+  do {
+    if (!ParseSegment(blob, &offset, &entries)) {
+      return std::nullopt;
+    }
+  } while (offset < blob.size());
   return entries;
 }
 
@@ -135,6 +158,63 @@ std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path) {
   std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
   return DeserializeTrace(blob);
+}
+
+// --- FileTraceSink -----------------------------------------------------------
+
+FileTraceSink::FileTraceSink(const std::string& path, size_t segment_entries)
+    : path_(path),
+      segment_entries_(segment_entries == 0 ? 1 : segment_entries),
+      out_(path, std::ios::binary | std::ios::trunc) {
+  ok_ = static_cast<bool>(out_);
+  buffer_.reserve(segment_entries_);
+}
+
+FileTraceSink::~FileTraceSink() { Close(); }
+
+void FileTraceSink::Append(const LogEntry& entry) {
+  buffer_.push_back(entry);
+  if (buffer_.size() >= segment_entries_) {
+    SpillSegment();
+  }
+}
+
+void FileTraceSink::SpillSegment() {
+  if (buffer_.empty()) {
+    return;
+  }
+  if (ok_) {
+    auto blob = SerializeTrace(buffer_, TraceFormat::kAuto);
+    out_.write(reinterpret_cast<const char*>(blob.data()),
+               static_cast<std::streamsize>(blob.size()));
+    ok_ = static_cast<bool>(out_);
+    entries_written_ += buffer_.size();
+    ++segments_written_;
+  }
+  buffer_.clear();
+}
+
+bool FileTraceSink::Close() {
+  if (closed_) {
+    return ok_;
+  }
+  closed_ = true;
+  SpillSegment();
+  if (ok_ && segments_written_ == 0) {
+    // Nothing ever arrived: write one empty container so the file is a
+    // valid (empty) trace, exactly as WriteTraceFile({}) would produce.
+    auto blob = SerializeTrace({}, TraceFormat::kAuto);
+    out_.write(reinterpret_cast<const char*>(blob.data()),
+               static_cast<std::streamsize>(blob.size()));
+    ok_ = static_cast<bool>(out_);
+    ++segments_written_;
+  }
+  if (ok_) {
+    out_.flush();
+    ok_ = static_cast<bool>(out_);
+  }
+  out_.close();
+  return ok_;
 }
 
 std::string DumpTraceText(const std::vector<LogEntry>& entries,

@@ -18,6 +18,7 @@
 #define QUANTO_SRC_ANALYSIS_TRACE_IO_H_
 
 #include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,13 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
 // magic/version/truncation. A blob whose count field exceeds the available
 // bytes is rejected rather than partially parsed (a truncated dump is a
 // broken dump). v1 activity labels are widened to the in-memory encoding.
+//
+// The blob may be a *segmented* container: several complete containers
+// concatenated back to back (what FileTraceSink spills, see
+// docs/TRACE_FORMAT.md "Spill segments"). Segments are parsed in order and
+// their entries concatenated; each segment carries its own version, so a
+// legacy prefix followed by a wide segment is fine. Trailing bytes that do
+// not start a valid segment reject the whole blob.
 std::optional<std::vector<LogEntry>> DeserializeTrace(
     const std::vector<uint8_t>& blob);
 
@@ -61,6 +69,54 @@ bool WriteTraceFile(const std::string& path,
                     const std::vector<LogEntry>& entries,
                     TraceFormat format = TraceFormat::kAuto);
 std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path);
+
+// --- Streaming spill writer ---------------------------------------------------
+
+// Spills an entry stream to disk incrementally as a sequence of
+// self-contained container segments, each holding at most
+// `segment_entries` records. This is the streaming pipeline's offline
+// tail: the merger's emit hook appends merged entries here, a segment is
+// serialized and written whenever the buffer fills, and peak memory is one
+// segment regardless of trace length. Each segment picks v1/v2
+// independently (kAuto), so legacy workloads still spill the paper's
+// 12-byte records; ReadTraceFile reassembles the segments transparently.
+// A stream that fits one segment produces a file byte-identical to
+// WriteTraceFile on the same entries.
+class FileTraceSink {
+ public:
+  inline static constexpr size_t kDefaultSegmentEntries = 1 << 16;
+
+  FileTraceSink(const std::string& path,
+                size_t segment_entries = kDefaultSegmentEntries);
+  ~FileTraceSink();
+
+  FileTraceSink(const FileTraceSink&) = delete;
+  FileTraceSink& operator=(const FileTraceSink&) = delete;
+
+  // False when the file could not be opened or a write failed.
+  bool ok() const { return ok_; }
+
+  void Append(const LogEntry& entry);
+
+  // Spills the buffered remainder and flushes. Returns ok(). Called by
+  // the destructor if needed; call it explicitly to observe the result.
+  bool Close();
+
+  uint64_t entries_written() const { return entries_written_; }
+  uint64_t segments_written() const { return segments_written_; }
+
+ private:
+  void SpillSegment();
+
+  std::string path_;
+  size_t segment_entries_;
+  std::vector<LogEntry> buffer_;
+  std::ofstream out_;
+  bool ok_ = false;
+  bool closed_ = false;
+  uint64_t entries_written_ = 0;
+  uint64_t segments_written_ = 0;
+};
 
 // --- Text dump ------------------------------------------------------------------
 

@@ -50,24 +50,89 @@ std::vector<LogEntry> MergedEntryStream(
   return entries;
 }
 
-uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged) {
+void MergedTraceHasher::Mix(const MergedEntry& m) {
   // FNV-1a, field by field (host-endianness independent).
-  uint64_t h = 14695981039346656037ull;
+  uint64_t h = hash_;
   auto mix = [&h](uint64_t value, int bytes) {
     for (int i = 0; i < bytes; ++i) {
       h ^= (value >> (8 * i)) & 0xFF;
       h *= 1099511628211ull;
     }
   };
+  mix(m.node, 2);
+  mix(m.entry.type, 1);
+  mix(m.entry.res_id, 1);
+  mix(m.entry.time, 4);
+  mix(m.entry.icount, 4);
+  mix(m.entry.payload, 4);
+  hash_ = h;
+}
+
+uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged) {
+  MergedTraceHasher hasher;
   for (const MergedEntry& m : merged) {
-    mix(m.node, 2);
-    mix(m.entry.type, 1);
-    mix(m.entry.res_id, 1);
-    mix(m.entry.time, 4);
-    mix(m.entry.icount, 4);
-    mix(m.entry.payload, 4);
+    hasher.Mix(m);
   }
-  return h;
+  return hasher.hash();
+}
+
+// --- StreamingTraceMerger ----------------------------------------------------
+
+void StreamingTraceMerger::OnChunk(TraceChunk&& chunk) {
+  Stream& stream = streams_[chunk.node];
+  // Chunk continuity: a gap means someone dropped a sealed chunk on the
+  // floor, which would silently corrupt the merge. Loggers stamp
+  // consecutive seq numbers starting at 0, so anything else is a gap —
+  // counted, not fatal, so a test can assert on it.
+  if (chunk.seq != stream.next_seq) {
+    ++seq_gaps_;
+  }
+  stream.next_seq = chunk.seq + 1;
+  bool was_empty = stream.pending.empty();
+  for (const LogEntry& e : chunk.entries) {
+    if (!stream.first && e.time < stream.prev) {
+      stream.high += uint64_t{1} << 32;
+    }
+    stream.first = false;
+    stream.prev = e.time;
+    stream.pending.push_back(
+        MergedEntry{stream.high | e.time, chunk.node, e});
+  }
+  buffered_ += chunk.entries.size();
+  if (buffered_ > peak_buffered_) {
+    peak_buffered_ = buffered_;
+  }
+  if (was_empty && !stream.pending.empty()) {
+    heads_.push(
+        HeapKey{stream.pending.front().time64, chunk.node, &stream});
+  }
+}
+
+void StreamingTraceMerger::EmitFront(Stream* stream) {
+  const MergedEntry& m = stream->pending.front();
+  hasher_.Mix(m);
+  ++emitted_;
+  --buffered_;
+  if (emit_) {
+    emit_(m);
+  }
+  stream->pending.pop_front();
+}
+
+void StreamingTraceMerger::AdvanceWatermark(uint64_t watermark) {
+  while (!heads_.empty() && heads_.top().time64 < watermark) {
+    HeapKey head = heads_.top();
+    heads_.pop();
+    EmitFront(head.stream);
+    if (!head.stream->pending.empty()) {
+      heads_.push(HeapKey{head.stream->pending.front().time64, head.node,
+                          head.stream});
+    }
+  }
+}
+
+void StreamingTraceMerger::Finish() {
+  AdvanceWatermark(~uint64_t{0});
 }
 
 }  // namespace quanto

@@ -19,10 +19,15 @@
 #define QUANTO_SRC_ANALYSIS_TRACE_MERGE_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
 #include <vector>
 
 #include "src/core/activity.h"
 #include "src/core/log_entry.h"
+#include "src/core/trace_sink.h"
 #include "src/util/units.h"
 
 namespace quanto {
@@ -70,6 +75,111 @@ std::vector<LogEntry> MergedEntryStream(const std::vector<MergedEntry>& merged);
 // host-independent, so runs can assert sequence identity without carrying
 // full traces around.
 uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged);
+
+// FNV-1a accumulator matching MergedTraceHash entry for entry, so a
+// streamed merge can fingerprint its output without materializing it.
+class MergedTraceHasher {
+ public:
+  void Mix(const MergedEntry& m);
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+// Incremental k-way merge: the streaming counterpart of MergeTraces.
+//
+// Chunks arrive online (it is a TraceSink, so loggers in bounded-archive
+// mode feed it directly); merged entries are emitted once the watermark
+// says no stream can still produce an earlier one. The emitted sequence —
+// order, content and FNV fingerprint — is identical to what
+// MergeTraces(CollectNodeTraces(net)) would produce on the same logs: the
+// merge key is (unwrapped time, node, per-node log order), nothing else.
+//
+// Watermark protocol: the producer (the sharded runner's barrier hook)
+// seals every logger's chunk at a window barrier T, then calls
+// AdvanceWatermark(T). Entries strictly below T are final — every stream
+// flushed at T can only append entries at or after T — so they merge and
+// emit immediately; entries at exactly T wait one more window (barrier
+// hooks themselves may still log at T). A stream with nothing buffered
+// never blocks emission: after its seal at T, silence means it has
+// nothing below T (the idle-shard case). Finish() declares end of input
+// and drains the remainder.
+//
+// Peak memory is O(entries per watermark interval), not O(run).
+class StreamingTraceMerger : public TraceSink {
+ public:
+  // Called once per merged entry, in merge order. Optional: the merger
+  // always maintains count + fingerprint; consumers that need the entries
+  // themselves (spill writers, streaming regression) attach an emit hook.
+  using EmitFn = std::function<void(const MergedEntry&)>;
+
+  StreamingTraceMerger() = default;
+  explicit StreamingTraceMerger(EmitFn emit) : emit_(std::move(emit)) {}
+
+  void SetEmit(EmitFn emit) { emit_ = std::move(emit); }
+
+  // TraceSink: accepts one sealed chunk. Entries are unwrapped to 64-bit
+  // time on ingest (per-stream, exactly as MergeTraces does).
+  void OnChunk(TraceChunk&& chunk) override;
+
+  // Every stream is complete strictly below `watermark` (unwrapped time):
+  // emits all merged entries with time64 < watermark.
+  void AdvanceWatermark(uint64_t watermark);
+
+  // No more chunks will arrive: emits everything still buffered. The
+  // merger can keep accepting chunks afterwards (a new collection round),
+  // but ordering is only guaranteed within rounds.
+  void Finish();
+
+  uint64_t emitted() const { return emitted_; }
+  uint64_t hash() const { return hasher_.hash(); }
+
+  // Entries currently buffered across all streams, and the high-water
+  // mark — the streamed replacement for "how big would the batch merge
+  // vector have been".
+  size_t buffered() const { return buffered_; }
+  size_t peak_buffered() const { return peak_buffered_; }
+  size_t stream_count() const { return streams_.size(); }
+  // Chunks that arrived out of sequence (should be 0 in a healthy run).
+  uint64_t seq_gaps() const { return seq_gaps_; }
+
+ private:
+  struct Stream {
+    std::deque<MergedEntry> pending;
+    // Per-stream 32 -> 64 bit unwrap state.
+    uint64_t high = 0;
+    uint32_t prev = 0;
+    bool first = true;
+    uint64_t next_seq = 0;  // Chunk continuity check.
+  };
+
+  struct HeapKey {
+    uint64_t time64;
+    node_id_t node;
+    Stream* stream;
+    bool operator>(const HeapKey& other) const {
+      if (time64 != other.time64) {
+        return time64 > other.time64;
+      }
+      return node > other.node;
+    }
+  };
+
+  void EmitFront(Stream* stream);
+
+  EmitFn emit_;
+  std::map<node_id_t, Stream> streams_;
+  // One heap element per non-empty stream (pushed when a stream turns
+  // non-empty, reinserted after each pop while entries remain).
+  std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<HeapKey>>
+      heads_;
+  uint64_t emitted_ = 0;
+  size_t buffered_ = 0;
+  size_t peak_buffered_ = 0;
+  uint64_t seq_gaps_ = 0;
+  MergedTraceHasher hasher_;
+};
 
 }  // namespace quanto
 

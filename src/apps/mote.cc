@@ -23,6 +23,9 @@ Mote::Mote(EventQueue* queue, Medium* medium, const Config& config)
                                            config.log_mode);
   // Devirtualized per-sample meter read (the meter type is final).
   logger_->SetFastMeter(meter_.get());
+  if (config.trace_sink != nullptr) {
+    logger_->SetSink(config.trace_sink, config.id);
+  }
   if (config.charge_logging) {
     logger_->SetCpuChargeHook(&node_->cpu());
     logger_->SetChargeBatching(config.batch_log_charging);

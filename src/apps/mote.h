@@ -44,6 +44,12 @@ class Mote {
     // Table 4 bench uses the paper's 800.
     size_t log_capacity = 1 << 20;
     QuantoLogger::Mode log_mode = QuantoLogger::Mode::kRamBuffer;
+    // Streaming collection: when set, the logger runs in bounded-archive
+    // mode and hands sealed chunks (stamped with this mote's id) to the
+    // sink instead of keeping the whole trace in RAM — see
+    // src/core/trace_sink.h. One sink instance typically serves every
+    // mote in the network.
+    TraceSink* trace_sink = nullptr;
     // Charge the logger's 102-cycle synchronous cost to the CPU.
     bool charge_logging = true;
     // Accumulate the self-charge and flush it once per lockstep window

@@ -25,6 +25,12 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
     // construction, before us); the order is fixed per run either way.
     sim->AddBarrierHook([this](Tick) { FlushAllCharges(); });
   }
+  if (config_.trace_sink != nullptr) {
+    // Seal after the charge flush so any entries the flush logs at the
+    // barrier time land in this window's chunks. Runs on the coordinating
+    // thread in mote order: the chunk sequence is thread-count-invariant.
+    sim->AddBarrierHook([this](Tick) { SealAllChunks(); });
+  }
 }
 
 ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
@@ -78,6 +84,7 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
     cfg.meter.record_history = false;
     cfg.radio.seed = 0xCC2420 + i;
     cfg.batch_log_charging = config_.batch_log_charging;
+    cfg.trace_sink = config_.trace_sink;
     size_t shard = i % shards;
     motes_.push_back(
         std::make_unique<Mote>(queues[shard], media[shard], cfg));
@@ -194,10 +201,26 @@ uint64_t ScaleNetwork::entries_logged() const {
   return total;
 }
 
+uint64_t ScaleNetwork::entries_dropped() const {
+  uint64_t total = 0;
+  for (const auto& m : motes_) {
+    total += m->logger().entries_dropped();
+  }
+  return total;
+}
+
 void ScaleNetwork::FlushAllCharges() {
   for (const auto& m : motes_) {
     m->logger().FlushCpuCharge();
   }
+}
+
+size_t ScaleNetwork::SealAllChunks() {
+  size_t sealed = 0;
+  for (const auto& m : motes_) {
+    sealed += m->logger().SealToSink();
+  }
+  return sealed;
 }
 
 }  // namespace quanto

@@ -61,6 +61,16 @@ struct ScaleNetworkConfig {
   size_t grid_width = 0;
   // Number of independent flood origin/sink bands (kGrid only, >= 1).
   size_t sinks = 1;
+  // Streaming trace collection: every mote's logger runs in
+  // bounded-archive mode feeding this sink. The sharded constructor
+  // installs a barrier hook that seals all chunks each lockstep window
+  // (after the fabric drain and charge flush), so per-mote resident trace
+  // is O(window); callers consuming watermarked output (e.g. a
+  // StreamingTraceMerger) register their own hook *after* constructing
+  // the network — hooks run in registration order, so theirs sees the
+  // window's chunks already sealed. Single-engine callers must call
+  // SealAllChunks() themselves.
+  TraceSink* trace_sink = nullptr;
 };
 
 class ScaleNetwork {
@@ -93,10 +103,19 @@ class ScaleNetwork {
 
   uint64_t lpl_wakeups() const;
   uint64_t entries_logged() const;
+  // Entries rejected by full RAM buffers, summed over motes. Must be 0
+  // for a streamed run's merge to equal the batch merge.
+  uint64_t entries_dropped() const;
 
   // Flushes every mote's batched logger self-charge (no-op per mote when
   // nothing is pending).
   void FlushAllCharges();
+
+  // Seals every mote's pending entries to the configured trace sink, in
+  // mote order (no-op without a sink). Returns entries sealed. The
+  // sharded barrier hook calls this per window; call it once after the
+  // run to seal the tail.
+  size_t SealAllChunks();
 
  private:
   void Build(const std::vector<EventQueue*>& queues,

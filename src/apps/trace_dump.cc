@@ -121,13 +121,14 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
 
   // Chain one packet per batch until the buffer is empty.
   send_next_ = [this] {
-    // Pull up to one frame's worth of entries out of the node's RAM buffer
-    // (they leave the node; Drain+archive models exactly that, with the
-    // archive standing in for "bits already on the air"). Frames prefer
-    // the legacy 12-byte records: a legacy-encodable prefix ships as a
-    // (possibly short) legacy frame, so only frames that *start* with a
-    // wide label pay the wide format (legacy-encodable entries may ride
-    // along behind it).
+    // Pull up to one frame's worth of entries out of the node's RAM
+    // buffer into a scratch chunk (they leave the node: the chunk models
+    // "bits already on the air"; in bounded-archive mode the logger keeps
+    // no second copy, so the dump path cannot regress to a full-trace
+    // archive). Frames prefer the legacy 12-byte records: a
+    // legacy-encodable prefix ships as a (possibly short) legacy frame,
+    // so only frames that *start* with a wide label pay the wide format
+    // (legacy-encodable entries may ride along behind it).
     size_t buffered = mote_->logger().buffered();
     if (buffered == 0) {
       mote_->logger().SetEnabled(true);
@@ -146,17 +147,16 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
     } else if (batch > kEntriesPerPacketWide) {
       batch = kEntriesPerPacketWide;
     }
-    size_t start = mote_->logger().archived();
-    mote_->logger().Drain(batch);
+    batch_.entries.clear();
+    mote_->logger().DrainChunk(batch, &batch_);
     Packet packet;
     packet.dst = config_.collector;
     packet.am_type = legacy ? kAmType : kAmTypeWide;
-    const std::vector<LogEntry>& archive = mote_->logger().archived_entries();
-    for (size_t i = start; i < start + batch; ++i) {
+    for (const LogEntry& e : batch_.entries) {
       if (legacy) {
-        AppendLegacyEntry(packet.payload, archive[i]);
+        AppendLegacyEntry(packet.payload, e);
       } else {
-        AppendWideEntry(packet.payload, archive[i]);
+        AppendWideEntry(packet.payload, e);
       }
     }
     mote_->cpu().ChargeCycles(config_.marshal_cost);

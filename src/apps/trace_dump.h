@@ -65,6 +65,8 @@ class TraceDumpService {
   // captured in its own closure, which leaks by reference cycle); the
   // service outlives any in-flight send by construction.
   std::function<void()> send_next_;
+  // Scratch batch reused per frame (entries cleared, storage kept).
+  TraceChunk batch_;
   bool in_flight_ = false;
   uint64_t packets_sent_ = 0;
   uint64_t entries_shipped_ = 0;

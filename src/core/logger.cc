@@ -18,6 +18,40 @@ size_t QuantoLogger::Drain(size_t max_entries) {
 
 size_t QuantoLogger::DumpAll() { return Drain(buffer_.size()); }
 
+size_t QuantoLogger::SealToSink() {
+  if (sink_ == nullptr) {
+    return 0;
+  }
+  size_t total = archive_.size() + buffer_.size();
+  if (total == 0) {
+    return 0;
+  }
+  TraceChunk chunk;
+  chunk.node = node_;
+  chunk.seq = chunks_sealed_++;
+  chunk.entries = std::move(archive_);
+  archive_.clear();  // Moved-from: make the staging area explicitly empty.
+  buffer_.DrainInto(&chunk.entries, buffer_.size());
+  sink_->OnChunk(std::move(chunk));
+  return total;
+}
+
+size_t QuantoLogger::DrainChunk(size_t max_entries, TraceChunk* chunk) {
+  chunk->node = node_;
+  chunk->seq = chunks_sealed_;
+  if (sink_ != nullptr) {
+    return buffer_.DrainInto(&chunk->entries, max_entries);
+  }
+  // Batch mode: the archive remains the local record of everything that
+  // left the RAM buffer (Trace() keeps returning the full log), and the
+  // caller gets its own copy of just this batch.
+  size_t start = archive_.size();
+  size_t moved = buffer_.DrainInto(&archive_, max_entries);
+  chunk->entries.insert(chunk->entries.end(), archive_.begin() + start,
+                        archive_.end());
+  return moved;
+}
+
 std::vector<LogEntry> QuantoLogger::Trace() const {
   std::vector<LogEntry> out;
   out.reserve(archive_.size() + buffer_.size());

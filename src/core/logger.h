@@ -31,6 +31,7 @@
 #include "src/core/hooks.h"
 #include "src/core/log_entry.h"
 #include "src/core/power_state.h"
+#include "src/core/trace_sink.h"
 // Deliberate layering exception: the logger samples the meter on every
 // tracked event in the system, so it knows the simulation's concrete
 // (final) meter type and reads it without a virtual dispatch when the
@@ -160,8 +161,39 @@ class QuantoLogger {
   // Dumps the whole buffer into the archive (RAM mode "stop and dump").
   size_t DumpAll();
 
+  // --- Streaming collection (bounded-archive mode) ---------------------------
+
+  // Attaches a chunk sink and switches the logger to bounded-archive mode:
+  // SealToSink() hands everything collected so far to `sink` as one
+  // TraceChunk stamped with `node`, instead of the archive growing for the
+  // whole run. The sink is a host-side observer; sealing reads no
+  // simulated clocks and charges no simulated cycles, so a streamed run
+  // executes the exact event sequence of a batch run.
+  void SetSink(TraceSink* sink, node_id_t node) {
+    sink_ = sink;
+    node_ = node;
+  }
+  bool bounded_archive() const { return sink_ != nullptr; }
+
+  // Seals the archive plus everything still buffered into one chunk and
+  // hands it to the sink (no-op without a sink or when empty). Returns the
+  // number of entries sealed. The sharded runner calls this from a window
+  // barrier hook, so per-mote resident trace is O(window), not O(run).
+  size_t SealToSink();
+
+  // Moves up to max_entries of the oldest buffered entries into `chunk`
+  // (appending to its entries; node/seq stamped here). In bounded-archive
+  // mode the entries leave the logger entirely; otherwise they are also
+  // retained in the archive, preserving Trace() for local readers — the
+  // radio dump path uses this so it cannot regress to full-trace copies
+  // when a sink is attached. Returns how many entries were moved.
+  size_t DrainChunk(size_t max_entries, TraceChunk* chunk);
+
+  uint64_t chunks_sealed() const { return chunks_sealed_; }
+
   // Archive + still-buffered entries, in order. This is what the offline
-  // analysis consumes.
+  // analysis consumes in batch mode; in bounded-archive mode it returns
+  // only the unsealed tail (sealed chunks already left through the sink).
   std::vector<LogEntry> Trace() const;
 
   // O(1) peek at the i-th oldest still-buffered entry (i < buffered());
@@ -228,6 +260,11 @@ class QuantoLogger {
 
   RingBuffer<LogEntry> buffer_;
   std::vector<LogEntry> archive_;
+
+  // Bounded-archive (streaming) collection.
+  TraceSink* sink_ = nullptr;
+  node_id_t node_ = 0;
+  uint64_t chunks_sealed_ = 0;
 
   uint64_t entries_logged_ = 0;
   uint64_t entries_dropped_ = 0;

@@ -1,0 +1,55 @@
+// Streaming trace collection: the chunk hand-off boundary between the
+// per-mote logger and whoever consumes traces (the incremental merger, a
+// spill file, a test recorder).
+//
+// The batch collection model — every QuantoLogger keeps its whole trace in
+// RAM (`archive_`) until the run ends and `CollectNodeTraces` copies it
+// out — makes per-mote memory O(run length), which is the binding
+// constraint on many-thousand-mote runs. The streaming model replaces the
+// central full-trace copy with an incremental hand-off: the logger seals
+// *chunks* (time-sorted runs of its own entries) and pushes them to a
+// TraceSink as the simulation produces them, so a mote's resident trace is
+// bounded by the seal interval (one lockstep window in the sharded
+// runner), not by the run.
+//
+// Determinism contract: chunks are sealed on the coordinating thread at
+// window barriers, in mote order, so the sequence of OnChunk calls — and
+// everything a sink derives from it — is a pure function of the simulated
+// behaviour, never of the worker-thread count.
+#ifndef QUANTO_SRC_CORE_TRACE_SINK_H_
+#define QUANTO_SRC_CORE_TRACE_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/activity.h"
+#include "src/core/log_entry.h"
+
+namespace quanto {
+
+// A sealed run of one node's log entries, in log order (non-decreasing
+// unwrapped timestamps — each node's log is monotone by construction).
+// Chunks from one node carry consecutive `seq` numbers so a sink can
+// assert it missed nothing.
+struct TraceChunk {
+  node_id_t node = 0;
+  uint64_t seq = 0;
+  std::vector<LogEntry> entries;
+};
+
+// Consumes sealed chunks. One sink instance typically serves every logger
+// in the network (the chunk carries its node id); implementations are
+// host-side observers and must not touch simulated state.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Takes ownership of a sealed chunk. Entries within the chunk are in
+  // log order; chunks from one node arrive in seq order. Never called
+  // with an empty chunk.
+  virtual void OnChunk(TraceChunk&& chunk) = 0;
+};
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_CORE_TRACE_SINK_H_

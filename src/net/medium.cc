@@ -14,24 +14,26 @@ Medium::Medium(EventQueue* queue, MediumFabric* fabric, size_t shard)
 void Medium::Register(MediumClient* client) {
   clients_.push_back(client);
   clients_by_channel_[client->Channel()].push_back(client);
+  if (fabric_ != nullptr) {
+    fabric_->NoteClientRegistered(shard_, client->Channel());
+  }
 }
 
 void Medium::Unregister(MediumClient* client) {
   clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
                  clients_.end());
   for (auto& [channel, clients] : clients_by_channel_) {
+    size_t before = clients.size();
     clients.erase(std::remove(clients.begin(), clients.end(), client),
                   clients.end());
+    if (fabric_ != nullptr && clients.size() != before) {
+      fabric_->NoteClientUnregistered(shard_, channel);
+    }
   }
 }
 
 std::vector<MediumClient*>& Medium::ChannelClients(int channel) {
   return clients_by_channel_[channel];
-}
-
-bool Medium::HasClients(int channel) const {
-  auto it = clients_by_channel_.find(channel);
-  return it != clients_by_channel_.end() && !it->second.empty();
 }
 
 void Medium::AddInterference(InterferenceSource* source) {
@@ -203,24 +205,69 @@ void MediumFabric::Drain(Tick barrier_now) {
       // barrier time does not depend on the thread count).
       deliver = barrier_now + 1;
     }
-    for (size_t dst = 0; dst < media_.size(); ++dst) {
-      if (dst == post.src_shard || !media_[dst]->HasClients(post.channel)) {
-        continue;
+    // Shard-interest bitmap: only shards with a client on the post's
+    // channel are visited at all, in ascending shard order (the same
+    // order the probe-every-shard loop produced). Sparse channels skip
+    // the whole fan-out; the skipped count is the saving made observable.
+    auto it = interest_.find(post.channel);
+    size_t visited = 0;
+    if (it != interest_.end()) {
+      const std::vector<uint64_t>& bits = it->second.bits;
+      for (size_t word = 0; word < bits.size(); ++word) {
+        uint64_t w = bits[word];
+        while (w != 0) {
+          size_t dst = word * 64 + static_cast<size_t>(__builtin_ctzll(w));
+          w &= w - 1;
+          if (dst == post.src_shard) {
+            continue;
+          }
+          ++visited;
+          Medium* medium = media_[dst].get();
+          // Refcount bump only: every destination shard shares the
+          // immutable frame allocated at transmit time, so a broadcast
+          // fanning out to N shards costs zero packet copies here. The
+          // closure (pointer + shared_ptr + channel + airtime) stays
+          // within the event queue's inline callback buffer — no heap
+          // allocation per destination.
+          SharedFrame frame = post.frame;
+          int channel = post.channel;
+          Tick airtime = post.airtime;
+          queues_[dst]->Schedule(deliver, [medium, frame, channel, airtime] {
+            medium->DeliverRemote(frame, channel, airtime);
+          });
+        }
       }
-      Medium* medium = media_[dst].get();
-      // Refcount bump only: every destination shard shares the immutable
-      // frame allocated at transmit time, so a broadcast fanning out to N
-      // shards costs zero packet copies here. The closure (pointer +
-      // shared_ptr + channel + airtime) stays within the event queue's
-      // inline callback buffer — no heap allocation per destination.
-      SharedFrame frame = post.frame;
-      int channel = post.channel;
-      Tick airtime = post.airtime;
-      queues_[dst]->Schedule(deliver, [medium, frame, channel, airtime] {
-        medium->DeliverRemote(frame, channel, airtime);
-      });
     }
+    scheduled_wakeups_ += visited;
+    skipped_wakeups_ += (media_.size() - 1) - visited;
   }
+}
+
+void MediumFabric::NoteClientRegistered(size_t shard, int channel) {
+  ChannelInterest& interest = interest_[channel];
+  if (interest.counts.empty()) {
+    interest.counts.resize(media_.size(), 0);
+    interest.bits.resize((media_.size() + 63) / 64, 0);
+  }
+  if (interest.counts[shard]++ == 0) {
+    interest.bits[shard / 64] |= uint64_t{1} << (shard % 64);
+  }
+}
+
+void MediumFabric::NoteClientUnregistered(size_t shard, int channel) {
+  auto it = interest_.find(channel);
+  if (it == interest_.end() || it->second.counts[shard] == 0) {
+    return;
+  }
+  if (--it->second.counts[shard] == 0) {
+    it->second.bits[shard / 64] &= ~(uint64_t{1} << (shard % 64));
+  }
+}
+
+bool MediumFabric::ShardInterested(size_t shard, int channel) const {
+  auto it = interest_.find(channel);
+  return it != interest_.end() &&
+         (it->second.bits[shard / 64] >> (shard % 64)) & 1;
 }
 
 uint64_t MediumFabric::packets_sent() const {

@@ -114,9 +114,6 @@ class Medium {
   // shard's airspace).
   size_t ActiveTransmissions(int channel) const;
 
-  // True when any registered client is tuned to `channel`.
-  bool HasClients(int channel) const;
-
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_delivered() const { return packets_delivered_; }
   uint64_t collisions() const { return collisions_; }
@@ -192,8 +189,32 @@ class MediumFabric {
   // independent of how many shards each frame fans out to.
   uint64_t frames_allocated() const;
 
+  // (post, destination shard) pairs the drain never scheduled because the
+  // shard-interest bitmap showed no client on the post's channel there —
+  // wakeups a bitmap-less drain would have had to consider one by one.
+  uint64_t skipped_wakeups() const { return skipped_wakeups_; }
+  // (post, destination shard) pairs actually scheduled.
+  uint64_t scheduled_wakeups() const { return scheduled_wakeups_; }
+
+  // True when any client in shard `shard` is tuned to `channel`
+  // (bitmap-backed; exposed for tests).
+  bool ShardInterested(size_t shard, int channel) const;
+
  private:
   friend class Medium;
+
+  // Per-channel bitmap of shards with at least one registered client on
+  // that channel, plus the per-shard client counts that maintain it across
+  // Unregister. Radios never retune in this model, so the bitmap only
+  // changes at Register/Unregister time and the drain loop iterates set
+  // bits instead of probing every replica's channel map per post.
+  struct ChannelInterest {
+    std::vector<uint64_t> bits;      // One bit per shard.
+    std::vector<uint32_t> counts;    // Clients per shard on this channel.
+  };
+
+  void NoteClientRegistered(size_t shard, int channel);
+  void NoteClientUnregistered(size_t shard, int channel);
 
   struct CrossPost {
     Tick time;         // Transmit start time in the source shard.
@@ -220,7 +241,10 @@ class MediumFabric {
   std::vector<EventQueue*> queues_;
   std::vector<std::vector<CrossPost>> posts_;  // Indexed by source shard.
   std::vector<CrossPost> scratch_;             // Drain merge buffer.
+  std::map<int, ChannelInterest> interest_;    // Keyed by channel.
   uint64_t cross_posts_ = 0;
+  uint64_t skipped_wakeups_ = 0;
+  uint64_t scheduled_wakeups_ = 0;
 };
 
 }  // namespace quanto

@@ -371,5 +371,62 @@ TEST(MediumFabricTest, ShardWithoutChannelClientsIsSkipped) {
   EXPECT_TRUE(other.completes.empty());
 }
 
+TEST(MediumFabricTest, ShardInterestBitmapCountsSkippedWakeups) {
+  // Six shards; channel 26 has clients in shards 0, 2 and 5 only. A
+  // transmit from shard 0 must schedule delivery into exactly shards 2
+  // and 5 and skip the other three without probing them — the
+  // skipped-wakeup counter is the per-channel shard-interest bitmap's
+  // saving made observable.
+  constexpr size_t kShards = 6;
+  ShardedSimulator::Config cfg;
+  cfg.shards = kShards;
+  cfg.threads = 1;
+  cfg.lookahead = Microseconds(512);
+  ShardedSimulator sim(cfg);
+  MediumFabric fabric(&sim);
+
+  TimedRadio sender(1, 26, &sim.queue(0));
+  TimedRadio peer2(2, 26, &sim.queue(2));
+  TimedRadio peer5(3, 26, &sim.queue(5));
+  TimedRadio off_channel(4, 11, &sim.queue(1));
+  fabric.medium(0).Register(&sender);
+  fabric.medium(2).Register(&peer2);
+  fabric.medium(5).Register(&peer5);
+  fabric.medium(1).Register(&off_channel);
+
+  EXPECT_TRUE(fabric.ShardInterested(0, 26));
+  EXPECT_TRUE(fabric.ShardInterested(2, 26));
+  EXPECT_TRUE(fabric.ShardInterested(5, 26));
+  EXPECT_FALSE(fabric.ShardInterested(1, 26));
+  EXPECT_TRUE(fabric.ShardInterested(1, 11));
+  EXPECT_FALSE(fabric.ShardInterested(3, 26));
+
+  sim.queue(0).Schedule(1000, [&] {
+    EXPECT_TRUE(fabric.medium(0).BeginTransmit(1, 26, MakePacket(1, 2),
+                                               Microseconds(500)));
+  });
+  sim.RunFor(Milliseconds(5));
+
+  // Shards 2 and 5 were woken; shards 1, 3 and 4 were skipped (the
+  // sender's own shard is excluded from both counts).
+  EXPECT_EQ(fabric.scheduled_wakeups(), 2u);
+  EXPECT_EQ(fabric.skipped_wakeups(), kShards - 1 - 2);
+  EXPECT_EQ(peer2.completes.size(), 1u);
+  EXPECT_EQ(peer5.completes.size(), 1u);
+  EXPECT_TRUE(off_channel.completes.empty());
+
+  // Unregistering the last client on a shard clears its interest bit.
+  fabric.medium(5).Unregister(&peer5);
+  EXPECT_FALSE(fabric.ShardInterested(5, 26));
+  uint64_t skipped_before = fabric.skipped_wakeups();
+  sim.queue(0).Schedule(sim.Now() + 1000, [&] {
+    EXPECT_TRUE(fabric.medium(0).BeginTransmit(1, 26, MakePacket(1, 2),
+                                               Microseconds(500)));
+  });
+  sim.RunFor(Milliseconds(5));
+  EXPECT_EQ(fabric.scheduled_wakeups(), 3u);  // Only shard 2 this time.
+  EXPECT_EQ(fabric.skipped_wakeups(), skipped_before + kShards - 1 - 1);
+}
+
 }  // namespace
 }  // namespace quanto

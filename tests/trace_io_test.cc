@@ -181,6 +181,102 @@ TEST(TraceIoTest, TextDumpNamesKnownThings) {
   EXPECT_NE(text.find("ACT CPU 1:Red"), std::string::npos);
 }
 
+TEST(TraceIoTest, ConcatenatedSegmentsParseAsOneTrace) {
+  // The spill-file container: several complete QNTO blobs back to back,
+  // each with its own version — here a legacy v1 segment followed by a
+  // wide v2 segment. The reader concatenates their entries in order.
+  auto legacy = SampleTrace();
+  auto wide = WideSampleTrace();
+  auto blob = SerializeTrace(legacy);
+  auto second = SerializeTrace(wide);
+  blob.insert(blob.end(), second.begin(), second.end());
+
+  auto restored = DeserializeTrace(blob);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), legacy.size() + wide.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ((*restored)[i].payload, legacy[i].payload) << "entry " << i;
+  }
+  for (size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ((*restored)[legacy.size() + i].payload, wide[i].payload)
+        << "wide entry " << i;
+  }
+}
+
+TEST(TraceIoTest, TrailingGarbageAfterSegmentRejected) {
+  auto blob = SerializeTrace(SampleTrace());
+  blob.push_back(0xFF);  // Not a segment header.
+  EXPECT_FALSE(DeserializeTrace(blob).has_value());
+}
+
+TEST(TraceIoTest, TruncatedSecondSegmentRejected) {
+  auto blob = SerializeTrace(SampleTrace());
+  auto second = SerializeTrace(SampleTrace());
+  blob.insert(blob.end(), second.begin(), second.end() - 4);
+  EXPECT_FALSE(DeserializeTrace(blob).has_value());
+}
+
+TEST(TraceIoTest, FileTraceSinkSingleSegmentMatchesWriteTraceFile) {
+  // A stream that fits one segment must produce a file byte-identical to
+  // the batch writer's — the offline tooling cannot tell them apart.
+  auto entries = SampleTrace();
+  std::string batch_path = ::testing::TempDir() + "/batch.qnto";
+  std::string spill_path = ::testing::TempDir() + "/spill.qnto";
+  ASSERT_TRUE(WriteTraceFile(batch_path, entries));
+  {
+    FileTraceSink sink(spill_path);
+    ASSERT_TRUE(sink.ok());
+    for (const LogEntry& e : entries) {
+      sink.Append(e);
+    }
+    ASSERT_TRUE(sink.Close());
+    EXPECT_EQ(sink.segments_written(), 1u);
+  }
+  std::ifstream a(batch_path, std::ios::binary);
+  std::ifstream b(spill_path, std::ios::binary);
+  std::vector<char> bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  std::vector<char> bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(batch_path.c_str());
+  std::remove(spill_path.c_str());
+}
+
+TEST(TraceIoTest, FileTraceSinkSpillsSegmentsAndReadsBack) {
+  auto entries = WideSampleTrace();  // 140 entries, mixed legacy/wide.
+  std::string path = ::testing::TempDir() + "/segments.qnto";
+  {
+    FileTraceSink sink(path, 32);  // Force several segments.
+    for (const LogEntry& e : entries) {
+      sink.Append(e);
+    }
+    ASSERT_TRUE(sink.Close());
+    EXPECT_EQ(sink.entries_written(), entries.size());
+    EXPECT_EQ(sink.segments_written(), (entries.size() + 31) / 32);
+  }
+  auto restored = ReadTraceFile(path);
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*restored)[i].payload, entries[i].payload) << "entry " << i;
+    EXPECT_EQ((*restored)[i].time, entries[i].time) << "entry " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyFileTraceSinkWritesValidEmptyTrace) {
+  std::string path = ::testing::TempDir() + "/empty.qnto";
+  {
+    FileTraceSink sink(path);
+    ASSERT_TRUE(sink.Close());
+  }
+  auto restored = ReadTraceFile(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->empty());
+  std::remove(path.c_str());
+}
+
 TEST(TraceIoTest, TextDumpHandlesAllTypes) {
   ActivityRegistry registry;
   std::vector<LogEntry> entries;

@@ -120,26 +120,100 @@ with open(out_path, "w") as f:
 print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
 EOF
 
+# Memory-scaling phase: peak RSS per (motes, collection mode) row, each
+# row in its own process so getrusage's process-wide high-water mark *is*
+# the row's number (in one process later rows would inherit earlier
+# peaks). Batch rows keep whole traces in per-mote archives and merge post
+# hoc; stream rows run the TraceSink pipeline (bounded rings sealed at
+# window barriers into the incremental merge). Grid/4-sink topology, 2
+# simulated seconds, 1 thread. Override rows with
+# SCALE_MEM_ROWS="motes:mode ..." (mode = batch|stream); empty disables.
+MEM_ROWS="${SCALE_MEM_ROWS-2048:batch 2048:stream 4096:stream 8192:stream}"
+mem_entries="$SCRATCH/mem_rows.txt"
+: >"$mem_entries"
+if [ -n "$MEM_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
+  for row in $MEM_ROWS; do
+    motes="${row%%:*}"
+    mode="${row##*:}"
+    stream_args=()
+    [ "$mode" = "stream" ] && stream_args=(--stream-traces)
+    row_json="$SCRATCH/mem_${motes}_${mode}.json"
+    echo "== Memory row: $motes motes ($mode)"
+    "$BUILD_DIR/bench_scale_multihop" --motes "$motes" --topology grid \
+      --sinks 4 --seconds 2 --threads 1 "${stream_args[@]}" \
+      --json "$row_json" >"$SCRATCH/mem_${motes}_${mode}.out" 2>&1 || {
+      echo "   row failed; see $SCRATCH/mem_${motes}_${mode}.out"
+      continue
+    }
+    printf '%s\t%s\t%s\n' "$motes" "$mode" "$row_json" >>"$mem_entries"
+  done
+fi
+
 # Keep the canonical copy of the scale benchmark's JSON at the repo root
 # so successive PRs have a perf trajectory. Stamp the recording host's
 # core count and mark multi-thread rows "timesliced" when the host cannot
 # actually run them in parallel — the machine-readable form of the PR 2
 # caveat (its container exposed 1 CPU, so its multi-thread numbers were
-# timesliced, not parallel).
+# timesliced, not parallel). Memory-phase rows are merged in under
+# "memory_scaling".
 if [ -f "$SCRATCH/bench_scale_multihop.json" ]; then
   NPROC="$(nproc)" python3 - "$SCRATCH/bench_scale_multihop.json" \
-    "$REPO_ROOT/BENCH_scale.json" <<'EOF'
+    "$REPO_ROOT/BENCH_scale.json" "$mem_entries" <<'EOF'
 import json
 import os
 import sys
 
 src, dst = sys.argv[1], sys.argv[2]
+mem_entries = sys.argv[3] if len(sys.argv) > 3 else None
 nproc = int(os.environ["NPROC"])
 with open(src) as f:
     data = json.load(f)
 data["nproc"] = nproc
 for run in data.get("runs", []):
     run["timesliced"] = run.get("threads", 0) > 1 and run["threads"] > nproc
+
+mem_rows = []
+if mem_entries and os.path.exists(mem_entries):
+    for line in open(mem_entries):
+        motes, mode, row_json = line.rstrip("\n").split("\t")
+        try:
+            with open(row_json) as f:
+                row_data = json.load(f)
+        except (OSError, ValueError):
+            continue
+        runs = row_data.get("runs", [])
+        if not runs:
+            continue
+        r = runs[0]
+        mem_rows.append({
+            "motes": int(motes),
+            "mode": mode,
+            "events_per_sec": r.get("events_per_sec"),
+            "peak_rss_mb": r.get("peak_rss_mb"),
+            "entries_logged": r.get("entries_logged"),
+            "entries_dropped": r.get("entries_dropped"),
+            "stream_peak_buffered": r.get("stream_peak_buffered"),
+            "merge_hash": r.get("merge_hash"),
+        })
+if mem_rows:
+    data["memory_scaling"] = mem_rows
+    # Machine-readable form of the streaming-memory acceptance bar: an
+    # 8192-mote streamed run must fit in half the RSS a batch run would
+    # need by linear extrapolation from the 2048-mote batch row.
+    batch_2048 = next((r for r in mem_rows
+                       if r["mode"] == "batch" and r["motes"] == 2048), None)
+    stream_8192 = next((r for r in mem_rows
+                        if r["mode"] == "stream" and r["motes"] == 8192), None)
+    if batch_2048 and stream_8192:
+        bar = batch_2048["peak_rss_mb"] * (8192 // 2048) * 0.5
+        data["memory_scaling_summary"] = {
+            "batch_2048_rss_mb": batch_2048["peak_rss_mb"],
+            "batch_8192_rss_mb_extrapolated": batch_2048["peak_rss_mb"] * 4,
+            "stream_8192_rss_mb": stream_8192["peak_rss_mb"],
+            "bar_rss_mb": bar,
+            "stream_under_half_of_extrapolated_batch":
+                stream_8192["peak_rss_mb"] <= bar,
+        }
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
