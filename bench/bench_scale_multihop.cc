@@ -29,6 +29,7 @@
 //                             [--grid-width W] [--wide-motes N]
 //                             [--stream-traces] [--stream-log-capacity N]
 //                             [--max-rss-mb M] [--mem-motes N]
+//                             [--coordinator-seal] [--big-motes N]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -52,7 +53,20 @@
 //                  the post-hoc whole-trace merge; the reported hash is
 //                  the merger's online fingerprint, which equals the
 //                  batch hash whenever no entries were dropped. Baseline
-//                  (--threads 0) runs always use the batch path.
+//                  (--threads 0) runs always use the batch path. Sealing
+//                  runs on the parallel barrier pipeline by default: each
+//                  shard's worker seals its dirty loggers into a
+//                  pre-merged run inside the barrier and the coordinator
+//                  k-way merges k = shards runs; per-window
+//                  seal/merge/barrier timing percentiles are recorded.
+//   --coordinator-seal  streamed runs seal with the serial per-mote
+//                  coordinator sweep instead (the pre-PR 5 path; output
+//                  hashes are identical)
+//   --big-motes    parallel-barrier scale phase appended to the default
+//                  sweep: a grid/4-sink streamed pre-merged network of N
+//                  motes at 1/2/4 threads for 2 simulated seconds, with
+//                  barrier percentiles and construct_ms (default 16384;
+//                  0 disables; skipped when --motes is given)
 //   --stream-log-capacity  per-mote RAM ring in streaming mode (default
 //                  1024 entries; batch mode keeps the usual 8192). The
 //                  ring only needs to cover one lockstep window.
@@ -69,6 +83,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +105,39 @@
 namespace quanto {
 namespace {
 
+// Percentile summary of one per-window timing series (microseconds).
+struct PctSummary {
+  bool present = false;
+  uint64_t windows = 0;
+  uint32_t p50 = 0;
+  uint32_t p90 = 0;
+  uint32_t p99 = 0;
+  uint32_t max = 0;
+  double total_ms = 0.0;
+};
+
+PctSummary Summarize(std::vector<uint32_t> samples) {
+  PctSummary s;
+  if (samples.empty()) {
+    return s;
+  }
+  s.present = true;
+  s.windows = samples.size();
+  for (uint32_t v : samples) {
+    s.total_ms += v / 1000.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&samples](double p) {
+    size_t idx = static_cast<size_t>(p * (samples.size() - 1));
+    return samples[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  s.max = samples.back();
+  return s;
+}
+
 struct RunResult {
   size_t motes = 0;
   size_t threads = 0;  // 0 = single-engine baseline.
@@ -97,6 +145,8 @@ struct RunResult {
   ScaleTopology topology = ScaleTopology::kChain;
   size_t sinks = 1;
   bool stream = false;
+  bool premerge = false;  // Parallel barrier pipeline (streamed runs).
+  double construct_ms = 0.0;  // Network + core construction wall time.
   double sim_seconds = 0.0;
   uint64_t events = 0;
   double wall_seconds = 0.0;
@@ -112,6 +162,17 @@ struct RunResult {
   // Entries resident in the streaming merger at its high-water mark (the
   // streamed stand-in for "how big the batch merge vector would be").
   uint64_t stream_peak_buffered = 0;
+  // Empty-seal suppression counters (streamed runs): chunks actually
+  // sealed vs SealToSink calls that found nothing; on the pre-merged
+  // pipeline also the dirty-list seal calls (== chunks sealed when every
+  // swept mote had data — idle motes are never swept).
+  uint64_t chunks_sealed = 0;
+  uint64_t empty_seals_skipped = 0;
+  uint64_t premerge_seal_calls = 0;
+  // Per-window barrier timing percentiles (pre-merged streamed runs).
+  PctSummary seal_us;
+  PctSummary merge_us;
+  PctSummary barrier_us;
   // Process peak RSS after this run, in MB. getrusage is process-wide and
   // monotone: within one invocation later rows inherit earlier peaks, so
   // per-row numbers need one process per row (run_benchmarks.sh's memory
@@ -127,6 +188,10 @@ struct RunOptions {
   size_t sinks = 1;
   size_t grid_width = 0;
   bool stream = false;              // Streaming TraceSink collection.
+  // Parallel barrier pipeline: streamed sharded runs seal dirty loggers
+  // on the shard workers into pre-merged runs (the default); false
+  // selects the coordinator-sweep path (PR 4's), kept for comparison.
+  bool premerge = true;
   size_t stream_log_capacity = 1024;
   std::string trace_path;  // Empty: no trace dump.
 };
@@ -177,9 +242,14 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
 
   if (opts.threads == 0) {
     // Single-engine baseline: the exact PR 1 code path.
+    auto construct_start = std::chrono::steady_clock::now();
     EventQueue queue;
     Medium medium(&queue);
     ScaleNetwork net(&queue, &medium, cfg);
+    result.construct_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - construct_start)
+            .count();
     // Effective band count after ScaleNetwork clamps sinks to the rows.
     result.sinks = net.origin_count();
     net.PowerUp();
@@ -197,6 +267,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     result.packets_delivered = medium.packets_delivered();
     FinishRun(net, opts, &result);
   } else {
+    auto construct_start = std::chrono::steady_clock::now();
     ShardedSimulator::Config sim_cfg;
     sim_cfg.shards = opts.shards;
     sim_cfg.threads = opts.threads;
@@ -209,8 +280,12 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     // Streaming collection: loggers seal chunks to the merger at every
     // window barrier (bounded archives), merged entries spill to the
     // optional trace file online, and the hash is the merger's online
-    // fingerprint. The batch path below keeps whole traces in RAM and
-    // merges post hoc.
+    // fingerprint. By default the parallel barrier pipeline does the
+    // sealing: each shard's worker seals its dirty loggers into a
+    // pre-merged run inside the barrier and the coordinator k-way merges
+    // k = shards runs (--coordinator-seal selects the serial per-mote
+    // sweep instead; hashes are identical). The batch path below keeps
+    // whole traces in RAM and merges post hoc.
     StreamingTraceMerger merger;
     std::unique_ptr<FileTraceSink> spill;
     if (opts.stream) {
@@ -220,14 +295,26 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         merger.SetEmit(
             [sink](const MergedEntry& m) { sink->Append(m.entry); });
       }
-      cfg.trace_sink = &merger;
+      if (opts.premerge) {
+        cfg.premerged_sink = &merger;
+        cfg.profile_barrier = true;
+        sim.EnableBarrierProfiling(true);
+        result.premerge = true;
+      } else {
+        cfg.trace_sink = &merger;
+      }
       cfg.log_capacity = opts.stream_log_capacity;
       result.stream = true;
     }
     ScaleNetwork net(&sim, &fabric, cfg);
-    if (opts.stream) {
+    result.construct_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - construct_start)
+            .count();
+    if (opts.stream && !opts.premerge) {
       // After ScaleNetwork's seal hook: every chunk of the window is in
-      // the merger before its watermark advances.
+      // the merger before its watermark advances. (The pre-merged path
+      // advances its own watermark in the hand-off hook.)
       sim.AddBarrierHook(
           [&merger](Tick window_end) { merger.AdvanceWatermark(window_end); });
     }
@@ -255,6 +342,14 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
       result.entries_dropped = net.entries_dropped();
       result.merge_hash = merger.hash();
       result.stream_peak_buffered = merger.peak_buffered();
+      result.chunks_sealed = net.chunks_sealed();
+      result.empty_seals_skipped = net.empty_seals_skipped();
+      if (opts.premerge) {
+        result.premerge_seal_calls = net.premerge_seal_calls();
+        result.seal_us = Summarize(net.seal_us_samples());
+        result.merge_us = Summarize(net.merge_us_samples());
+        result.barrier_us = Summarize(sim.barrier_us_samples());
+      }
       if (spill != nullptr) {
         if (spill->Close()) {
           std::cout << "  spilled merged trace " << opts.trace_path << " ("
@@ -391,8 +486,25 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"cross_posts\": " << r.cross_posts
         << ", \"stream_peak_buffered\": " << r.stream_peak_buffered
         << ", \"peak_rss_mb\": " << r.peak_rss_mb
-        << ", \"merge_hash\": \"" << HashHex(r.merge_hash) << "\"}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
+        << ", \"premerge\": " << (r.premerge ? "true" : "false")
+        << ", \"construct_ms\": " << r.construct_ms
+        << ", \"chunks_sealed\": " << r.chunks_sealed
+        << ", \"empty_seals_skipped\": " << r.empty_seals_skipped
+        << ", \"premerge_seal_calls\": " << r.premerge_seal_calls
+        << ", \"merge_hash\": \"" << HashHex(r.merge_hash) << "\"";
+    auto pct = [&out](const char* name, const PctSummary& p) {
+      out << ", \"" << name << "\": {\"p50\": " << p.p50
+          << ", \"p90\": " << p.p90 << ", \"p99\": " << p.p99
+          << ", \"max\": " << p.max << ", \"total_ms\": " << p.total_ms
+          << "}";
+    };
+    if (r.seal_us.present || r.merge_us.present || r.barrier_us.present) {
+      out << ", \"barrier_windows\": " << r.barrier_us.windows;
+      pct("seal_us", r.seal_us);
+      pct("merge_us", r.merge_us);
+      pct("barrier_us", r.barrier_us);
+    }
+    out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"engine_core\": {\"events\": " << core.events
@@ -421,6 +533,7 @@ int Run(int argc, char** argv) {
   std::string trace_path;
   size_t wide_motes = 1024;
   size_t mem_motes = 8192;
+  size_t big_motes = 16384;
   size_t max_rss_mb = 0;
   bool single_size = false;
   // Mote ids are 1..N and the top id is the 802.15.4 broadcast address,
@@ -510,6 +623,15 @@ int Run(int argc, char** argv) {
       mem_motes = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--stream-traces") == 0) {
       opts.stream = true;
+    } else if (std::strcmp(argv[i], "--coordinator-seal") == 0) {
+      opts.premerge = false;
+    } else if (std::strcmp(argv[i], "--big-motes") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n < 0 || static_cast<size_t>(n) > kMaxMotes) {
+        std::cerr << "--big-motes must be in [0, " << kMaxMotes << "]\n";
+        return 2;
+      }
+      big_motes = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--stream-log-capacity") == 0 &&
                i + 1 < argc) {
       int n = std::atoi(argv[++i]);
@@ -537,7 +659,7 @@ int Run(int argc, char** argv) {
     t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
               std::to_string(r.shards),
               r.topology == ScaleTopology::kGrid ? "grid" : "chain",
-              r.stream ? "stream" : "batch",
+              r.premerge ? "premrg" : (r.stream ? "stream" : "batch"),
               TextTable::Num(r.sim_seconds, 1), std::to_string(r.events),
               TextTable::Num(r.wall_seconds, 3),
               std::to_string(static_cast<uint64_t>(r.events_per_sec)),
@@ -595,6 +717,24 @@ int Run(int argc, char** argv) {
       run_opts.sinks = 4;
       run_opts.stream = true;
       RunResult r = RunNetwork(mem_motes, 2.0, run_opts);
+      runs.push_back(r);
+      add_row(r);
+    }
+  }
+
+  // Parallel-barrier scale phase: the 16 384-mote streamed grid the
+  // pre-merged pipeline exists for. Dirty-list sealing keeps the barrier
+  // cost O(motes that logged); the per-window seal/merge/barrier
+  // percentiles and construct_ms land in the JSON (run_benchmarks.sh
+  // stamps the barrier_summary block from these rows).
+  if (!single_size && big_motes > 0) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      RunOptions run_opts = opts;
+      run_opts.threads = threads;
+      run_opts.topology = ScaleTopology::kGrid;
+      run_opts.sinks = 4;
+      run_opts.stream = true;
+      RunResult r = RunNetwork(big_motes, 2.0, run_opts);
       runs.push_back(r);
       add_row(r);
     }

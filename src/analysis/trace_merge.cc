@@ -1,6 +1,7 @@
 #include "src/analysis/trace_merge.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace quanto {
 
@@ -78,45 +79,89 @@ uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged) {
 
 // --- StreamingTraceMerger ----------------------------------------------------
 
+std::vector<MergedEntry> StreamingTraceMerger::AcquireRunBuffer() {
+  if (retired_runs_.empty()) {
+    return {};
+  }
+  std::vector<MergedEntry> buf = std::move(retired_runs_.back());
+  retired_runs_.pop_back();
+  return buf;
+}
+
+void StreamingTraceMerger::PushHead(Stream* stream) {
+  const MergedEntry& front = stream->front();
+  heads_.push(HeapKey{front.time64, front.node, stream});
+}
+
 void StreamingTraceMerger::OnChunk(TraceChunk&& chunk) {
   Stream& stream = streams_[chunk.node];
-  // Chunk continuity: a gap means someone dropped a sealed chunk on the
-  // floor, which would silently corrupt the merge. Loggers stamp
-  // consecutive seq numbers starting at 0, so anything else is a gap —
-  // counted, not fatal, so a test can assert on it.
-  if (chunk.seq != stream.next_seq) {
-    ++seq_gaps_;
+  if (!stream.ingest.CheckSeq(chunk.seq)) {
+    ++seq_gaps_;  // Counted, not fatal, so a test can assert on it.
   }
-  stream.next_seq = chunk.seq + 1;
-  bool was_empty = stream.pending.empty();
+  if (chunk.entries.empty()) {
+    return;  // Contractually never happens; keep the run queue clean.
+  }
+  std::vector<MergedEntry> run = AcquireRunBuffer();
+  run.reserve(chunk.entries.size());
   for (const LogEntry& e : chunk.entries) {
-    if (!stream.first && e.time < stream.prev) {
-      stream.high += uint64_t{1} << 32;
-    }
-    stream.first = false;
-    stream.prev = e.time;
-    stream.pending.push_back(
-        MergedEntry{stream.high | e.time, chunk.node, e});
+    run.push_back(MergedEntry{stream.ingest.Unwrap(e), chunk.node, e});
   }
-  buffered_ += chunk.entries.size();
+  buffered_ += run.size();
   if (buffered_ > peak_buffered_) {
     peak_buffered_ = buffered_;
   }
-  if (was_empty && !stream.pending.empty()) {
-    heads_.push(
-        HeapKey{stream.pending.front().time64, chunk.node, &stream});
+  bool was_empty = stream.runs.empty();
+  stream.runs.push_back(Run{std::move(run), 0});
+  if (was_empty) {
+    PushHead(&stream);
+  }
+  if (chunk_pool_ != nullptr) {
+    chunk_pool_->RecycleEntries(std::move(chunk.entries));
   }
 }
 
+void StreamingTraceMerger::OnRun(uint32_t stream_key,
+                                 std::vector<MergedEntry>&& run) {
+  if (run.empty()) {
+    run.clear();
+    retired_runs_.push_back(std::move(run));
+    return;
+  }
+  Stream& stream = streams_[stream_key];
+  buffered_ += run.size();
+  if (buffered_ > peak_buffered_) {
+    peak_buffered_ = buffered_;
+  }
+  bool was_empty = stream.runs.empty();
+  stream.runs.push_back(Run{std::move(run), 0});
+  if (was_empty) {
+    PushHead(&stream);
+  }
+}
+
+bool StreamingTraceMerger::TakeRetiredRun(std::vector<MergedEntry>* out) {
+  if (retired_runs_.empty()) {
+    return false;
+  }
+  *out = std::move(retired_runs_.back());
+  retired_runs_.pop_back();
+  return true;
+}
+
 void StreamingTraceMerger::EmitFront(Stream* stream) {
-  const MergedEntry& m = stream->pending.front();
+  Run& run = stream->runs.front();
+  const MergedEntry& m = run.entries[run.pos];
   hasher_.Mix(m);
   ++emitted_;
   --buffered_;
   if (emit_) {
     emit_(m);
   }
-  stream->pending.pop_front();
+  if (++run.pos == run.entries.size()) {
+    run.entries.clear();
+    retired_runs_.push_back(std::move(run.entries));
+    stream->runs.pop_front();
+  }
 }
 
 void StreamingTraceMerger::AdvanceWatermark(uint64_t watermark) {
@@ -124,15 +169,96 @@ void StreamingTraceMerger::AdvanceWatermark(uint64_t watermark) {
     HeapKey head = heads_.top();
     heads_.pop();
     EmitFront(head.stream);
-    if (!head.stream->pending.empty()) {
-      heads_.push(HeapKey{head.stream->pending.front().time64, head.node,
-                          head.stream});
+    if (!head.stream->empty()) {
+      PushHead(head.stream);
     }
   }
 }
 
 void StreamingTraceMerger::Finish() {
   AdvanceWatermark(~uint64_t{0});
+}
+
+// --- ShardRunBuilder ---------------------------------------------------------
+
+void ShardRunBuilder::OnChunk(TraceChunk&& chunk) {
+  StreamIngestState& node = nodes_[chunk.node];
+  if (!node.CheckSeq(chunk.seq)) {
+    ++seq_gaps_;
+  }
+  for (const LogEntry& e : chunk.entries) {
+    run_.push_back(MergedEntry{node.Unwrap(e), chunk.node, e});
+  }
+  // The sealed buffer goes straight back to the shard's freelist; the
+  // logger's next seal reuses it.
+  pool_.RecycleEntries(std::move(chunk.entries));
+}
+
+size_t ShardRunBuilder::BuildRun(Tick barrier) {
+  std::chrono::steady_clock::time_point start;
+  if (profile_) {
+    start = std::chrono::steady_clock::now();
+  }
+  // Carry-in first: the previous boundary's held-back entries are older
+  // than anything sealed now, so appending them before the fresh chunks
+  // lets the stable sort preserve per-node log order on equal keys.
+  if (run_.empty()) {
+    run_.swap(carry_);
+  } else {
+    // Defensive: an untaken previous run stays and keeps merging.
+    run_.insert(run_.end(), carry_.begin(), carry_.end());
+  }
+  carry_.clear();
+  for (QuantoLogger* logger : dirty_) {
+    ++seal_calls_;
+    logger->SealToSink();  // Lands in run_ via OnChunk.
+  }
+  dirty_.clear();
+  // One sort per shard-window, in parallel across shards — this is the
+  // work the coordinator's per-entry heap no longer does per mote.
+  std::stable_sort(run_.begin(), run_.end(),
+                   [](const MergedEntry& a, const MergedEntry& b) {
+                     if (a.time64 != b.time64) {
+                       return a.time64 < b.time64;
+                     }
+                     return a.node < b.node;
+                   });
+  // Boundary holdback: entries at or after the barrier (barrier hooks log
+  // at exactly the barrier time, after this run was built) move to the
+  // next run, keeping consecutive runs of this shard globally sorted.
+  auto split = std::lower_bound(
+      run_.begin(), run_.end(), barrier,
+      [](const MergedEntry& m, Tick b) { return m.time64 < b; });
+  carry_.assign(split, run_.end());
+  run_.erase(split, run_.end());
+  entries_carried_ += carry_.size();
+  if (!run_.empty()) {
+    ++runs_built_;
+    entries_premerged_ += run_.size();
+  }
+  if (profile_) {
+    last_build_us_ = static_cast<uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return run_.size();
+}
+
+std::vector<MergedEntry> ShardRunBuilder::TakeRun() {
+  std::vector<MergedEntry> out = std::move(run_);
+  if (!spare_runs_.empty()) {
+    run_ = std::move(spare_runs_.back());
+    spare_runs_.pop_back();
+  } else {
+    run_ = std::vector<MergedEntry>();
+  }
+  return out;
+}
+
+void ShardRunBuilder::RecycleRunBuffer(std::vector<MergedEntry>&& buf) {
+  buf.clear();
+  spare_runs_.push_back(std::move(buf));
 }
 
 }  // namespace quanto

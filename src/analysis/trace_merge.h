@@ -27,6 +27,7 @@
 
 #include "src/core/activity.h"
 #include "src/core/log_entry.h"
+#include "src/core/logger.h"  // ShardRunBuilder seals QuantoLoggers.
 #include "src/core/trace_sink.h"
 #include "src/util/units.h"
 
@@ -76,6 +77,40 @@ std::vector<LogEntry> MergedEntryStream(const std::vector<MergedEntry>& merged);
 // full traces around.
 uint64_t MergedTraceHash(const std::vector<MergedEntry>& merged);
 
+// Per-stream chunk-ingest state shared by the streaming merger's chunk
+// door and the shard pre-merge builder: the 32 -> 64 bit timestamp unwrap
+// (exactly MergeTraces' rule — the counter wrapped whenever a timestamp
+// goes backwards within one node's monotone log) and the chunk-sequence
+// continuity check. One definition so the two pipelines can never drift
+// apart — their hash-identity contract depends on unwrapping identically.
+struct StreamIngestState {
+  uint64_t high = 0;
+  uint32_t prev = 0;
+  bool first = true;
+  uint64_t next_seq = 0;
+
+  // Unwraps one entry's timestamp, advancing the wrap state. Entries
+  // must be presented in log order.
+  uint64_t Unwrap(const LogEntry& e) {
+    if (!first && e.time < prev) {
+      high += uint64_t{1} << 32;
+    }
+    first = false;
+    prev = e.time;
+    return high | e.time;
+  }
+
+  // True when `seq` continues the chunk sequence (a gap means someone
+  // dropped a sealed chunk on the floor, which would silently corrupt
+  // the merge — loggers stamp consecutive seqs from 0). Advances the
+  // expectation either way so one gap is counted once.
+  bool CheckSeq(uint64_t seq) {
+    bool ok = seq == next_seq;
+    next_seq = seq + 1;
+    return ok;
+  }
+};
+
 // FNV-1a accumulator matching MergedTraceHash entry for entry, so a
 // streamed merge can fingerprint its output without materializing it.
 class MergedTraceHasher {
@@ -89,15 +124,23 @@ class MergedTraceHasher {
 
 // Incremental k-way merge: the streaming counterpart of MergeTraces.
 //
-// Chunks arrive online (it is a TraceSink, so loggers in bounded-archive
-// mode feed it directly); merged entries are emitted once the watermark
-// says no stream can still produce an earlier one. The emitted sequence —
-// order, content and FNV fingerprint — is identical to what
+// Input arrives online through one of two doors:
+//  * OnChunk (it is a TraceSink, so loggers in bounded-archive mode feed
+//    it directly): one stream per *node*, entries unwrapped to 64-bit
+//    time on ingest — the coordinator-sweep pipeline.
+//  * OnRun: one stream per *shard*, entries already unwrapped, sorted and
+//    pre-merged by a ShardRunBuilder on the shard's worker thread — the
+//    parallel barrier pipeline. The coordinator's merge heap then holds
+//    k = shards heads instead of k = motes.
+// The emitted sequence — order, content and FNV fingerprint — is
+// identical either way, and identical to what
 // MergeTraces(CollectNodeTraces(net)) would produce on the same logs: the
 // merge key is (unwrapped time, node, per-node log order), nothing else.
+// One merger instance must stick to one door (stream keys are node ids on
+// one and shard ids on the other).
 //
 // Watermark protocol: the producer (the sharded runner's barrier hook)
-// seals every logger's chunk at a window barrier T, then calls
+// seals every dirty logger at a window barrier T, then calls
 // AdvanceWatermark(T). Entries strictly below T are final — every stream
 // flushed at T can only append entries at or after T — so they merge and
 // emit immediately; entries at exactly T wait one more window (barrier
@@ -106,7 +149,11 @@ class MergedTraceHasher {
 // nothing below T (the idle-shard case). Finish() declares end of input
 // and drains the remainder.
 //
-// Peak memory is O(entries per watermark interval), not O(run).
+// Peak memory is O(entries per watermark interval), not O(run), and the
+// steady state is allocation-free: consumed run buffers retire into a
+// freelist (handed back to the producer via TakeRetiredRun, or reused
+// internally by OnChunk), and sealed chunk buffers recycle through an
+// optional TraceChunkPool shared with the loggers.
 class StreamingTraceMerger : public TraceSink {
  public:
   // Called once per merged entry, in merge order. Optional: the merger
@@ -119,9 +166,30 @@ class StreamingTraceMerger : public TraceSink {
 
   void SetEmit(EmitFn emit) { emit_ = std::move(emit); }
 
+  // Chunk-buffer freelist shared with the loggers that feed OnChunk: the
+  // merger recycles each chunk's entries vector here after copying the
+  // entries into its pending runs. Single-threaded discipline (see
+  // TraceChunkPool); only meaningful on the OnChunk door — OnRun
+  // producers recycle through their own per-shard pools.
+  void SetChunkPool(TraceChunkPool* pool) { chunk_pool_ = pool; }
+
   // TraceSink: accepts one sealed chunk. Entries are unwrapped to 64-bit
   // time on ingest (per-stream, exactly as MergeTraces does).
   void OnChunk(TraceChunk&& chunk) override;
+
+  // Accepts one pre-merged run for stream `stream` (a shard id). The run
+  // must be sorted by (time64, node, per-node log order), and consecutive
+  // runs of one stream must be non-decreasing in (time64, node) — the
+  // ShardRunBuilder guarantees both by sorting each window's entries and
+  // holding entries at or after the barrier back into the next run.
+  // Empty runs are accepted and retire immediately.
+  void OnRun(uint32_t stream, std::vector<MergedEntry>&& run);
+
+  // Hands back one fully-consumed run buffer (cleared, capacity intact)
+  // for the producer to build its next run in; false when none is
+  // retired. The steady-state loop — BuildRun, OnRun, AdvanceWatermark,
+  // TakeRetiredRun — allocates nothing once buffers reach working size.
+  bool TakeRetiredRun(std::vector<MergedEntry>* out);
 
   // Every stream is complete strictly below `watermark` (unwrapped time):
   // emits all merged entries with time64 < watermark.
@@ -145,13 +213,23 @@ class StreamingTraceMerger : public TraceSink {
   uint64_t seq_gaps() const { return seq_gaps_; }
 
  private:
+  // One ingested run: a sorted span of merged entries consumed from
+  // `pos`. OnChunk wraps each chunk into a single-chunk run so both doors
+  // share the emission path (and the buffer recycling).
+  struct Run {
+    std::vector<MergedEntry> entries;
+    size_t pos = 0;
+  };
+
   struct Stream {
-    std::deque<MergedEntry> pending;
-    // Per-stream 32 -> 64 bit unwrap state.
-    uint64_t high = 0;
-    uint32_t prev = 0;
-    bool first = true;
-    uint64_t next_seq = 0;  // Chunk continuity check.
+    std::deque<Run> runs;
+    // Unwrap + chunk continuity (OnChunk door only).
+    StreamIngestState ingest;
+
+    bool empty() const { return runs.empty(); }
+    const MergedEntry& front() const {
+      return runs.front().entries[runs.front().pos];
+    }
   };
 
   struct HeapKey {
@@ -167,18 +245,122 @@ class StreamingTraceMerger : public TraceSink {
   };
 
   void EmitFront(Stream* stream);
+  void PushHead(Stream* stream);
+  std::vector<MergedEntry> AcquireRunBuffer();
 
   EmitFn emit_;
-  std::map<node_id_t, Stream> streams_;
+  // Keyed by node id (OnChunk) or shard id (OnRun) — never both in one
+  // instance.
+  std::map<uint32_t, Stream> streams_;
   // One heap element per non-empty stream (pushed when a stream turns
   // non-empty, reinserted after each pop while entries remain).
   std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<HeapKey>>
       heads_;
+  // Fully-consumed run buffers awaiting reuse (OnChunk ingest or
+  // TakeRetiredRun).
+  std::vector<std::vector<MergedEntry>> retired_runs_;
+  TraceChunkPool* chunk_pool_ = nullptr;
   uint64_t emitted_ = 0;
   size_t buffered_ = 0;
   size_t peak_buffered_ = 0;
   uint64_t seq_gaps_ = 0;
   MergedTraceHasher hasher_;
+};
+
+// Per-shard pre-merge: the worker-side half of the parallel barrier
+// pipeline.
+//
+// One builder serves the loggers of one shard. During the window the
+// loggers mark themselves on the builder's dirty list through
+// QuantoLogger's on-first-append hook (an idle mote costs nothing); in
+// the pre-barrier phase — still inside the window barrier, on the shard's
+// own worker thread, all shards in parallel — BuildRun seals exactly the
+// dirty loggers and merges their chunks into one run sorted by
+// (time64, node, log order).
+//
+// Boundary holdback is what makes the coordinator's k-way merge exact:
+// entries at or after the sealing barrier T (barrier hooks may log at
+// exactly T, after this shard's run was already built) are held back into
+// the next window's run. Every run therefore lies strictly below its
+// barrier and at or above the previous one, so the concatenation of a
+// shard's runs is globally sorted — precisely the StreamingTraceMerger
+// OnRun precondition — and no entry emits later than it would have under
+// the coordinator-sweep pipeline (the watermark holds entries at T for
+// one window anyway).
+//
+// Thread discipline: everything here is owned by the shard — touched by
+// the shard's worker during windows and the pre-barrier phase, and by the
+// coordinator only between windows (TakeRun/RecycleRunBuffer, dirty marks
+// from barrier-hook logging). The window barrier orders the two; there is
+// no locking.
+class ShardRunBuilder : public TraceSink {
+ public:
+  explicit ShardRunBuilder(size_t shard) : shard_(shard) {}
+
+  size_t shard() const { return shard_; }
+
+  // Chunk-buffer freelist shared with this shard's loggers
+  // (QuantoLogger::SetChunkPool): OnChunk recycles every sealed buffer
+  // here after copying its entries into the run.
+  TraceChunkPool& pool() { return pool_; }
+  const TraceChunkPool& pool() const { return pool_; }
+
+  // QuantoLogger::SetDirtyHook adapter; ctx is the builder.
+  static void MarkDirtyHook(void* ctx, QuantoLogger* logger) {
+    static_cast<ShardRunBuilder*>(ctx)->AddDirty(logger);
+  }
+  void AddDirty(QuantoLogger* logger) { dirty_.push_back(logger); }
+  size_t dirty_count() const { return dirty_.size(); }
+
+  // Seals every dirty logger (and only those) into this window's run:
+  // carry-in of the previous boundary, per-node unwrap + seq check on
+  // each sealed chunk, one stable sort, boundary holdback at `barrier`.
+  // Returns the entries placed in the run. Pass the final simulation time
+  // + 1 (or ~Tick{0}) as the last barrier to flush the carry.
+  size_t BuildRun(Tick barrier);
+
+  bool HasRun() const { return !run_.empty(); }
+  // Moves the built run out (for StreamingTraceMerger::OnRun); the next
+  // BuildRun starts in a recycled or fresh buffer.
+  std::vector<MergedEntry> TakeRun();
+  // Returns a consumed run buffer for the next BuildRun to fill.
+  void RecycleRunBuffer(std::vector<MergedEntry>&& buf);
+
+  // TraceSink: receives the chunks the dirty loggers seal inside
+  // BuildRun.
+  void OnChunk(TraceChunk&& chunk) override;
+
+  // SealToSink calls issued — one per dirty logger per window, never one
+  // per mote ("idle motes are never swept"; the dirty-list tests pin it).
+  uint64_t seal_calls() const { return seal_calls_; }
+  uint64_t runs_built() const { return runs_built_; }
+  uint64_t entries_premerged() const { return entries_premerged_; }
+  // Boundary entries held back for the next run, cumulatively.
+  uint64_t entries_carried() const { return entries_carried_; }
+  // Per-node chunk-sequence gaps observed on ingest (0 in a healthy run).
+  uint64_t seq_gaps() const { return seq_gaps_; }
+
+  // Barrier profiling: when enabled, BuildRun records its own duration;
+  // the coordinator reads the value after the barrier (the window barrier
+  // orders the write).
+  void EnableProfiling(bool on) { profile_ = on; }
+  uint32_t last_build_us() const { return last_build_us_; }
+
+ private:
+  size_t shard_;
+  std::map<node_id_t, StreamIngestState> nodes_;
+  std::vector<QuantoLogger*> dirty_;
+  std::vector<MergedEntry> run_;    // The built (or building) run.
+  std::vector<MergedEntry> carry_;  // Held-back boundary entries.
+  std::vector<std::vector<MergedEntry>> spare_runs_;
+  TraceChunkPool pool_;
+  uint64_t seal_calls_ = 0;
+  uint64_t runs_built_ = 0;
+  uint64_t entries_premerged_ = 0;
+  uint64_t entries_carried_ = 0;
+  uint64_t seq_gaps_ = 0;
+  bool profile_ = false;
+  uint32_t last_build_us_ = 0;
 };
 
 }  // namespace quanto

@@ -1,5 +1,6 @@
 #include "src/apps/scale_network.h"
 
+#include <chrono>
 #include <cmath>
 
 namespace quanto {
@@ -19,13 +20,34 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
     queues.push_back(&sim->queue(s));
     media.push_back(&fabric->medium(s));
   }
+  if (config_.premerged_sink != nullptr) {
+    // Parallel barrier pipeline: one pre-merge builder per shard, created
+    // before Build so the motes' loggers can be wired straight to them.
+    builders_.reserve(sim->shard_count());
+    for (size_t s = 0; s < sim->shard_count(); ++s) {
+      builders_.push_back(std::make_unique<ShardRunBuilder>(s));
+      builders_.back()->EnableProfiling(config_.profile_barrier);
+    }
+  }
   Build(queues, media);
   if (config_.batch_log_charging) {
     // Flush after the fabric drain (the fabric registered its hook at
     // construction, before us); the order is fixed per run either way.
     sim->AddBarrierHook([this](Tick) { FlushAllCharges(); });
   }
-  if (config_.trace_sink != nullptr) {
+  if (!builders_.empty()) {
+    // Pre-barrier phase, in parallel on the shard workers: seal each
+    // shard's dirty loggers into its pre-merged run. Entries logged by
+    // the coordinator's hooks at exactly the barrier time land in the
+    // next window's run (and the builders' boundary holdback keeps runs
+    // sorted either way), so the merged output is byte-identical to the
+    // coordinator-sweep path below.
+    sim->AddShardWindowTask(
+        [this](size_t shard, Tick end) { builders_[shard]->BuildRun(end); });
+    // Coordinator half, after the charge flush: k-way merge across the
+    // shard runs and watermark advance.
+    sim->AddBarrierHook([this](Tick end) { HandOffRuns(end, true); });
+  } else if (config_.trace_sink != nullptr) {
     // Seal after the charge flush so any entries the flush logs at the
     // barrier time land in this window's chunks. Runs on the coordinating
     // thread in mote order: the chunk sequence is thread-count-invariant.
@@ -36,6 +58,12 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
 ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
                            const ScaleNetworkConfig& config)
     : config_(config) {
+  if (config_.trace_sink == nullptr && config_.premerged_sink != nullptr) {
+    // No shards to pre-merge across on a single engine: degrade to plain
+    // streamed collection into the merger (callers drive SealAllChunks).
+    config_.trace_sink = config_.premerged_sink;
+    config_.premerged_sink = nullptr;
+  }
   Build({queue}, {medium});
 }
 
@@ -72,7 +100,17 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
   }
 
   size_t shards = queues.size();
+  // Bulk reserves: at 16k+ motes the incremental growth of these
+  // structures is a measurable slice of construction time (reported as
+  // construct_ms by bench_scale_multihop).
   motes_.reserve(config_.motes);
+  size_t backbones = (config_.motes + backbone_stride_ - 1) / backbone_stride_;
+  relays_.reserve(backbones);
+  listeners_.reserve(config_.motes - backbones);
+  int radio_channel = Cc2420::Config().channel;
+  for (size_t s = 0; s < media.size(); ++s) {
+    media[s]->ReserveClients(config_.motes / shards + 1, radio_channel);
+  }
   for (size_t i = 0; i < config_.motes; ++i) {
     Mote::Config cfg;
     cfg.id = static_cast<node_id_t>(i + 1);
@@ -84,10 +122,20 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
     cfg.meter.record_history = false;
     cfg.radio.seed = 0xCC2420 + i;
     cfg.batch_log_charging = config_.batch_log_charging;
-    cfg.trace_sink = config_.trace_sink;
     size_t shard = i % shards;
+    cfg.trace_sink = builders_.empty() ? config_.trace_sink
+                                       : builders_[shard].get();
     motes_.push_back(
         std::make_unique<Mote>(queues[shard], media[shard], cfg));
+    if (!builders_.empty()) {
+      // Dirty-list + freelist wiring: the logger marks itself on its
+      // shard's builder the first time it logs in a window, and seals
+      // into buffers recycled through the shard's pool.
+      QuantoLogger& logger = motes_.back()->logger();
+      logger.SetChunkPool(&builders_[shard]->pool());
+      logger.SetDirtyHook(ShardRunBuilder::MarkDirtyHook,
+                          builders_[shard].get());
+    }
   }
 }
 
@@ -216,11 +264,92 @@ void ScaleNetwork::FlushAllCharges() {
 }
 
 size_t ScaleNetwork::SealAllChunks() {
+  if (!builders_.empty()) {
+    // Final flush of the pre-merged pipeline: seal every still-dirty
+    // logger and release the held-back boundary entries (a barrier of
+    // ~Tick{0} holds nothing back), then hand the runs off as usual.
+    size_t sealed = 0;
+    for (const auto& b : builders_) {
+      sealed += b->BuildRun(~Tick{0});
+    }
+    HandOffRuns(~Tick{0}, /*record_profile=*/false);
+    return sealed;
+  }
   size_t sealed = 0;
   for (const auto& m : motes_) {
     sealed += m->logger().SealToSink();
   }
   return sealed;
+}
+
+void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
+  StreamingTraceMerger* merger = config_.premerged_sink;
+  bool profile = config_.profile_barrier && record_profile;
+  std::chrono::steady_clock::time_point start;
+  uint32_t seal_us = 0;
+  if (profile) {
+    start = std::chrono::steady_clock::now();
+  }
+  for (const auto& b : builders_) {
+    if (profile && b->last_build_us() > seal_us) {
+      seal_us = b->last_build_us();
+    }
+    if (b->HasRun()) {
+      merger->OnRun(static_cast<uint32_t>(b->shard()), b->TakeRun());
+    }
+  }
+  merger->AdvanceWatermark(window_end);
+  // Give consumed run buffers back to the builders for the next window —
+  // the allocation-free steady state.
+  std::vector<MergedEntry> buf;
+  for (const auto& b : builders_) {
+    if (!merger->TakeRetiredRun(&buf)) {
+      break;
+    }
+    b->RecycleRunBuffer(std::move(buf));
+  }
+  if (profile) {
+    // seal_us is the window's critical-path pre-merge (max across
+    // shards, measured on the workers); merge_us is this coordinator
+    // section (hand-off + watermark emission).
+    seal_us_samples_.push_back(seal_us);
+    merge_us_samples_.push_back(static_cast<uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+}
+
+uint64_t ScaleNetwork::premerge_seal_calls() const {
+  uint64_t total = 0;
+  for (const auto& b : builders_) {
+    total += b->seal_calls();
+  }
+  return total;
+}
+
+uint64_t ScaleNetwork::premerge_seq_gaps() const {
+  uint64_t total = 0;
+  for (const auto& b : builders_) {
+    total += b->seq_gaps();
+  }
+  return total;
+}
+
+uint64_t ScaleNetwork::chunks_sealed() const {
+  uint64_t total = 0;
+  for (const auto& m : motes_) {
+    total += m->logger().chunks_sealed();
+  }
+  return total;
+}
+
+uint64_t ScaleNetwork::empty_seals_skipped() const {
+  uint64_t total = 0;
+  for (const auto& m : motes_) {
+    total += m->logger().empty_seals_skipped();
+  }
+  return total;
 }
 
 }  // namespace quanto

@@ -17,6 +17,11 @@
 #include <memory>
 #include <vector>
 
+// Deliberate layering exception: the parallel barrier pipeline wires the
+// per-shard pre-merge builders (analysis) into the sharded runner's
+// pre-barrier phase, and ScaleNetwork is the composition point where the
+// two meet — the analysis layer itself stays free of apps/sim types.
+#include "src/analysis/trace_merge.h"
 #include "src/apps/lpl_listener.h"
 #include "src/apps/mote.h"
 #include "src/apps/relay.h"
@@ -71,6 +76,21 @@ struct ScaleNetworkConfig {
   // window's chunks already sealed. Single-engine callers must call
   // SealAllChunks() themselves.
   TraceSink* trace_sink = nullptr;
+  // Parallel barrier pipeline (sharded builds): instead of the
+  // coordinator sweeping every mote per window (`trace_sink` above), each
+  // shard's worker seals only its *dirty* loggers — marked by the
+  // on-first-append hook, so idle motes cost nothing — into a pre-merged
+  // time-sorted run during the pre-barrier phase, and the coordinator
+  // k-way merges k = shards runs and advances the watermark itself
+  // (callers must NOT register their own watermark hook on this path).
+  // The emitted sequence, fingerprint and spill bytes are identical to
+  // the trace_sink path. Mutually exclusive with trace_sink; on a
+  // single-engine build this degrades to trace_sink collection (the
+  // merger is a TraceSink) with manual SealAllChunks().
+  StreamingTraceMerger* premerged_sink = nullptr;
+  // Record per-window seal/merge timings (and enable builder profiling)
+  // for the barrier-latency percentiles in bench_scale_multihop.
+  bool profile_barrier = false;
 };
 
 class ScaleNetwork {
@@ -114,12 +134,40 @@ class ScaleNetwork {
   // Seals every mote's pending entries to the configured trace sink, in
   // mote order (no-op without a sink). Returns entries sealed. The
   // sharded barrier hook calls this per window; call it once after the
-  // run to seal the tail.
+  // run to seal the tail. On the pre-merged pipeline this flushes the
+  // builders (including held-back boundary entries) through the merger
+  // instead.
   size_t SealAllChunks();
+
+  // --- Parallel barrier pipeline introspection -------------------------------
+  bool premerge_active() const { return !builders_.empty(); }
+  size_t premerge_shards() const { return builders_.size(); }
+  const ShardRunBuilder& premerge_builder(size_t shard) const {
+    return *builders_[shard];
+  }
+  // Summed over shards / motes.
+  uint64_t premerge_seal_calls() const;
+  uint64_t premerge_seq_gaps() const;
+  uint64_t chunks_sealed() const;
+  uint64_t empty_seals_skipped() const;
+  // Per-window profiling samples (profile_barrier only): max per-shard
+  // run-build time, and the coordinator's hand-off + watermark time.
+  const std::vector<uint32_t>& seal_us_samples() const {
+    return seal_us_samples_;
+  }
+  const std::vector<uint32_t>& merge_us_samples() const {
+    return merge_us_samples_;
+  }
 
  private:
   void Build(const std::vector<EventQueue*>& queues,
              const std::vector<Medium*>& media);
+  // Coordinator half of the pre-merged window barrier: moves every built
+  // run into the merger (k-way across shards), advances the watermark,
+  // and recycles the consumed run buffers back to the builders.
+  // `record_profile` is false for the end-of-run tail flush, which is
+  // not a window and would skew the per-window percentiles.
+  void HandOffRuns(Tick window_end, bool record_profile);
   // Next backbone index in this origin band, or motes_.size() when `i` is
   // the band's sink.
   size_t NextBackbone(size_t i) const;
@@ -132,6 +180,11 @@ class ScaleNetwork {
   std::vector<std::unique_ptr<Mote>> motes_;
   std::vector<std::unique_ptr<RelayApp>> relays_;
   std::vector<std::unique_ptr<LplListenerApp>> listeners_;
+  // Parallel barrier pipeline: one pre-merge builder per shard (empty on
+  // the coordinator-sweep and single-engine paths).
+  std::vector<std::unique_ptr<ShardRunBuilder>> builders_;
+  std::vector<uint32_t> seal_us_samples_;
+  std::vector<uint32_t> merge_us_samples_;
 };
 
 }  // namespace quanto

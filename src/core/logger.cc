@@ -22,15 +22,28 @@ size_t QuantoLogger::SealToSink() {
   if (sink_ == nullptr) {
     return 0;
   }
+  dirty_ = false;  // A new first append re-arms the dirty hook.
   size_t total = archive_.size() + buffer_.size();
   if (total == 0) {
+    ++empty_seals_skipped_;
     return 0;
   }
   TraceChunk chunk;
   chunk.node = node_;
   chunk.seq = chunks_sealed_++;
-  chunk.entries = std::move(archive_);
-  archive_.clear();  // Moved-from: make the staging area explicitly empty.
+  if (pool_ != nullptr) {
+    // Recycled buffer: the archive's contents (empty in pure streamed
+    // runs — only the continuous-drain path stages entries there) are
+    // copied in, the ring drains in, and the buffer's capacity comes back
+    // with the next recycle instead of being freed per seal.
+    chunk.entries = pool_->AcquireEntries();
+    chunk.entries.insert(chunk.entries.end(), archive_.begin(),
+                         archive_.end());
+    archive_.clear();
+  } else {
+    chunk.entries = std::move(archive_);
+    archive_.clear();  // Moved-from: make the staging area explicitly empty.
+  }
   buffer_.DrainInto(&chunk.entries, buffer_.size());
   sink_->OnChunk(std::move(chunk));
   return total;

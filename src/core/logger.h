@@ -142,6 +142,14 @@ class QuantoLogger {
     } else {
       ++entries_dropped_;
     }
+    if (!dirty_) {
+      // First entry of this seal interval: tell the collector this logger
+      // now needs sealing at the next barrier (dirty-list maintenance).
+      dirty_ = true;
+      if (dirty_hook_ != nullptr) {
+        dirty_hook_(dirty_ctx_, this);
+      }
+    }
 
     sync_cycles_spent_ += cost_per_sample_;
     if (batch_charging_) {
@@ -174,6 +182,30 @@ class QuantoLogger {
     node_ = node;
   }
   bool bounded_archive() const { return sink_ != nullptr; }
+  node_id_t node() const { return node_; }
+
+  // Entry-buffer freelist: sealed chunks acquire their entries vector from
+  // `pool` instead of default-constructing one, so a consumer that
+  // recycles buffers back after emission makes the steady-state seal path
+  // allocation-free. The pool is not thread-safe; it must be owned by
+  // whatever thread seals this logger (the sharded runner uses one pool
+  // per shard).
+  void SetChunkPool(TraceChunkPool* pool) { pool_ = pool; }
+
+  // On-first-append hook — the dirty-list primitive of the parallel
+  // barrier pipeline. Fires at most once per seal interval: on the first
+  // entry recorded since construction or since the last SealToSink(). An
+  // idle mote therefore costs its collector exactly nothing per window
+  // (no sweep visit, no hook call); a logging mote costs one callback,
+  // after which Append is back to a single predicted branch. A plain
+  // function pointer + context (not std::function) keeps the inline
+  // Append hot path free of indirect-call setup.
+  using DirtyHook = void (*)(void* ctx, QuantoLogger* logger);
+  void SetDirtyHook(DirtyHook hook, void* ctx) {
+    dirty_hook_ = hook;
+    dirty_ctx_ = ctx;
+  }
+  bool dirty() const { return dirty_; }
 
   // Seals the archive plus everything still buffered into one chunk and
   // hands it to the sink (no-op without a sink or when empty). Returns the
@@ -190,6 +222,10 @@ class QuantoLogger {
   size_t DrainChunk(size_t max_entries, TraceChunk* chunk);
 
   uint64_t chunks_sealed() const { return chunks_sealed_; }
+  // SealToSink() calls that found nothing to seal and produced no chunk —
+  // the coordinator-sweep pipeline pays one of these per idle mote per
+  // window; the dirty-list pipeline never even makes the call.
+  uint64_t empty_seals_skipped() const { return empty_seals_skipped_; }
 
   // Archive + still-buffered entries, in order. This is what the offline
   // analysis consumes in batch mode; in bounded-archive mode it returns
@@ -263,8 +299,16 @@ class QuantoLogger {
 
   // Bounded-archive (streaming) collection.
   TraceSink* sink_ = nullptr;
+  TraceChunkPool* pool_ = nullptr;
   node_id_t node_ = 0;
   uint64_t chunks_sealed_ = 0;
+  uint64_t empty_seals_skipped_ = 0;
+
+  // Dirty-list state: set by the first Append of a seal interval, cleared
+  // by SealToSink.
+  bool dirty_ = false;
+  DirtyHook dirty_hook_ = nullptr;
+  void* dirty_ctx_ = nullptr;
 
   uint64_t entries_logged_ = 0;
   uint64_t entries_dropped_ = 0;

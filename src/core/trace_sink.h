@@ -12,10 +12,13 @@
 // bounded by the seal interval (one lockstep window in the sharded
 // runner), not by the run.
 //
-// Determinism contract: chunks are sealed on the coordinating thread at
-// window barriers, in mote order, so the sequence of OnChunk calls — and
-// everything a sink derives from it — is a pure function of the simulated
-// behaviour, never of the worker-thread count.
+// Determinism contract: chunks are sealed at window barriers by a thread
+// that owns the logger at that moment — the coordinating thread sweeping
+// motes in mote order (the original pipeline), or the shard's own worker
+// sealing its dirty loggers during the pre-barrier phase (the parallel
+// barrier pipeline, see ShardRunBuilder in src/analysis/trace_merge.h).
+// Either way the chunk sequence each consumer observes is a pure function
+// of the simulated behaviour, never of the worker-thread count.
 #ifndef QUANTO_SRC_CORE_TRACE_SINK_H_
 #define QUANTO_SRC_CORE_TRACE_SINK_H_
 
@@ -48,6 +51,57 @@ class TraceSink {
   // log order; chunks from one node arrive in seq order. Never called
   // with an empty chunk.
   virtual void OnChunk(TraceChunk&& chunk) = 0;
+};
+
+// Freelist of sealed-entry buffers shared between whoever seals chunks
+// (loggers, via QuantoLogger::SetChunkPool) and whoever retires them (the
+// pre-merge builder or the merger, after copying the entries out): a
+// retired buffer keeps its capacity and backs the next seal instead of
+// being freed, so the steady-state seal -> merge -> recycle loop performs
+// no allocation once every buffer has grown to its working size.
+//
+// Deliberately NOT thread-safe — single-owner discipline instead: the
+// sharded runner gives each shard its own pool, touched by the shard's
+// worker during the pre-barrier seal phase and by nothing else; the
+// coordinator-side merger pool is touched only between windows. The
+// window barrier orders the two regimes.
+class TraceChunkPool {
+ public:
+  // Returns a retired buffer (cleared, capacity retained) or a fresh
+  // empty vector when the freelist is dry.
+  std::vector<LogEntry> AcquireEntries() {
+    ++acquired_;
+    if (free_.empty()) {
+      ++allocated_;
+      return {};
+    }
+    std::vector<LogEntry> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  // Returns a consumed buffer to the freelist. The contents are cleared;
+  // the capacity is what makes the next AcquireEntries allocation-free.
+  void RecycleEntries(std::vector<LogEntry>&& buf) {
+    ++recycled_;
+    buf.clear();
+    free_.push_back(std::move(buf));
+  }
+
+  // Buffers handed out in total, and how many of those could not reuse a
+  // retired buffer (i.e. were created fresh). `allocated()` going flat
+  // while `acquired()` keeps climbing is the allocation-free steady state
+  // the recycling tests assert.
+  uint64_t acquired() const { return acquired_; }
+  uint64_t allocated() const { return allocated_; }
+  uint64_t recycled() const { return recycled_; }
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<std::vector<LogEntry>> free_;
+  uint64_t acquired_ = 0;
+  uint64_t allocated_ = 0;
+  uint64_t recycled_ = 0;
 };
 
 }  // namespace quanto

@@ -19,6 +19,12 @@ void Medium::Register(MediumClient* client) {
   }
 }
 
+void Medium::ReserveClients(size_t clients, int channel) {
+  clients_.reserve(clients_.size() + clients);
+  std::vector<MediumClient*>& on_channel = ChannelClients(channel);
+  on_channel.reserve(on_channel.size() + clients);
+}
+
 void Medium::Unregister(MediumClient* client) {
   clients_.erase(std::remove(clients_.begin(), clients_.end(), client),
                  clients_.end());

@@ -93,6 +93,13 @@ class Medium {
   void Register(MediumClient* client);
   void Unregister(MediumClient* client);
 
+  // Bulk-reserve for known network sizes: pre-sizes the client list and
+  // `channel`'s per-channel delivery list so registering `clients` radios
+  // performs no vector growth (ScaleNetwork calls this per replica before
+  // building its motes — at 16k+ motes the repeated reallocation during
+  // construction is measurable).
+  void ReserveClients(size_t clients, int channel);
+
   void AddInterference(InterferenceSource* source);
 
   // Starts a transmission: occupies `channel` for `airtime`, notifies

@@ -1,6 +1,7 @@
 #include "src/sim/sharded_sim.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace quanto {
 
@@ -38,6 +39,13 @@ void ShardedSimulator::RunShardRange(size_t worker, Tick target) {
   size_t end = (worker + 1) * shards / threads_;
   for (size_t s = begin; s < end; ++s) {
     queues_[s]->RunUntil(target);
+    // Pre-barrier phase for this shard: once its window is done nothing
+    // can touch its motes until the coordinator's hooks (cross-shard
+    // effects are mailboxed until then), so shard-local barrier work runs
+    // here — concurrently with other shards still in their windows.
+    for (const ShardWindowTask& task : shard_tasks_) {
+      task(s, target);
+    }
   }
 }
 
@@ -107,8 +115,19 @@ uint64_t ShardedSimulator::RunUntil(Tick end) {
     // Barrier: all shards parked at `target`. Exchange cross-shard
     // effects (and any other per-window bookkeeping) single-threaded, in
     // registration order — identical at every thread count.
-    for (const BarrierHook& hook : hooks_) {
-      hook(target);
+    if (profile_barriers_) {
+      auto hooks_start = std::chrono::steady_clock::now();
+      for (const BarrierHook& hook : hooks_) {
+        hook(target);
+      }
+      barrier_us_samples_.push_back(static_cast<uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - hooks_start)
+              .count()));
+    } else {
+      for (const BarrierHook& hook : hooks_) {
+        hook(target);
+      }
     }
     now_ = target;
     ++windows_run_;

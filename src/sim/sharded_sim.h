@@ -85,6 +85,26 @@ class ShardedSimulator {
     hooks_.push_back(std::move(hook));
   }
 
+  // Pre-barrier parallel phase: runs once per shard per window, on the
+  // worker thread that just advanced that shard to `window_end`, before
+  // the coordinator's BarrierHooks resume. This is where per-shard barrier
+  // work that used to serialize on the coordinator (sealing dirty loggers
+  // into pre-merged runs) overlaps across shards — and with other shards
+  // still executing their windows. Tasks must touch only shard-local
+  // state; the window barrier publishes their writes to the coordinator.
+  using ShardWindowTask = std::function<void(size_t shard, Tick window_end)>;
+  void AddShardWindowTask(ShardWindowTask task) {
+    shard_tasks_.push_back(std::move(task));
+  }
+
+  // Barrier profiling: when enabled, records the coordinator's serial
+  // barrier section (the BarrierHook loop) per window, in microseconds.
+  // Off by default — the samples vector grows by 4 bytes per window.
+  void EnableBarrierProfiling(bool on) { profile_barriers_ = on; }
+  const std::vector<uint32_t>& barrier_us_samples() const {
+    return barrier_us_samples_;
+  }
+
   // Advances every shard to `end` in lockstep windows. Returns the number
   // of events executed across all shards during this call.
   uint64_t RunUntil(Tick end);
@@ -104,8 +124,11 @@ class ShardedSimulator {
   size_t threads_ = 1;
   std::vector<std::unique_ptr<EventQueue>> queues_;
   std::vector<BarrierHook> hooks_;
+  std::vector<ShardWindowTask> shard_tasks_;
   Tick now_ = 0;
   uint64_t windows_run_ = 0;
+  bool profile_barriers_ = false;
+  std::vector<uint32_t> barrier_us_samples_;
 
   // Window dispatch: the coordinator publishes (epoch_, target_) under
   // mu_, workers run their ranges, the last one signals cv_done_.

@@ -128,7 +128,7 @@ EOF
 # window barriers into the incremental merge). Grid/4-sink topology, 2
 # simulated seconds, 1 thread. Override rows with
 # SCALE_MEM_ROWS="motes:mode ..." (mode = batch|stream); empty disables.
-MEM_ROWS="${SCALE_MEM_ROWS-2048:batch 2048:stream 4096:stream 8192:stream}"
+MEM_ROWS="${SCALE_MEM_ROWS-2048:batch 2048:stream 4096:stream 8192:stream 16384:stream}"
 mem_entries="$SCRATCH/mem_rows.txt"
 : >"$mem_entries"
 if [ -n "$MEM_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
@@ -214,6 +214,31 @@ if mem_rows:
             "stream_under_half_of_extrapolated_batch":
                 stream_8192["peak_rss_mb"] <= bar,
         }
+
+# Parallel barrier pipeline summary: the per-window seal/merge/barrier
+# percentiles of the pre-merged streamed rows at the largest default
+# phase (16384 motes), one row per thread count — the machine-readable
+# record of what the window barrier costs and where it is spent.
+barrier_rows = []
+for run in data.get("runs", []):
+    if not run.get("premerge") or "seal_us" not in run:
+        continue
+    barrier_rows.append({
+        "motes": run.get("motes"),
+        "threads": run.get("threads"),
+        "windows": run.get("barrier_windows"),
+        "construct_ms": run.get("construct_ms"),
+        "premerge_seal_calls": run.get("premerge_seal_calls"),
+        "chunks_sealed": run.get("chunks_sealed"),
+        "seal_us": run.get("seal_us"),
+        "merge_us": run.get("merge_us"),
+        "barrier_us": run.get("barrier_us"),
+        "merge_hash": run.get("merge_hash"),
+    })
+if barrier_rows:
+    biggest = max(r["motes"] for r in barrier_rows)
+    data["barrier_summary"] = [r for r in barrier_rows
+                               if r["motes"] == biggest]
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
