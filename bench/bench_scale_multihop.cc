@@ -30,6 +30,7 @@
 //                             [--stream-traces] [--stream-log-capacity N]
 //                             [--max-rss-mb M] [--mem-motes N]
 //                             [--coordinator-seal] [--big-motes N]
+//                             [--sync-emission] [--emission-depth D]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -62,11 +63,24 @@
 //   --coordinator-seal  streamed runs seal with the serial per-mote
 //                  coordinator sweep instead (the pre-PR 5 path; output
 //                  hashes are identical)
+//   --sync-emission  pre-merged streamed runs merge synchronously inside
+//                  the window barrier (the pre-off-barrier path) instead
+//                  of handing runs to the emission pipeline's consumer
+//                  thread; output hashes and spill bytes are identical
+//                  either way
+//   --emission-depth  bounded hand-off queue depth in windows for
+//                  off-barrier emission (default 4); the coordinator
+//                  blocks (counted as consumer_stall_us) when the
+//                  consumer falls that far behind
 //   --big-motes    parallel-barrier scale phase appended to the default
 //                  sweep: a grid/4-sink streamed pre-merged network of N
 //                  motes at 1/2/4 threads for 2 simulated seconds, with
 //                  barrier percentiles and construct_ms (default 16384;
-//                  0 disables; skipped when --motes is given)
+//                  0 disables; skipped when --motes is given). This phase
+//                  always runs under a peak-RSS guard: --max-rss-mb when
+//                  given, else a built-in 1024 MB ceiling — a memory
+//                  regression in the streamed/buffered path fails the
+//                  bench instead of passing silently.
 //   --stream-log-capacity  per-mote RAM ring in streaming mode (default
 //                  1024 entries; batch mode keeps the usual 8192). The
 //                  ring only needs to cover one lockstep window.
@@ -96,6 +110,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/analysis/emission_pipeline.h"
 #include "src/analysis/trace_io.h"
 #include "src/analysis/trace_merge.h"
 #include "src/apps/scale_network.h"
@@ -146,6 +161,7 @@ struct RunResult {
   size_t sinks = 1;
   bool stream = false;
   bool premerge = false;  // Parallel barrier pipeline (streamed runs).
+  bool async_emission = false;  // Off-barrier consumer-thread emission.
   double construct_ms = 0.0;  // Network + core construction wall time.
   double sim_seconds = 0.0;
   uint64_t events = 0;
@@ -170,9 +186,18 @@ struct RunResult {
   uint64_t empty_seals_skipped = 0;
   uint64_t premerge_seal_calls = 0;
   // Per-window barrier timing percentiles (pre-merged streamed runs).
+  // Under off-barrier emission merge_us is consumer-side (concurrent with
+  // simulation); window_us is the whole window's wall time, so the
+  // overlap is visible even on a timesliced 1-core host: merge_us leaves
+  // barrier_us while window_us absorbs the consumer's share of the core.
   PctSummary seal_us;
   PctSummary merge_us;
   PctSummary barrier_us;
+  PctSummary window_us;
+  // Off-barrier emission counters: total coordinator time blocked on a
+  // full hand-off queue, and the queued-run high-water mark.
+  uint64_t consumer_stall_us = 0;
+  uint64_t runs_queued_peak = 0;
   // Process peak RSS after this run, in MB. getrusage is process-wide and
   // monotone: within one invocation later rows inherit earlier peaks, so
   // per-row numbers need one process per row (run_benchmarks.sh's memory
@@ -192,6 +217,11 @@ struct RunOptions {
   // on the shard workers into pre-merged runs (the default); false
   // selects the coordinator-sweep path (PR 4's), kept for comparison.
   bool premerge = true;
+  // Off-barrier emission: pre-merged streamed runs hand sealed runs plus
+  // the watermark to a consumer thread at the barrier (the default);
+  // false merges synchronously inside the barrier (--sync-emission).
+  bool async_emission = true;
+  size_t emission_depth = EmissionPipeline::kDefaultMaxDepth;
   size_t stream_log_capacity = 1024;
   std::string trace_path;  // Empty: no trace dump.
 };
@@ -288,6 +318,9 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     // whole traces in RAM and merges post hoc.
     StreamingTraceMerger merger;
     std::unique_ptr<FileTraceSink> spill;
+    // Declared after merger/spill so its consumer thread joins before the
+    // merger (and everything behind the emit hook) is destroyed.
+    std::unique_ptr<EmissionPipeline> emission;
     if (opts.stream) {
       if (!opts.trace_path.empty()) {
         spill = std::make_unique<FileTraceSink>(opts.trace_path);
@@ -296,7 +329,17 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
             [sink](const MergedEntry& m) { sink->Append(m.entry); });
       }
       if (opts.premerge) {
-        cfg.premerged_sink = &merger;
+        if (opts.async_emission) {
+          // Off-barrier emission (the streamed default): merge +
+          // regression + spill run on the pipeline's consumer thread,
+          // concurrently with the next window.
+          emission =
+              std::make_unique<EmissionPipeline>(&merger, opts.emission_depth);
+          cfg.emission_pipeline = emission.get();
+          result.async_emission = true;
+        } else {
+          cfg.premerged_sink = &merger;
+        }
         cfg.profile_barrier = true;
         sim.EnableBarrierProfiling(true);
         result.premerge = true;
@@ -347,8 +390,16 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
       if (opts.premerge) {
         result.premerge_seal_calls = net.premerge_seal_calls();
         result.seal_us = Summarize(net.seal_us_samples());
+        // On the off-barrier path SealAllChunks drained the pipeline and
+        // copied the consumer-side samples back, so this reads the right
+        // series either way.
         result.merge_us = Summarize(net.merge_us_samples());
         result.barrier_us = Summarize(sim.barrier_us_samples());
+        result.window_us = Summarize(sim.window_us_samples());
+        if (emission != nullptr) {
+          result.consumer_stall_us = emission->consumer_stall_us();
+          result.runs_queued_peak = emission->runs_queued_peak();
+        }
       }
       if (spill != nullptr) {
         if (spill->Close()) {
@@ -487,6 +538,9 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"stream_peak_buffered\": " << r.stream_peak_buffered
         << ", \"peak_rss_mb\": " << r.peak_rss_mb
         << ", \"premerge\": " << (r.premerge ? "true" : "false")
+        << ", \"async_emission\": " << (r.async_emission ? "true" : "false")
+        << ", \"consumer_stall_us\": " << r.consumer_stall_us
+        << ", \"runs_queued_peak\": " << r.runs_queued_peak
         << ", \"construct_ms\": " << r.construct_ms
         << ", \"chunks_sealed\": " << r.chunks_sealed
         << ", \"empty_seals_skipped\": " << r.empty_seals_skipped
@@ -503,6 +557,7 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
       pct("seal_us", r.seal_us);
       pct("merge_us", r.merge_us);
       pct("barrier_us", r.barrier_us);
+      pct("window_wall_us", r.window_us);
     }
     out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -625,6 +680,15 @@ int Run(int argc, char** argv) {
       opts.stream = true;
     } else if (std::strcmp(argv[i], "--coordinator-seal") == 0) {
       opts.premerge = false;
+    } else if (std::strcmp(argv[i], "--sync-emission") == 0) {
+      opts.async_emission = false;
+    } else if (std::strcmp(argv[i], "--emission-depth") == 0 && i + 1 < argc) {
+      int n = std::atoi(argv[++i]);
+      if (n < 1) {
+        std::cerr << "--emission-depth must be >= 1\n";
+        return 2;
+      }
+      opts.emission_depth = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--big-motes") == 0 && i + 1 < argc) {
       long n = std::atol(argv[++i]);
       if (n < 0 || static_cast<size_t>(n) > kMaxMotes) {
@@ -655,19 +719,27 @@ int Run(int argc, char** argv) {
                "wall s", "events/s", "delivered", "rss MB", "merge hash"});
   std::vector<RunResult> runs;
   bool rss_exceeded = false;
-  auto add_row = [&t, &rss_exceeded, max_rss_mb](const RunResult& r) {
+  // The big-motes streamed phase always runs guarded: --max-rss-mb when
+  // given, else this built-in ceiling (recorded peak is ~560 MB at 16 384
+  // motes; the guard fails the run if the emission pipeline's buffering
+  // ever stops being bounded). Other phases are only guarded when
+  // --max-rss-mb is set explicitly.
+  constexpr size_t kBigPhaseRssGuardMb = 1024;
+  auto add_row = [&t, &rss_exceeded](const RunResult& r, size_t rss_limit_mb) {
     t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
               std::to_string(r.shards),
               r.topology == ScaleTopology::kGrid ? "grid" : "chain",
-              r.premerge ? "premrg" : (r.stream ? "stream" : "batch"),
+              r.async_emission ? "async"
+                               : (r.premerge ? "premrg"
+                                             : (r.stream ? "stream" : "batch")),
               TextTable::Num(r.sim_seconds, 1), std::to_string(r.events),
               TextTable::Num(r.wall_seconds, 3),
               std::to_string(static_cast<uint64_t>(r.events_per_sec)),
               std::to_string(r.packets_delivered),
               std::to_string(r.peak_rss_mb), HashHex(r.merge_hash)});
-    if (max_rss_mb > 0 && r.peak_rss_mb > max_rss_mb) {
-      std::cerr << "  FAIL: peak RSS " << r.peak_rss_mb << " MB exceeds --max-rss-mb "
-                << max_rss_mb << "\n";
+    if (rss_limit_mb > 0 && r.peak_rss_mb > rss_limit_mb) {
+      std::cerr << "  FAIL: peak RSS " << r.peak_rss_mb
+                << " MB exceeds the limit of " << rss_limit_mb << " MB\n";
       rss_exceeded = true;
     }
   };
@@ -684,7 +756,7 @@ int Run(int argc, char** argv) {
       }
       RunResult r = RunNetwork(n, sim_seconds, run_opts);
       runs.push_back(r);
-      add_row(r);
+      add_row(r, max_rss_mb);
     }
   }
 
@@ -699,7 +771,7 @@ int Run(int argc, char** argv) {
       run_opts.sinks = 4;
       RunResult r = RunNetwork(wide_motes, 2.0, run_opts);
       runs.push_back(r);
-      add_row(r);
+      add_row(r, max_rss_mb);
     }
   }
 
@@ -718,7 +790,7 @@ int Run(int argc, char** argv) {
       run_opts.stream = true;
       RunResult r = RunNetwork(mem_motes, 2.0, run_opts);
       runs.push_back(r);
-      add_row(r);
+      add_row(r, max_rss_mb);
     }
   }
 
@@ -736,7 +808,7 @@ int Run(int argc, char** argv) {
       run_opts.stream = true;
       RunResult r = RunNetwork(big_motes, 2.0, run_opts);
       runs.push_back(r);
-      add_row(r);
+      add_row(r, max_rss_mb > 0 ? max_rss_mb : kBigPhaseRssGuardMb);
     }
   }
   t.Print(std::cout);

@@ -148,6 +148,16 @@ bool StreamingTraceMerger::TakeRetiredRun(std::vector<MergedEntry>* out) {
   return true;
 }
 
+size_t StreamingTraceMerger::TakeRetiredRuns(
+    std::vector<std::vector<MergedEntry>>* out) {
+  size_t taken = retired_runs_.size();
+  for (std::vector<MergedEntry>& buf : retired_runs_) {
+    out->push_back(std::move(buf));
+  }
+  retired_runs_.clear();
+  return taken;
+}
+
 void StreamingTraceMerger::EmitFront(Stream* stream) {
   Run& run = stream->runs.front();
   const MergedEntry& m = run.entries[run.pos];

@@ -147,7 +147,10 @@ class MergedTraceHasher {
 // hooks themselves may still log at T). A stream with nothing buffered
 // never blocks emission: after its seal at T, silence means it has
 // nothing below T (the idle-shard case). Finish() declares end of input
-// and drains the remainder.
+// and drains the remainder. Under off-barrier emission the OnRun +
+// AdvanceWatermark calls are made by the EmissionPipeline consumer thread
+// instead of the coordinator — same calls, same order, same output; see
+// src/analysis/emission_pipeline.h for the ownership rules.
 //
 // Peak memory is O(entries per watermark interval), not O(run), and the
 // steady state is allocation-free: consumed run buffers retire into a
@@ -190,6 +193,13 @@ class StreamingTraceMerger : public TraceSink {
   // retired. The steady-state loop — BuildRun, OnRun, AdvanceWatermark,
   // TakeRetiredRun — allocates nothing once buffers reach working size.
   bool TakeRetiredRun(std::vector<MergedEntry>* out);
+  // Bulk form: appends every retired run buffer to `out`. The off-barrier
+  // emission consumer (EmissionPipeline) harvests with this while it owns
+  // the merger, then ferries the buffers back to the shard builders
+  // through its own mutex-protected return queue — the merger itself
+  // stays single-threaded (exactly one thread may touch it at a time; the
+  // pipeline's queue and Drain() provide the ordering).
+  size_t TakeRetiredRuns(std::vector<std::vector<MergedEntry>>* out);
 
   // Every stream is complete strictly below `watermark` (unwrapped time):
   // emits all merged entries with time64 < watermark.

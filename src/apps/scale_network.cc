@@ -20,6 +20,13 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
     queues.push_back(&sim->queue(s));
     media.push_back(&fabric->medium(s));
   }
+  if (config_.emission_pipeline != nullptr) {
+    // Off-barrier emission implies the pre-merged pipeline; the merger is
+    // the pipeline's, and the coordinator half below hands off instead of
+    // merging. premerged_sink is display-only on this path (HandOffRuns
+    // never touches the merger while the consumer owns it).
+    config_.premerged_sink = config_.emission_pipeline->merger();
+  }
   if (config_.premerged_sink != nullptr) {
     // Parallel barrier pipeline: one pre-merge builder per shard, created
     // before Build so the motes' loggers can be wired straight to them.
@@ -58,6 +65,13 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
 ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
                            const ScaleNetworkConfig& config)
     : config_(config) {
+  if (config_.premerged_sink == nullptr && config_.emission_pipeline != nullptr) {
+    // A single engine has no window barriers to emit behind: degrade the
+    // off-barrier pipeline to its merger, then (below) to plain streamed
+    // collection. The pipeline's consumer stays idle; its Drain is a no-op.
+    config_.premerged_sink = config_.emission_pipeline->merger();
+  }
+  config_.emission_pipeline = nullptr;
   if (config_.trace_sink == nullptr && config_.premerged_sink != nullptr) {
     // No shards to pre-merge across on a single engine: degrade to plain
     // streamed collection into the merger (callers drive SealAllChunks).
@@ -273,6 +287,15 @@ size_t ScaleNetwork::SealAllChunks() {
       sealed += b->BuildRun(~Tick{0});
     }
     HandOffRuns(~Tick{0}, /*record_profile=*/false);
+    if (config_.emission_pipeline != nullptr) {
+      // Tail-flush ordering: the final watermark is queued, not yet
+      // emitted. Drain blocks until the consumer has merged every
+      // submitted window — only then are the hash, the spill bytes and
+      // the consumer-side merge_us samples final (and safe to read from
+      // this thread).
+      config_.emission_pipeline->Drain();
+      merge_us_samples_ = config_.emission_pipeline->merge_us_samples();
+    }
     return sealed;
   }
   size_t sealed = 0;
@@ -283,17 +306,55 @@ size_t ScaleNetwork::SealAllChunks() {
 }
 
 void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
-  StreamingTraceMerger* merger = config_.premerged_sink;
   bool profile = config_.profile_barrier && record_profile;
-  std::chrono::steady_clock::time_point start;
   uint32_t seal_us = 0;
+  if (profile) {
+    // seal_us is the window's critical-path pre-merge (max across shards,
+    // measured on the workers; the window barrier published the writes).
+    for (const auto& b : builders_) {
+      if (b->last_build_us() > seal_us) {
+        seal_us = b->last_build_us();
+      }
+    }
+  }
+  if (config_.emission_pipeline != nullptr) {
+    // Off-barrier emission: the barrier's share of the backend is just
+    // this hand-off — move the runs plus the watermark into the bounded
+    // queue and release the shards; the consumer thread does the k-way
+    // merge and emission concurrently with the next window (and records
+    // merge_us there). SubmitWindow only blocks when the consumer is
+    // max_depth windows behind (accounted as consumer_stall_us).
+    EmissionPipeline* pipe = config_.emission_pipeline;
+    std::vector<EmissionPipeline::ShardRun> batch;
+    pipe->TakeRetiredBatch(&batch);
+    for (const auto& b : builders_) {
+      if (b->HasRun()) {
+        batch.push_back(EmissionPipeline::ShardRun{
+            static_cast<uint32_t>(b->shard()), b->TakeRun()});
+      }
+    }
+    pipe->SubmitWindow(std::move(batch), window_end, profile);
+    // Run buffers come back on the consumer's schedule; whatever has
+    // retired by now backs upcoming windows (allocation-free once the
+    // queue's working set — max_depth windows of runs — has cycled).
+    std::vector<MergedEntry> buf;
+    for (const auto& b : builders_) {
+      if (!pipe->TakeRetiredRun(&buf)) {
+        break;
+      }
+      b->RecycleRunBuffer(std::move(buf));
+    }
+    if (profile) {
+      seal_us_samples_.push_back(seal_us);
+    }
+    return;
+  }
+  StreamingTraceMerger* merger = config_.premerged_sink;
+  std::chrono::steady_clock::time_point start;
   if (profile) {
     start = std::chrono::steady_clock::now();
   }
   for (const auto& b : builders_) {
-    if (profile && b->last_build_us() > seal_us) {
-      seal_us = b->last_build_us();
-    }
     if (b->HasRun()) {
       merger->OnRun(static_cast<uint32_t>(b->shard()), b->TakeRun());
     }
@@ -309,9 +370,8 @@ void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
     b->RecycleRunBuffer(std::move(buf));
   }
   if (profile) {
-    // seal_us is the window's critical-path pre-merge (max across
-    // shards, measured on the workers); merge_us is this coordinator
-    // section (hand-off + watermark emission).
+    // merge_us is this coordinator section (hand-off + watermark
+    // emission) — the serial cost off-barrier emission removes.
     seal_us_samples_.push_back(seal_us);
     merge_us_samples_.push_back(static_cast<uint32_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(

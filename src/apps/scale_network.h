@@ -21,6 +21,7 @@
 // per-shard pre-merge builders (analysis) into the sharded runner's
 // pre-barrier phase, and ScaleNetwork is the composition point where the
 // two meet — the analysis layer itself stays free of apps/sim types.
+#include "src/analysis/emission_pipeline.h"
 #include "src/analysis/trace_merge.h"
 #include "src/apps/lpl_listener.h"
 #include "src/apps/mote.h"
@@ -88,8 +89,24 @@ struct ScaleNetworkConfig {
   // single-engine build this degrades to trace_sink collection (the
   // merger is a TraceSink) with manual SealAllChunks().
   StreamingTraceMerger* premerged_sink = nullptr;
+  // Off-barrier emission (sharded builds; supersedes premerged_sink):
+  // the pre-merged pipeline above, but the coordinator's barrier half
+  // only hands the window's sealed runs plus the new watermark to this
+  // bounded pipeline and immediately releases the shards into the next
+  // window — the pipeline's consumer thread performs the k-way merge,
+  // watermark emission, hashing and everything behind the merger's emit
+  // hook (regression feed, spill) concurrently with simulation. Emitted
+  // sequence, fingerprint and spill bytes are byte-identical to the
+  // synchronous paths; SealAllChunks() drains the queue before returning
+  // so the tail flush still precedes the final hash read. Mutually
+  // exclusive with trace_sink/premerged_sink; on a single-engine build
+  // this degrades to trace_sink collection into the pipeline's merger
+  // (manual SealAllChunks, no consumer hand-off).
+  EmissionPipeline* emission_pipeline = nullptr;
   // Record per-window seal/merge timings (and enable builder profiling)
-  // for the barrier-latency percentiles in bench_scale_multihop.
+  // for the barrier-latency percentiles in bench_scale_multihop. On the
+  // off-barrier pipeline merge_us is recorded by the consumer thread
+  // (where the merge now runs) and copied back at SealAllChunks().
   bool profile_barrier = false;
 };
 
@@ -141,6 +158,11 @@ class ScaleNetwork {
 
   // --- Parallel barrier pipeline introspection -------------------------------
   bool premerge_active() const { return !builders_.empty(); }
+  // Off-barrier emission active (hand-off goes through the pipeline's
+  // consumer thread instead of touching the merger at the barrier).
+  bool async_emission_active() const {
+    return !builders_.empty() && config_.emission_pipeline != nullptr;
+  }
   size_t premerge_shards() const { return builders_.size(); }
   const ShardRunBuilder& premerge_builder(size_t shard) const {
     return *builders_[shard];
@@ -151,7 +173,10 @@ class ScaleNetwork {
   uint64_t chunks_sealed() const;
   uint64_t empty_seals_skipped() const;
   // Per-window profiling samples (profile_barrier only): max per-shard
-  // run-build time, and the coordinator's hand-off + watermark time.
+  // run-build time, and the merge + watermark-emission time — measured in
+  // the coordinator's hand-off hook on the synchronous path, or on the
+  // consumer thread (and copied back by SealAllChunks) under off-barrier
+  // emission, where it no longer sits inside the barrier.
   const std::vector<uint32_t>& seal_us_samples() const {
     return seal_us_samples_;
   }

@@ -76,6 +76,10 @@ void ShardedSimulator::WorkerLoop(size_t worker) {
 uint64_t ShardedSimulator::RunUntil(Tick end) {
   uint64_t executed_before = executed_count();
   while (now_ < end) {
+    std::chrono::steady_clock::time_point window_start;
+    if (profile_barriers_) {
+      window_start = std::chrono::steady_clock::now();
+    }
     // Place the window. The lookahead guarantee only has to cover ticks
     // where events can run, so a globally idle gap can be skipped: if no
     // shard has anything before `bound`, the window may end as late as
@@ -120,9 +124,14 @@ uint64_t ShardedSimulator::RunUntil(Tick end) {
       for (const BarrierHook& hook : hooks_) {
         hook(target);
       }
+      auto hooks_stop = std::chrono::steady_clock::now();
       barrier_us_samples_.push_back(static_cast<uint32_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - hooks_start)
+              hooks_stop - hooks_start)
+              .count()));
+      window_us_samples_.push_back(static_cast<uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              hooks_stop - window_start)
               .count()));
     } else {
       for (const BarrierHook& hook : hooks_) {

@@ -97,12 +97,20 @@ class ShardedSimulator {
     shard_tasks_.push_back(std::move(task));
   }
 
-  // Barrier profiling: when enabled, records the coordinator's serial
-  // barrier section (the BarrierHook loop) per window, in microseconds.
-  // Off by default — the samples vector grows by 4 bytes per window.
+  // Barrier profiling: when enabled, records per window, in microseconds,
+  // the coordinator's serial barrier section (the BarrierHook loop) and
+  // the whole window's wall time (placement + parallel shard execution +
+  // barrier) — window_wall minus barrier is the parallel section, which
+  // is what makes the off-barrier emission overlap visible: moving the
+  // merge out of the hooks shrinks barrier_us without touching the
+  // simulated behaviour. Off by default — the samples vectors grow by
+  // 8 bytes per window.
   void EnableBarrierProfiling(bool on) { profile_barriers_ = on; }
   const std::vector<uint32_t>& barrier_us_samples() const {
     return barrier_us_samples_;
+  }
+  const std::vector<uint32_t>& window_us_samples() const {
+    return window_us_samples_;
   }
 
   // Advances every shard to `end` in lockstep windows. Returns the number
@@ -129,6 +137,7 @@ class ShardedSimulator {
   uint64_t windows_run_ = 0;
   bool profile_barriers_ = false;
   std::vector<uint32_t> barrier_us_samples_;
+  std::vector<uint32_t> window_us_samples_;
 
   // Window dispatch: the coordinator publishes (epoch_, target_) under
   // mu_, workers run their ranges, the last one signals cv_done_.

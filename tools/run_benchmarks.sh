@@ -239,6 +239,36 @@ if barrier_rows:
     biggest = max(r["motes"] for r in barrier_rows)
     data["barrier_summary"] = [r for r in barrier_rows
                                if r["motes"] == biggest]
+
+# Off-barrier emission summary: for the async pre-merged rows at the
+# largest phase, the overlap ledger — per-window wall time, the
+# consumer-side merge cost that used to sit inside the barrier, the
+# residual serial barrier, and the backpressure counters. On a 1-core
+# recording host the win shows as merge_us leaving barrier_us (the
+# consumer's share lands in window_wall_us instead); on a multicore host
+# the same rows show it leaving the wall clock — ready for the ROADMAP
+# --threads sweep.
+emission_rows = []
+for run in data.get("runs", []):
+    if not run.get("premerge") or not run.get("async_emission"):
+        continue
+    if "merge_us" not in run:
+        continue
+    emission_rows.append({
+        "motes": run.get("motes"),
+        "threads": run.get("threads"),
+        "windows": run.get("barrier_windows"),
+        "window_wall_us": run.get("window_wall_us"),
+        "merge_us": run.get("merge_us"),
+        "barrier_us": run.get("barrier_us"),
+        "consumer_stall_us": run.get("consumer_stall_us"),
+        "runs_queued_peak": run.get("runs_queued_peak"),
+        "merge_hash": run.get("merge_hash"),
+    })
+if emission_rows:
+    biggest = max(r["motes"] for r in emission_rows)
+    data["emission_summary"] = [r for r in emission_rows
+                                if r["motes"] == biggest]
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
