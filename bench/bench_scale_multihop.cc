@@ -31,6 +31,7 @@
 //                             [--max-rss-mb M] [--mem-motes N]
 //                             [--coordinator-seal] [--big-motes N]
 //                             [--sync-emission] [--emission-depth D]
+//                             [--huge-motes N] [--legacy-charge-sweep]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -78,9 +79,22 @@
 //                  barrier percentiles and construct_ms (default 16384;
 //                  0 disables; skipped when --motes is given). This phase
 //                  always runs under a peak-RSS guard: --max-rss-mb when
-//                  given, else a built-in 1024 MB ceiling — a memory
-//                  regression in the streamed/buffered path fails the
-//                  bench instead of passing silently.
+//                  given, else a mote-scaled ceiling of
+//                  max(1024, motes/16) MB — a memory regression in the
+//                  streamed/buffered path fails the bench instead of
+//                  passing silently.
+//   --huge-motes   wide-node scale phase (default 0 = off): a grid/4-sink
+//                  streamed pre-merged network of N motes at 1 and 4
+//                  threads for 2 simulated seconds, under the same
+//                  mote-scaled RSS guard. This is the phase that crosses
+//                  the old 65 534-mote ceiling (node ids are 32-bit);
+//                  run_benchmarks.sh drives it at 262 144 motes in its
+//                  own process and merges the rows into the JSON.
+//   --legacy-charge-sweep  sharded runs flush batched logger charge with
+//                  the historical O(all motes) per-window sweep instead
+//                  of the per-shard dirty lists; merge hashes are
+//                  identical either way (the flush only reorders visits
+//                  across event queues, never within one)
 //   --stream-log-capacity  per-mote RAM ring in streaming mode (default
 //                  1024 entries; batch mode keeps the usual 8192). The
 //                  ring only needs to cover one lockstep window.
@@ -198,6 +212,15 @@ struct RunResult {
   // full hand-off queue, and the queued-run high-water mark.
   uint64_t consumer_stall_us = 0;
   uint64_t runs_queued_peak = 0;
+  // Batched-charge flush counters (sharded runs): loggers visited across
+  // all window flushes, and the flush rounds. Dirty-list flushing keeps
+  // visits ≪ windows × motes; the legacy sweep pins them equal.
+  uint64_t charge_flush_visits = 0;
+  uint64_t charge_flush_windows = 0;
+  // Construction arena footprint: slab bytes reserved and the allocation
+  // count the arena absorbed (the per-mote heap traffic it replaced).
+  size_t arena_bytes_reserved = 0;
+  uint64_t arena_allocations = 0;
   // Process peak RSS after this run, in MB. getrusage is process-wide and
   // monotone: within one invocation later rows inherit earlier peaks, so
   // per-row numbers need one process per row (run_benchmarks.sh's memory
@@ -223,6 +246,9 @@ struct RunOptions {
   bool async_emission = true;
   size_t emission_depth = EmissionPipeline::kDefaultMaxDepth;
   size_t stream_log_capacity = 1024;
+  // Per-window full charge sweep instead of the dirty lists
+  // (--legacy-charge-sweep); kept for A/B runs and the equality tests.
+  bool legacy_charge_sweep = false;
   std::string trace_path;  // Empty: no trace dump.
 };
 
@@ -280,6 +306,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - construct_start)
             .count();
+    result.arena_bytes_reserved = net.construction_arena().bytes_reserved();
+    result.arena_allocations = net.construction_arena().allocations();
     // Effective band count after ScaleNetwork clamps sinks to the rows.
     result.sinks = net.origin_count();
     net.PowerUp();
@@ -306,6 +334,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     MediumFabric fabric(&sim);
     // Window-batched logger self-charging: the sharded core's native mode.
     cfg.batch_log_charging = true;
+    cfg.legacy_full_charge_sweep = opts.legacy_charge_sweep;
 
     // Streaming collection: loggers seal chunks to the merger at every
     // window barrier (bounded archives), merged entries spill to the
@@ -354,6 +383,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - construct_start)
             .count();
+    result.arena_bytes_reserved = net.construction_arena().bytes_reserved();
+    result.arena_allocations = net.construction_arena().allocations();
     if (opts.stream && !opts.premerge) {
       // After ScaleNetwork's seal hook: every chunk of the window is in
       // the merger before its watermark advances. (The pre-merged path
@@ -377,6 +408,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     result.packets_delivered = fabric.packets_delivered();
     result.windows = sim.windows_run();
     result.cross_posts = fabric.cross_posts();
+    result.charge_flush_visits = net.charge_flush_visits();
+    result.charge_flush_windows = net.charge_flush_windows();
     if (opts.stream) {
       net.SealAllChunks();
       merger.Finish();
@@ -541,7 +574,11 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"async_emission\": " << (r.async_emission ? "true" : "false")
         << ", \"consumer_stall_us\": " << r.consumer_stall_us
         << ", \"runs_queued_peak\": " << r.runs_queued_peak
+        << ", \"charge_flush_visits\": " << r.charge_flush_visits
+        << ", \"charge_flush_windows\": " << r.charge_flush_windows
         << ", \"construct_ms\": " << r.construct_ms
+        << ", \"arena_bytes_reserved\": " << r.arena_bytes_reserved
+        << ", \"arena_allocations\": " << r.arena_allocations
         << ", \"chunks_sealed\": " << r.chunks_sealed
         << ", \"empty_seals_skipped\": " << r.empty_seals_skipped
         << ", \"premerge_seal_calls\": " << r.premerge_seal_calls
@@ -589,12 +626,15 @@ int Run(int argc, char** argv) {
   size_t wide_motes = 1024;
   size_t mem_motes = 8192;
   size_t big_motes = 16384;
+  size_t huge_motes = 0;
   size_t max_rss_mb = 0;
   bool single_size = false;
-  // Mote ids are 1..N and the top id is the 802.15.4 broadcast address,
-  // so the ceiling follows node_id_t directly (65534 with uint16_t).
-  constexpr size_t kMaxMotes =
-      static_cast<size_t>(std::numeric_limits<node_id_t>::max()) - 1;
+  // Mote ids are 1..N and 0xFFFFFFFF is the broadcast address, so the
+  // ceiling follows node_id_t directly: 4 294 967 294 with 32-bit ids
+  // (it was 65 534 when node_id_t was uint16_t).
+  constexpr size_t kMaxMotes = kMaxNetworkMotes;
+  static_assert(kMaxMotes ==
+                static_cast<size_t>(std::numeric_limits<node_id_t>::max()) - 1);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--motes") == 0 && i + 1 < argc) {
       long n = std::atol(argv[++i]);
@@ -696,6 +736,15 @@ int Run(int argc, char** argv) {
         return 2;
       }
       big_motes = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--huge-motes") == 0 && i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n < 0 || static_cast<size_t>(n) > kMaxMotes) {
+        std::cerr << "--huge-motes must be in [0, " << kMaxMotes << "]\n";
+        return 2;
+      }
+      huge_motes = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--legacy-charge-sweep") == 0) {
+      opts.legacy_charge_sweep = true;
     } else if (std::strcmp(argv[i], "--stream-log-capacity") == 0 &&
                i + 1 < argc) {
       int n = std::atoi(argv[++i]);
@@ -719,12 +768,19 @@ int Run(int argc, char** argv) {
                "wall s", "events/s", "delivered", "rss MB", "merge hash"});
   std::vector<RunResult> runs;
   bool rss_exceeded = false;
-  // The big-motes streamed phase always runs guarded: --max-rss-mb when
-  // given, else this built-in ceiling (recorded peak is ~560 MB at 16 384
-  // motes; the guard fails the run if the emission pipeline's buffering
-  // ever stops being bounded). Other phases are only guarded when
+  // The streamed scale phases (big/huge) always run guarded: --max-rss-mb
+  // when given, else this mote-scaled ceiling — 1 GB up to 16 384 motes
+  // (recorded peak there is ~560 MB), growing 64 KB per mote past that so
+  // the 262 144-mote run gets 16 GB (recorded peak is well under half of
+  // it). A fixed 1 GB cap would either fail legitimate huge runs or, if
+  // simply raised, stop catching regressions at the small sizes; scaling
+  // with the mote count keeps the guard tight at every size. The guard
+  // fails the bench if the streamed/buffered path's memory ever stops
+  // being bounded per mote. Other phases are only guarded when
   // --max-rss-mb is set explicitly.
-  constexpr size_t kBigPhaseRssGuardMb = 1024;
+  auto phase_rss_guard_mb = [](size_t motes) {
+    return std::max<size_t>(1024, motes * 64 / 1024);
+  };
   auto add_row = [&t, &rss_exceeded](const RunResult& r, size_t rss_limit_mb) {
     t.AddRow({std::to_string(r.motes), std::to_string(r.threads),
               std::to_string(r.shards),
@@ -808,7 +864,25 @@ int Run(int argc, char** argv) {
       run_opts.stream = true;
       RunResult r = RunNetwork(big_motes, 2.0, run_opts);
       runs.push_back(r);
-      add_row(r, max_rss_mb > 0 ? max_rss_mb : kBigPhaseRssGuardMb);
+      add_row(r, max_rss_mb > 0 ? max_rss_mb : phase_rss_guard_mb(big_motes));
+    }
+  }
+
+  // Wide-node scale phase (--huge-motes, default off): the streamed
+  // pre-merged grid past the old 65 534-mote id ceiling. Two thread
+  // counts bound the determinism check (equal hashes) while keeping the
+  // phase affordable at hundreds of thousands of motes; construct_ms per
+  // run shows the arena keeping construction linear.
+  if (!single_size && huge_motes > 0) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      RunOptions run_opts = opts;
+      run_opts.threads = threads;
+      run_opts.topology = ScaleTopology::kGrid;
+      run_opts.sinks = 4;
+      run_opts.stream = true;
+      RunResult r = RunNetwork(huge_motes, 2.0, run_opts);
+      runs.push_back(r);
+      add_row(r, max_rss_mb > 0 ? max_rss_mb : phase_rss_guard_mb(huge_motes));
     }
   }
   t.Print(std::cout);

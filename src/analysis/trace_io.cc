@@ -13,6 +13,7 @@ constexpr uint8_t kMagic[4] = {'Q', 'N', 'T', 'O'};
 constexpr size_t kHeaderBytes = 4 + 2 + 2 + 4;
 constexpr size_t kEntryBytesV1 = 12;  // u16 payload, legacy labels.
 constexpr size_t kEntryBytesV2 = 14;  // u32 payload, wide labels.
+constexpr size_t kEntryBytesV3 = 16;  // 48-bit payload, wide-node labels.
 
 void PutU16(std::vector<uint8_t>& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v & 0xFF));
@@ -21,6 +22,14 @@ void PutU16(std::vector<uint8_t>& out, uint16_t v) {
 
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// 48-bit little-endian payload of a v3 record (labels are 48 significant
+// bits; power states fit trivially).
+void PutU48(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 6; ++i) {
     out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
   }
 }
@@ -35,24 +44,49 @@ uint32_t GetU32(const uint8_t* p) {
          (static_cast<uint32_t>(p[3]) << 24);
 }
 
+uint64_t GetU48(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 6; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+size_t EntryBytesFor(uint16_t version) {
+  switch (version) {
+    case kTraceVersionLegacy:
+      return kEntryBytesV1;
+    case kTraceVersionWide:
+      return kEntryBytesV2;
+    default:
+      return kEntryBytesV3;
+  }
+}
+
 }  // namespace
 
 uint16_t TraceSerializationVersion(const std::vector<LogEntry>& entries) {
+  uint16_t version = kTraceVersionLegacy;
   for (const LogEntry& e : entries) {
+    if (!IsV2Entry(e)) {
+      return kTraceVersionWideNode;  // Can't get wider; stop scanning.
+    }
     if (!IsLegacyEntry(e)) {
-      return kTraceVersionWide;
+      version = kTraceVersionWide;
     }
   }
-  return kTraceVersionLegacy;
+  return version;
 }
 
 std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
                                     TraceFormat format) {
-  uint16_t version = format == TraceFormat::kV2
-                         ? kTraceVersionWide
+  uint16_t version = format == TraceFormat::kV3
+                         ? kTraceVersionWideNode
                          : TraceSerializationVersion(entries);
-  size_t entry_bytes =
-      version == kTraceVersionLegacy ? kEntryBytesV1 : kEntryBytesV2;
+  if (format == TraceFormat::kV2 && version == kTraceVersionLegacy) {
+    version = kTraceVersionWide;
+  }
+  size_t entry_bytes = EntryBytesFor(version);
   std::vector<uint8_t> out;
   out.reserve(kHeaderBytes + entries.size() * entry_bytes);
   for (uint8_t m : kMagic) {
@@ -68,8 +102,10 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
     PutU32(out, e.icount);
     if (version == kTraceVersionLegacy) {
       PutU16(out, LegacyEntryPayload(e));
+    } else if (version == kTraceVersionWide) {
+      PutU32(out, V2EntryPayload(e));
     } else {
-      PutU32(out, e.payload);
+      PutU48(out, e.payload);
     }
   }
   return out;
@@ -92,11 +128,11 @@ bool ParseSegment(const std::vector<uint8_t>& blob, size_t* offset,
     }
   }
   uint16_t version = GetU16(blob.data() + at + 4);
-  if (version != kTraceVersionLegacy && version != kTraceVersionWide) {
+  if (version != kTraceVersionLegacy && version != kTraceVersionWide &&
+      version != kTraceVersionWideNode) {
     return false;
   }
-  size_t entry_bytes =
-      version == kTraceVersionLegacy ? kEntryBytesV1 : kEntryBytesV2;
+  size_t entry_bytes = EntryBytesFor(version);
   uint32_t count = GetU32(blob.data() + at + 8);
   if (blob.size() - at - kHeaderBytes <
       static_cast<size_t>(count) * entry_bytes) {
@@ -112,8 +148,10 @@ bool ParseSegment(const std::vector<uint8_t>& blob, size_t* offset,
     e.icount = GetU32(p + 6);
     if (version == kTraceVersionLegacy) {
       e.payload = WideEntryPayload(e, GetU16(p + 10));
+    } else if (version == kTraceVersionWide) {
+      e.payload = WideFromV2Payload(e, GetU32(p + 10));
     } else {
-      e.payload = GetU32(p + 10);
+      e.payload = GetU48(p + 10);
     }
     out->push_back(e);
     p += entry_bytes;

@@ -6,14 +6,20 @@
 // magic/version header so partial dumps are detected) and a human-readable
 // text dump for eyeballing, both round-trippable.
 //
-// Two container versions coexist:
+// Three container versions coexist:
 //  * v1 — the paper's 12-byte records with 16-bit payloads, labels in the
 //    legacy <8-bit node : 8-bit id> encoding. Every trace whose labels fit
 //    that encoding (all ≤256-node workloads) serializes to v1, keeping the
 //    files byte-identical with what the pre-widening toolchain wrote.
 //  * v2 — 14-byte records with 32-bit payloads carrying wide labels
-//    (16-bit node field), introduced with the 1000+ mote refactor.
-// The writer picks automatically; the reader accepts both.
+//    (16-bit node field), introduced with the 1000+ mote refactor. Every
+//    trace whose labels fit 16-bit origins (all ≤65 534-mote workloads)
+//    serializes to v2 at the latest, byte-identical with what the
+//    pre-wide-node toolchain wrote.
+//  * v3 — 16-byte records with 48-bit little-endian payloads carrying
+//    wide-node labels (32-bit node field), introduced with the city-scale
+//    refactor.
+// The writer picks the lowest version that fits; the reader accepts all.
 #ifndef QUANTO_SRC_ANALYSIS_TRACE_IO_H_
 #define QUANTO_SRC_ANALYSIS_TRACE_IO_H_
 
@@ -31,13 +37,17 @@ namespace quanto {
 // --- Binary container ---------------------------------------------------------
 
 // Container versions (the u16 after the magic).
-inline constexpr uint16_t kTraceVersionLegacy = 1;  // 12-byte records.
-inline constexpr uint16_t kTraceVersionWide = 2;    // 14-byte records.
+inline constexpr uint16_t kTraceVersionLegacy = 1;    // 12-byte records.
+inline constexpr uint16_t kTraceVersionWide = 2;      // 14-byte records.
+inline constexpr uint16_t kTraceVersionWideNode = 3;  // 16-byte records.
 
 enum class TraceFormat {
-  kAuto,  // v1 when every entry is legacy-representable, else v2.
-  kV2,    // Force wide records (there is no forced v1: the paper layout
-          //  cannot represent wide labels, so v1 is only ever automatic).
+  kAuto,  // Lowest version every entry fits: v1, else v2, else v3.
+  kV2,    // Force v2 records (there is no forced v1: the paper layout
+          //  cannot represent wide labels, so v1 is only ever automatic.
+          //  Entries beyond 16-bit origins cannot be forced narrow either;
+          //  kV2 on such entries yields v3, the narrowest that fits them).
+  kV3,    // Force wide-node records.
 };
 
 // The version kAuto resolves to for these entries.
@@ -50,7 +60,7 @@ uint16_t TraceSerializationVersion(const std::vector<LogEntry>& entries);
 std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
                                     TraceFormat format = TraceFormat::kAuto);
 
-// Parses a blob of either version; returns nullopt on bad
+// Parses a blob of any version; returns nullopt on bad
 // magic/version/truncation. A blob whose count field exceeds the available
 // bytes is rejected rather than partially parsed (a truncated dump is a
 // broken dump). v1 activity labels are widened to the in-memory encoding.

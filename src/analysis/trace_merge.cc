@@ -60,12 +60,16 @@ void MergedTraceHasher::Mix(const MergedEntry& m) {
       h *= 1099511628211ull;
     }
   };
-  mix(m.node, 2);
+  // Width-escaped fields: values that fit the pre-widening widths mix the
+  // same byte count they always did (every historical fingerprint is
+  // preserved bit for bit); only values that could not exist before the
+  // wide-node refactor mix wider.
+  mix(m.node, m.node <= 0xFFFF ? 2 : 4);
   mix(m.entry.type, 1);
   mix(m.entry.res_id, 1);
   mix(m.entry.time, 4);
   mix(m.entry.icount, 4);
-  mix(m.entry.payload, 4);
+  mix(m.entry.payload, m.entry.payload <= 0xFFFFFFFF ? 4 : 6);
   hash_ = h;
 }
 

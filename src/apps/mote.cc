@@ -4,25 +4,30 @@ namespace quanto {
 
 Mote::Mote(EventQueue* queue, Medium* medium, const Config& config)
     : config_(config) {
+  Arena* arena = config.arena;
   Node::Config node_cfg;
   node_cfg.id = config.id;
   node_cfg.cpu.cpu_resource = kSinkCpu;
   node_cfg.cpu.active_state = kCpuActive;
   node_cfg.cpu.sleep_state = kCpuLpm3;
   node_cfg.timers.hw_timer_resource = kSinkHwTimer;
-  node_ = std::make_unique<Node>(queue, node_cfg);
+  node_cfg.arena = arena;
+  node_ = MakeArenaPtr<Node>(arena, queue, node_cfg);
 
-  power_model_ = std::make_unique<PowerModel>(config.supply);
-  meter_ = std::make_unique<IcountMeter>(queue, power_model_.get(),
-                                         config.meter);
+  power_model_ = MakeArenaPtr<PowerModel>(arena, config.supply);
+  meter_ = MakeArenaPtr<IcountMeter>(arena, queue, power_model_.get(),
+                                     config.meter);
   if (config.with_oscilloscope) {
-    scope_ = std::make_unique<Oscilloscope>(queue, power_model_.get());
+    scope_ = MakeArenaPtr<Oscilloscope>(arena, queue, power_model_.get());
   }
-  logger_ = std::make_unique<QuantoLogger>(&node_->clock(), meter_.get(),
-                                           config.log_capacity,
-                                           config.log_mode);
+  logger_ = MakeArenaPtr<QuantoLogger>(arena, &node_->clock(), meter_.get(),
+                                       config.log_capacity, config.log_mode,
+                                       arena);
   // Devirtualized per-sample meter read (the meter type is final).
   logger_->SetFastMeter(meter_.get());
+  // Always stamp the owning node: the dirty-charge flush orders loggers by
+  // node id even when no sink is attached (batch collection).
+  logger_->SetNodeId(config.id);
   if (config.trace_sink != nullptr) {
     logger_->SetSink(config.trace_sink, config.id);
   }
@@ -39,36 +44,36 @@ Mote::Mote(EventQueue* queue, Medium* medium, const Config& config)
 
   SinkId led_sinks[3] = {kSinkLed0, kSinkLed1, kSinkLed2};
   for (int i = 0; i < 3; ++i) {
-    leds_[i] = std::make_unique<LedDriver>(&node_->cpu(), led_sinks[i]);
+    leds_[i] = MakeArenaPtr<LedDriver>(arena, &node_->cpu(), led_sinks[i]);
     WirePower(leds_[i]->power_state());
     WireSingle(leds_[i]->activity());
   }
 
-  sensor_ = std::make_unique<Sht11Sensor>(queue, &node_->cpu(),
-                                          config.sensor);
+  sensor_ = MakeArenaPtr<Sht11Sensor>(arena, queue, &node_->cpu(),
+                                      config.sensor);
   WirePower(sensor_->power_state());
   WireSingle(sensor_->activity());
 
-  flash_ = std::make_unique<ExternalFlash>(queue, &node_->cpu(),
-                                           config.flash);
+  flash_ = MakeArenaPtr<ExternalFlash>(arena, queue, &node_->cpu(),
+                                       config.flash);
   WirePower(flash_->power_state());
   WireSingle(flash_->activity());
 
-  internal_adc_ = std::make_unique<InternalAdc>(queue, &node_->cpu());
+  internal_adc_ = MakeArenaPtr<InternalAdc>(arena, queue, &node_->cpu());
   WirePower(internal_adc_->vref_power());
   WirePower(internal_adc_->adc_power());
   WirePower(internal_adc_->temp_power());
   WireSingle(internal_adc_->activity());
 
   if (medium != nullptr) {
-    radio_ = std::make_unique<Cc2420>(node_.get(), medium, config.radio);
+    radio_ = MakeArenaPtr<Cc2420>(arena, node_.get(), medium, config.radio);
     WirePower(radio_->regulator_power());
     WirePower(radio_->control_power());
     WirePower(radio_->rx_power());
     WirePower(radio_->tx_power());
     WireSingle(radio_->tx_activity());
     WireMulti(radio_->rx_activity());
-    am_ = std::make_unique<ActiveMessageLayer>(node_.get(), radio_.get());
+    am_ = MakeArenaPtr<ActiveMessageLayer>(arena, node_.get(), radio_.get());
   }
 }
 
@@ -91,8 +96,9 @@ void Mote::WireMulti(MultiActivityDevice& device) {
 OnlineAccumulators& Mote::EnableOnlineAccounting(StaticPowerFn power_table) {
   OnlineAccumulators::Config cfg;
   cfg.energy_per_pulse = config_.meter.energy_per_pulse;
-  online_ = std::make_unique<OnlineAccumulators>(
-      &node_->clock(), meter_.get(), std::move(power_table), cfg);
+  online_ = MakeArenaPtr<OnlineAccumulators>(
+      config_.arena, &node_->clock(), meter_.get(), std::move(power_table),
+      cfg);
   if (config_.charge_logging) {
     online_->SetCpuChargeHook(&node_->cpu());
   }

@@ -60,6 +60,13 @@ class Mote {
     bool batch_log_charging = false;
     // Attach an oscilloscope ground-truth probe.
     bool with_oscilloscope = true;
+    // Construction arena (see src/util/arena.h): when set, every component
+    // of this mote — the kernel, drivers, radio stack and the logger's
+    // ring storage — is bump-allocated there instead of costing ~15 heap
+    // allocations per mote. The arena must outlive the Mote; ScaleNetwork
+    // owns one for its whole fleet. Null keeps the historical per-mote
+    // heap behaviour (single-mote experiments, tests).
+    Arena* arena = nullptr;
   };
 
   // `medium` may be null for radio-less single-node experiments (Blink).
@@ -106,18 +113,18 @@ class Mote {
   void WireMulti(MultiActivityDevice& device);
 
   Config config_;
-  std::unique_ptr<Node> node_;
-  std::unique_ptr<PowerModel> power_model_;
-  std::unique_ptr<IcountMeter> meter_;
-  std::unique_ptr<Oscilloscope> scope_;
-  std::unique_ptr<QuantoLogger> logger_;
-  std::unique_ptr<LedDriver> leds_[3];
-  std::unique_ptr<Sht11Sensor> sensor_;
-  std::unique_ptr<ExternalFlash> flash_;
-  std::unique_ptr<InternalAdc> internal_adc_;
-  std::unique_ptr<Cc2420> radio_;
-  std::unique_ptr<ActiveMessageLayer> am_;
-  std::unique_ptr<OnlineAccumulators> online_;
+  ArenaPtr<Node> node_;
+  ArenaPtr<PowerModel> power_model_;
+  ArenaPtr<IcountMeter> meter_;
+  ArenaPtr<Oscilloscope> scope_;
+  ArenaPtr<QuantoLogger> logger_;
+  ArenaPtr<LedDriver> leds_[3];
+  ArenaPtr<Sht11Sensor> sensor_;
+  ArenaPtr<ExternalFlash> flash_;
+  ArenaPtr<InternalAdc> internal_adc_;
+  ArenaPtr<Cc2420> radio_;
+  ArenaPtr<ActiveMessageLayer> am_;
+  ArenaPtr<OnlineAccumulators> online_;
 
   // Every tracked component, so late-attached accounting extensions can be
   // wired to the same observation points as the logger.

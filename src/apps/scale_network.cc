@@ -1,7 +1,10 @@
 #include "src/apps/scale_network.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace quanto {
 namespace {
@@ -83,6 +86,15 @@ ScaleNetwork::ScaleNetwork(EventQueue* queue, Medium* medium,
 
 void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
                         const std::vector<Medium*>& media) {
+  if (config_.motes > kMaxNetworkMotes) {
+    // Mote ids are 1..motes; any more and the top id would alias the
+    // broadcast address. Refuse outright rather than corrupt addressing.
+    std::fprintf(stderr,
+                 "ScaleNetwork: %zu motes exceeds the addressable maximum "
+                 "%zu (node id 0x%08X is the broadcast address)\n",
+                 config_.motes, kMaxNetworkMotes, kBroadcastAddr);
+    std::abort();
+  }
   if (config_.topology == ScaleTopology::kChain) {
     backbone_stride_ = 4;
     band_motes_ = 0;  // One band spanning the whole network.
@@ -125,6 +137,9 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
   for (size_t s = 0; s < media.size(); ++s) {
     media[s]->ReserveClients(config_.motes / shards + 1, radio_channel);
   }
+  if (config_.batch_log_charging && !config_.legacy_full_charge_sweep) {
+    charge_dirty_.resize(shards);
+  }
   for (size_t i = 0; i < config_.motes; ++i) {
     Mote::Config cfg;
     cfg.id = static_cast<node_id_t>(i + 1);
@@ -136,11 +151,12 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
     cfg.meter.record_history = false;
     cfg.radio.seed = 0xCC2420 + i;
     cfg.batch_log_charging = config_.batch_log_charging;
+    cfg.arena = &arena_;
     size_t shard = i % shards;
     cfg.trace_sink = builders_.empty() ? config_.trace_sink
                                        : builders_[shard].get();
     motes_.push_back(
-        std::make_unique<Mote>(queues[shard], media[shard], cfg));
+        MakeArenaPtr<Mote>(&arena_, queues[shard], media[shard], cfg));
     if (!builders_.empty()) {
       // Dirty-list + freelist wiring: the logger marks itself on its
       // shard's builder the first time it logs in a window, and seals
@@ -149,6 +165,13 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
       logger.SetChunkPool(&builders_[shard]->pool());
       logger.SetDirtyHook(ShardRunBuilder::MarkDirtyHook,
                           builders_[shard].get());
+    }
+    if (!charge_dirty_.empty()) {
+      // Charge-dirty wiring: the logger marks itself on its shard's list
+      // the first time it accrues batched self-charge in a window, so the
+      // barrier flush visits exactly the owing loggers.
+      motes_.back()->logger().SetChargeDirtyHook(MarkChargeDirtyHook,
+                                                 &charge_dirty_[shard]);
     }
   }
 }
@@ -193,7 +216,7 @@ void ScaleNetwork::StartApps() {
       cfg.lpl.cca_listen_time = config_.lpl_cca_listen_time;
       cfg.lpl.detection_timeout = config_.lpl_detection_timeout;
       listeners_.push_back(
-          std::make_unique<LplListenerApp>(motes_[i].get(), cfg));
+          MakeArenaPtr<LplListenerApp>(&arena_, motes_[i].get(), cfg));
       listeners_.back()->Start();
       continue;
     }
@@ -204,7 +227,7 @@ void ScaleNetwork::StartApps() {
     size_t next = NextBackbone(i);
     cfg.next_hop = next < motes_.size() ? static_cast<node_id_t>(next + 1)
                                         : node_id_t{0};
-    relays_.push_back(std::make_unique<RelayApp>(motes_[i].get(), cfg));
+    relays_.push_back(MakeArenaPtr<RelayApp>(&arena_, motes_[i].get(), cfg));
     relays_.back()->Start();
   }
 
@@ -272,8 +295,36 @@ uint64_t ScaleNetwork::entries_dropped() const {
 }
 
 void ScaleNetwork::FlushAllCharges() {
-  for (const auto& m : motes_) {
-    m->logger().FlushCpuCharge();
+  ++charge_flush_windows_;
+  if (charge_dirty_.empty()) {
+    // Legacy sweep (or batching off): every mote, every window.
+    for (const auto& m : motes_) {
+      ++charge_flush_visits_;
+      m->logger().FlushCpuCharge();
+    }
+    return;
+  }
+  for (ChargeDirtyList& list : charge_dirty_) {
+    if (list.loggers.empty()) {
+      continue;
+    }
+    // Take the shard's list (marks made by the flush itself — ChargeCycles
+    // can re-enter Append — belong to the next window and land in the
+    // fresh list), then flush in ascending node-id order. Mote ids are
+    // assigned round-robin across shards, so within one shard ascending
+    // node id IS the historical sweep's relative order; and since a flush
+    // only touches its own mote's event queue, cross-shard interleaving
+    // cannot affect the simulation.
+    charge_flush_scratch_.clear();
+    charge_flush_scratch_.swap(list.loggers);
+    std::sort(charge_flush_scratch_.begin(), charge_flush_scratch_.end(),
+              [](const QuantoLogger* a, const QuantoLogger* b) {
+                return a->node() < b->node();
+              });
+    for (QuantoLogger* logger : charge_flush_scratch_) {
+      ++charge_flush_visits_;
+      logger->FlushCpuCharge();
+    }
   }
 }
 

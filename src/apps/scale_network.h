@@ -31,6 +31,12 @@
 
 namespace quanto {
 
+// The widest buildable network: mote ids are 1..motes, and the broadcast
+// address 0xFFFFFFFF must never be a real node id (a mote numbered
+// kBroadcastAddr would alias every broadcast). Build() rejects larger
+// configurations outright instead of silently corrupting addressing.
+inline constexpr size_t kMaxNetworkMotes = 0xFFFFFFFE;
+
 // How the backbone relays and flood origins are laid out.
 enum class ScaleTopology {
   // The original single-sink chain: every 4th mote is a backbone relay,
@@ -60,6 +66,12 @@ struct ScaleNetworkConfig {
   // single-engine callers must call FlushAllCharges() manually if they
   // turn this on.
   bool batch_log_charging = false;
+  // Force the historical O(all motes) flush sweep instead of the
+  // per-shard dirty lists (see FlushAllCharges). The two produce
+  // identical simulations — the dirty-flush equality tests pin that by
+  // running both and comparing merged-trace hashes; this flag exists for
+  // exactly those tests and for A/B measurements.
+  bool legacy_full_charge_sweep = false;
   // Topology. kChain reproduces the original benchmark byte for byte;
   // kGrid adds the grid/multi-sink layout for wide networks.
   ScaleTopology topology = ScaleTopology::kChain;
@@ -144,9 +156,27 @@ class ScaleNetwork {
   // for a streamed run's merge to equal the batch merge.
   uint64_t entries_dropped() const;
 
-  // Flushes every mote's batched logger self-charge (no-op per mote when
-  // nothing is pending).
+  // Flushes every mote's batched logger self-charge. With dirty lists
+  // active (the default under batch_log_charging) this visits only the
+  // loggers that actually accumulated cycles since the last flush —
+  // marked through QuantoLogger's charge-dirty hook, so an idle mote
+  // costs the window flush exactly nothing — taking the flush off the
+  // O(all motes) barrier path. Each shard's dirty loggers flush in
+  // ascending node-id order, which restricted to one event queue is
+  // precisely the order the historical full sweep used; since a flush
+  // only ever touches its own mote's queue, the simulation is
+  // event-identical to the sweep (the equality tests pin the hashes).
   void FlushAllCharges();
+
+  // Loggers visited by FlushAllCharges / flush rounds, cumulatively. A
+  // healthy dirty-list run has visits ≪ windows × motes; the legacy
+  // sweep has visits == windows × motes exactly.
+  uint64_t charge_flush_visits() const { return charge_flush_visits_; }
+  uint64_t charge_flush_windows() const { return charge_flush_windows_; }
+
+  // Construction arena stats (bytes reserved/allocated, allocation and
+  // slab counts) — the bench records them next to construct_ms.
+  const Arena& construction_arena() const { return arena_; }
 
   // Seals every mote's pending entries to the configured trace sink, in
   // mote order (no-op without a sink). Returns entries sealed. The
@@ -198,16 +228,38 @@ class ScaleNetwork {
   size_t NextBackbone(size_t i) const;
   void StartFlood(size_t origin_index, Tick initial_delay);
 
+  // Per-shard charge-dirty list: the loggers that accumulated batched
+  // self-charge since the last window flush, in mark order. The shard's
+  // worker appends (through the logger hook) while it runs the window;
+  // the coordinator swaps the list out at the barrier — the same
+  // ownership hand-off the window barrier already orders for sealing.
+  struct ChargeDirtyList {
+    std::vector<QuantoLogger*> loggers;
+  };
+  static void MarkChargeDirtyHook(void* ctx, QuantoLogger* logger) {
+    static_cast<ChargeDirtyList*>(ctx)->loggers.push_back(logger);
+  }
+
   ScaleNetworkConfig config_;
+  // Construction arena backing every mote's component graph (and the app
+  // objects). Declared FIRST so it destructs LAST: the ArenaPtr members
+  // below no-op their deletes, then the arena runs the registered
+  // destructors in reverse allocation order.
+  Arena arena_;
   size_t backbone_stride_ = 4;
   size_t band_motes_ = 0;  // Motes per origin band (kGrid; 0 = one band).
   std::vector<size_t> origins_;
-  std::vector<std::unique_ptr<Mote>> motes_;
-  std::vector<std::unique_ptr<RelayApp>> relays_;
-  std::vector<std::unique_ptr<LplListenerApp>> listeners_;
+  std::vector<ArenaPtr<Mote>> motes_;
+  std::vector<ArenaPtr<RelayApp>> relays_;
+  std::vector<ArenaPtr<LplListenerApp>> listeners_;
   // Parallel barrier pipeline: one pre-merge builder per shard (empty on
   // the coordinator-sweep and single-engine paths).
   std::vector<std::unique_ptr<ShardRunBuilder>> builders_;
+  // One list per shard (batch_log_charging without the legacy sweep).
+  std::vector<ChargeDirtyList> charge_dirty_;
+  std::vector<QuantoLogger*> charge_flush_scratch_;
+  uint64_t charge_flush_visits_ = 0;
+  uint64_t charge_flush_windows_ = 0;
   std::vector<uint32_t> seal_us_samples_;
   std::vector<uint32_t> merge_us_samples_;
 };

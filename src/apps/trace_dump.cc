@@ -6,10 +6,12 @@ namespace {
 
 // Raw little-endian records in the payload (no container header; the AM
 // type identifies the format and the src field identifies the node).
-// Legacy records are 12 bytes with the 16-bit label encoding; wide records
-// are 14 bytes with the full 32-bit payload.
+// Legacy records are 12 bytes with the 16-bit label encoding; wide
+// records are 14 bytes with the 32-bit v2 label encoding; wide-node
+// records are 16 bytes with the full 48-bit payload.
 constexpr size_t kLegacyRecordBytes = 12;
 constexpr size_t kWideRecordBytes = 14;
+constexpr size_t kWideNodeRecordBytes = 16;
 
 void PutCommonFields(PayloadBytes& out, const LogEntry& e) {
   out.push_back(e.type);
@@ -31,7 +33,15 @@ void AppendLegacyEntry(PayloadBytes& out, const LogEntry& e) {
 
 void AppendWideEntry(PayloadBytes& out, const LogEntry& e) {
   PutCommonFields(out, e);
+  uint32_t payload = V2EntryPayload(e);
   for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((payload >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendWideNodeEntry(PayloadBytes& out, const LogEntry& e) {
+  PutCommonFields(out, e);
+  for (int i = 0; i < 6; ++i) {
     out.push_back(static_cast<uint8_t>((e.payload >> (8 * i)) & 0xFF));
   }
 }
@@ -68,9 +78,22 @@ bool ParseWideEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
     return false;
   }
   const uint8_t* p = in.data() + offset;
-  e->payload = 0;
+  uint32_t v2 = 0;
   for (int i = 0; i < 4; ++i) {
-    e->payload |= static_cast<uint32_t>(p[10 + i]) << (8 * i);
+    v2 |= static_cast<uint32_t>(p[10 + i]) << (8 * i);
+  }
+  e->payload = WideFromV2Payload(*e, v2);
+  return true;
+}
+
+bool ParseWideNodeEntry(const PayloadBytes& in, size_t offset, LogEntry* e) {
+  if (!ParseCommonFields(in, offset, kWideNodeRecordBytes, e)) {
+    return false;
+  }
+  const uint8_t* p = in.data() + offset;
+  e->payload = 0;
+  for (int i = 0; i < 6; ++i) {
+    e->payload |= static_cast<uint64_t>(p[10 + i]) << (8 * i);
   }
   return true;
 }
@@ -125,10 +148,13 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
     // buffer into a scratch chunk (they leave the node: the chunk models
     // "bits already on the air"; in bounded-archive mode the logger keeps
     // no second copy, so the dump path cannot regress to a full-trace
-    // archive). Frames prefer the legacy 12-byte records: a
+    // archive). Frames prefer the narrowest records that fit: a
     // legacy-encodable prefix ships as a (possibly short) legacy frame,
-    // so only frames that *start* with a wide label pay the wide format
-    // (legacy-encodable entries may ride along behind it).
+    // so only frames that *start* with a wide label pay the wide format;
+    // likewise a v2-encodable prefix ships as a (possibly short) v2 wide
+    // frame — exactly the pre-wide-node behaviour, since every entry was
+    // v2-encodable then — and only a frame that *starts* with a wide-node
+    // label pays the 16-byte records (any entries ride along behind it).
     size_t buffered = mote_->logger().buffered();
     if (buffered == 0) {
       mote_->logger().SetEnabled(true);
@@ -141,22 +167,39 @@ void TraceDumpService::ShipBatch(size_t max_entries) {
            IsLegacyEntry(mote_->logger().BufferedAt(first_wide))) {
       ++first_wide;
     }
-    bool legacy = first_wide > 0;
-    if (legacy) {
+    uint8_t am_type;
+    if (first_wide > 0) {
+      am_type = kAmType;
       batch = first_wide;  // == batch when every candidate fits.
-    } else if (batch > kEntriesPerPacketWide) {
-      batch = kEntriesPerPacketWide;
+    } else if (IsV2Entry(mote_->logger().BufferedAt(0))) {
+      am_type = kAmTypeWide;
+      if (batch > kEntriesPerPacketWide) {
+        batch = kEntriesPerPacketWide;
+      }
+      size_t first_wide_node = 1;
+      while (first_wide_node < batch &&
+             IsV2Entry(mote_->logger().BufferedAt(first_wide_node))) {
+        ++first_wide_node;
+      }
+      batch = first_wide_node;
+    } else {
+      am_type = kAmTypeWideNode;
+      if (batch > kEntriesPerPacketWideNode) {
+        batch = kEntriesPerPacketWideNode;
+      }
     }
     batch_.entries.clear();
     mote_->logger().DrainChunk(batch, &batch_);
     Packet packet;
     packet.dst = config_.collector;
-    packet.am_type = legacy ? kAmType : kAmTypeWide;
+    packet.am_type = am_type;
     for (const LogEntry& e : batch_.entries) {
-      if (legacy) {
+      if (am_type == kAmType) {
         AppendLegacyEntry(packet.payload, e);
-      } else {
+      } else if (am_type == kAmTypeWide) {
         AppendWideEntry(packet.payload, e);
+      } else {
+        AppendWideNodeEntry(packet.payload, e);
       }
     }
     mote_->cpu().ChargeCycles(config_.marshal_cost);
@@ -188,18 +231,28 @@ void TraceCollector::Start() {
   mote_->am().RegisterHandler(
       TraceDumpService::kAmTypeWide,
       [this](const Packet& packet) { OnPacket(packet); });
+  mote_->am().RegisterHandler(
+      TraceDumpService::kAmTypeWideNode,
+      [this](const Packet& packet) { OnPacket(packet); });
 }
 
 void TraceCollector::OnPacket(const Packet& packet) {
   ++packets_received_;
-  bool legacy = packet.am_type == TraceDumpService::kAmType;
-  size_t record = legacy ? kLegacyRecordBytes : kWideRecordBytes;
+  size_t record = packet.am_type == TraceDumpService::kAmType
+                      ? kLegacyRecordBytes
+                      : packet.am_type == TraceDumpService::kAmTypeWide
+                            ? kWideRecordBytes
+                            : kWideNodeRecordBytes;
   std::vector<LogEntry>& trace = traces_[packet.src];
   for (size_t offset = 0; offset + record <= packet.payload.size();
        offset += record) {
     LogEntry e;
-    if (legacy ? ParseLegacyEntry(packet.payload, offset, &e)
-               : ParseWideEntry(packet.payload, offset, &e)) {
+    bool ok = record == kLegacyRecordBytes
+                  ? ParseLegacyEntry(packet.payload, offset, &e)
+                  : record == kWideRecordBytes
+                        ? ParseWideEntry(packet.payload, offset, &e)
+                        : ParseWideNodeEntry(packet.payload, offset, &e);
+    if (ok) {
       trace.push_back(e);
     }
   }

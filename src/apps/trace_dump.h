@@ -20,18 +20,24 @@ namespace quanto {
 
 class TraceDumpService {
  public:
-  // Two wire formats, dispatched by AM type (the radio-side counterpart of
-  // the v1/v2 trace container, see docs/TRACE_FORMAT.md): the legacy type
-  // carries the paper's 12-byte records with 16-bit legacy labels and is
-  // used whenever a batch's entries all fit that encoding — so ≤256-node
-  // workloads put byte-identical dump traffic on the air — and the wide
-  // type carries 14-byte records with 32-bit labels.
-  static constexpr uint8_t kAmType = 0x7D;      // Legacy 12-byte records.
-  static constexpr uint8_t kAmTypeWide = 0x7E;  // Wide 14-byte records.
-  // 8 legacy entries (96 B) or 7 wide entries (98 B) per frame keep the
-  // payload within an 802.15.4 frame alongside the headers.
+  // Three wire formats, dispatched by AM type (the radio-side counterpart
+  // of the v1/v2/v3 trace container, see docs/TRACE_FORMAT.md): the
+  // legacy type carries the paper's 12-byte records with 16-bit legacy
+  // labels and is used whenever a batch's entries all fit that encoding —
+  // so ≤256-node workloads put byte-identical dump traffic on the air —
+  // the wide type carries 14-byte records with 32-bit v2 labels (all
+  // ≤65,534-mote workloads, byte-identical with the pre-wide-node
+  // toolchain), and the wide-node type carries 16-byte records with
+  // 48-bit payloads.
+  static constexpr uint8_t kAmType = 0x7D;          // Legacy 12 B records.
+  static constexpr uint8_t kAmTypeWide = 0x7E;      // Wide 14 B records.
+  static constexpr uint8_t kAmTypeWideNode = 0x7F;  // Wide-node 16 B.
+  // 8 legacy entries (96 B), 7 wide entries (98 B) or 6 wide-node entries
+  // (96 B) per frame keep the payload within an 802.15.4 frame alongside
+  // the headers.
   static constexpr size_t kEntriesPerPacket = 8;
   static constexpr size_t kEntriesPerPacketWide = 7;
+  static constexpr size_t kEntriesPerPacketWideNode = 6;
 
   struct Config {
     node_id_t collector = 0;

@@ -5,13 +5,17 @@
 // represents activities as labels of the form <origin node : id>. The paper's
 // prototype packs them into 16 bits — "sufficient for networks of up to 256
 // nodes with 256 distinct activity ids" (Section 3.3) — which caps the
-// reproduction at 256 motes. This port widens the label to 32 bits with a
-// 16-bit origin-node field and a 16-bit node-local id field, unlocking
-// 1000+ mote networks, while keeping the paper's 16-bit form as the *legacy
-// wire encoding*: any label whose origin and id both fit in 8 bits converts
-// losslessly to and from the original <8-bit node : 8-bit id> layout
-// (ToLegacyLabel / FromLegacyLabel), so v1 trace files and the hidden
-// 2-byte packet field stay byte-identical for every ≤256-node workload.
+// reproduction at 256 motes. This port widens the label in two steps:
+//  * the 1000+ mote refactor widened it to a 16-bit origin-node field plus a
+//    16-bit node-local id field (the "v2" shape);
+//  * the city-scale refactor widens the origin-node field to 32 bits,
+//    breaking the 65 534-mote ceiling. Labels are now 48 significant bits
+//    carried in a uint64_t.
+// Both earlier wire shapes survive as lossless encodings for the labels
+// that fit them: the paper's 16-bit form (ToLegacyLabel / FromLegacyLabel,
+// v1 trace files, the 2-byte hidden packet field) and the 32-bit v2 form
+// (ToV2Label / FromV2Label, v2 trace files, the 4-byte hidden field), so
+// every pre-widening trace file and packet stays byte-identical.
 #ifndef QUANTO_SRC_CORE_ACTIVITY_H_
 #define QUANTO_SRC_CORE_ACTIVITY_H_
 
@@ -21,19 +25,31 @@
 namespace quanto {
 
 // The in-memory representation of an activity label:
-//   bits 31..16  origin node id
+//   bits 63..48  always zero
+//   bits 47..16  origin node id
 //   bits 15..0   node-local activity id
-using act_t = uint32_t;
+// Keeping the origin at shift 16 means a label's low 32 bits equal its old
+// (v2) uint32_t value whenever the origin fits 16 bits — the invariant the
+// v2 byte-identity guarantees rest on.
+using act_t = uint64_t;
 
-// Node-local activity identifier (the low half of a label).
+// Node-local activity identifier (the low 16 bits of a label).
 using act_id_t = uint16_t;
 
-// Node identifier (the high half of a label).
-using node_id_t = uint16_t;
+// Node identifier (the origin field of a label).
+using node_id_t = uint32_t;
 
 // Field geometry shared by the encode/decode helpers and the wire formats.
 inline constexpr int kActivityOriginShift = 16;
 inline constexpr act_t kActivityLocalMask = 0xFFFF;
+
+// Broadcast node address (was the 802.15.4 short broadcast 0xFFFF; moved to
+// the top of the widened id space so 0xFFFF is an assignable node id).
+// On legacy 16-bit carriers (v2 labels, short wire addresses) broadcast
+// maps to 0xFFFF explicitly — see ToV2Label/FromV2Label — which is why
+// node id 0xFFFF itself is not v2-encodable: a network actually containing
+// node 65 535 must use the wide-node (v3) forms.
+inline constexpr node_id_t kBroadcastAddr = 0xFFFFFFFF;
 
 // --- Reserved node-local activity ids -------------------------------------
 //
@@ -91,7 +107,10 @@ constexpr act_id_t ActivityLocalId(act_t label) {
 //
 // The v1 trace format and the 2-byte hidden packet field carry labels in
 // the paper's <8-bit origin : 8-bit id> layout. A label is representable
-// there exactly when both halves fit a byte.
+// there exactly when both halves fit a byte. The broadcast origin is
+// deliberately NOT legacy-encodable: origin byte 0xFF means node 255 (a
+// real node in every ≤256-node workload), so mapping broadcast onto it
+// would alias node 255's labels and silently corrupt v1 files.
 
 constexpr bool IsLegacyEncodable(act_t label) {
   return ActivityOrigin(label) <= 0xFF && ActivityLocalId(label) <= 0xFF;
@@ -109,6 +128,41 @@ constexpr uint16_t ToLegacyLabel(act_t label) {
 constexpr act_t FromLegacyLabel(uint16_t legacy) {
   return MakeActivity(static_cast<node_id_t>(legacy >> 8),
                       static_cast<act_id_t>(legacy & 0xFF));
+}
+
+// --- v2 (16-bit node) 32-bit encoding --------------------------------------
+//
+// The v2 trace format and the 4-byte hidden packet field carry labels in
+// the pre-widening <16-bit origin : 16-bit id> layout. A label fits when
+// its origin fits 16 bits — with two deliberate edge rules:
+//  * the broadcast origin maps to the old 16-bit broadcast 0xFFFF (the
+//    explicit legacy mapping of the widened kBroadcastAddr);
+//  * origin 0xFFFF itself (node 65 535, assignable only in wide-node
+//    networks) is NOT v2-encodable, because its encoding would collide
+//    with broadcast's. Such labels force the v3 wide-node forms.
+// Decoding origin 0xFFFF back to kBroadcastAddr is lossless for every
+// pre-widening trace: the old toolchain capped networks at 65 534 motes,
+// so node 65 535 never appeared in a v2 file.
+
+constexpr bool IsV2Encodable(act_t label) {
+  return (ActivityOrigin(label) <= 0xFFFE ||
+          ActivityOrigin(label) == kBroadcastAddr) &&
+         label <= MakeActivity(kBroadcastAddr, 0xFFFF);
+}
+
+// Narrows a v2-encodable label to the pre-widening 32-bit layout.
+// Callers must check IsV2Encodable first.
+constexpr uint32_t ToV2Label(act_t label) {
+  return (static_cast<uint32_t>(ActivityOrigin(label) & 0xFFFF) << 16) |
+         ActivityLocalId(label);
+}
+
+// Widens a 32-bit v2 label to the in-memory form.
+constexpr act_t FromV2Label(uint32_t v2) {
+  return MakeActivity(
+      (v2 >> 16) == 0xFFFF ? kBroadcastAddr
+                           : static_cast<node_id_t>(v2 >> 16),
+      static_cast<act_id_t>(v2 & 0xFFFF));
 }
 
 constexpr bool IsIdleActivity(act_t label) {

@@ -5,12 +5,14 @@
 // iCount energy reading, and a payload that is either an activity label or
 // a power state, depending on the type. The paper's prototype packs this
 // into 12 bytes with a 16-bit payload; widening the activity label to
-// 32 bits (16-bit node field — see src/core/activity.h) grows the
-// in-memory record to 14 bytes. The serialized formats keep both shapes:
-// v1 trace files still write the paper's 12-byte records whenever every
-// label fits the legacy encoding (src/analysis/trace_io.h). Both the time
-// and the energy counter are free-running 32-bit values that wrap; the
-// analysis layer unwraps them.
+// 32 bits (16-bit node field) grew the in-memory record to 14 bytes, and
+// the wide-node refactor (32-bit node field — see src/core/activity.h)
+// grows it to 18 bytes. The serialized formats keep every shape: v1 trace
+// files still write the paper's 12-byte records whenever every label fits
+// the legacy encoding, v2 files the 14-byte records whenever every label
+// fits 16-bit origins (src/analysis/trace_io.h). Both the time and the
+// energy counter are free-running 32-bit values that wrap; the analysis
+// layer unwraps them.
 #ifndef QUANTO_SRC_CORE_LOG_ENTRY_H_
 #define QUANTO_SRC_CORE_LOG_ENTRY_H_
 
@@ -32,19 +34,20 @@ enum class LogEntryType : uint8_t {
   kActivityRemove = 4, // payload = activity removed from a multi device.
 };
 
-// Packed to exactly 14 bytes: the paper's 12-byte layout ("each sample
-// takes ... 12 bytes of RAM") plus 2 bytes for the widened activity label.
+// Packed to exactly 18 bytes: the paper's 12-byte layout ("each sample
+// takes ... 12 bytes of RAM") plus 6 bytes for the widened activity label
+// (48 significant bits; see act_t).
 #pragma pack(push, 1)
 struct LogEntry {
   uint8_t type;        // LogEntryType.
   res_id_t res_id;     // Hardware resource the entry refers to.
   uint32_t time;       // Local node time, wraps (ticks truncated to 32 bit).
   uint32_t icount;     // Cumulative iCount pulse counter, wraps.
-  uint32_t payload;    // act_t or powerstate_t, by type.
+  uint64_t payload;    // act_t or powerstate_t, by type.
 };
 #pragma pack(pop)
 
-static_assert(sizeof(LogEntry) == 14, "LogEntry must pack to 14 bytes");
+static_assert(sizeof(LogEntry) == 18, "LogEntry must pack to 18 bytes");
 
 inline constexpr LogEntryType EntryType(const LogEntry& e) {
   return static_cast<LogEntryType>(e.type);
@@ -64,6 +67,15 @@ inline constexpr bool IsLegacyEntry(const LogEntry& e) {
              : IsLegacyEncodable(e.payload);
 }
 
+// True when the entry's payload fits the 14-byte v2 record: activity
+// labels must fit the 32-bit v2 encoding (16-bit origin, with the
+// broadcast mapping), power states must fit 32 bits.
+inline constexpr bool IsV2Entry(const LogEntry& e) {
+  return static_cast<LogEntryType>(e.type) == LogEntryType::kPowerState
+             ? e.payload <= 0xFFFFFFFF
+             : IsV2Encodable(e.payload);
+}
+
 // Payload conversion shared by every legacy (12-byte) record writer and
 // reader — the v1 file container and the legacy radio dump format.
 // Activity labels translate between the wide in-memory layout and the
@@ -73,10 +85,23 @@ inline constexpr uint16_t LegacyEntryPayload(const LogEntry& e) {
                             : static_cast<uint16_t>(e.payload);
 }
 
-inline constexpr uint32_t WideEntryPayload(const LogEntry& e,
+inline constexpr uint64_t WideEntryPayload(const LogEntry& e,
                                            uint16_t legacy) {
   return IsActivityEntry(e) ? FromLegacyLabel(legacy)
-                            : static_cast<uint32_t>(legacy);
+                            : static_cast<uint64_t>(legacy);
+}
+
+// Same pair for the v2 (14-byte) writers and readers — the v2 file
+// container and the wide radio dump format. Activity labels translate
+// through the 32-bit v2 encoding (origin 0xFFFF <-> kBroadcastAddr);
+// power states pass through.
+inline constexpr uint32_t V2EntryPayload(const LogEntry& e) {
+  return IsActivityEntry(e) ? ToV2Label(e.payload)
+                            : static_cast<uint32_t>(e.payload);
+}
+
+inline constexpr uint64_t WideFromV2Payload(const LogEntry& e, uint32_t v2) {
+  return IsActivityEntry(e) ? FromV2Label(v2) : static_cast<uint64_t>(v2);
 }
 
 }  // namespace quanto

@@ -3,12 +3,13 @@
 namespace quanto {
 
 QuantoLogger::QuantoLogger(Clock* clock, EnergyCounter* meter, size_t capacity,
-                           Mode mode)
+                           Mode mode, Arena* arena)
     : clock_(clock),
       now_source_(clock->NowSource()),
       meter_(meter),
       mode_(mode),
-      buffer_(capacity, RingBuffer<LogEntry>::OverflowPolicy::kDropNewest) {}
+      buffer_(capacity, RingBuffer<LogEntry>::OverflowPolicy::kDropNewest,
+              arena) {}
 
 size_t QuantoLogger::Drain(size_t max_entries) {
   // Bulk two-span move out of the ring; the drain task charges per-entry

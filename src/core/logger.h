@@ -69,9 +69,12 @@ class QuantoLogger {
     kContinuous,
   };
 
+  // `arena`, when given, backs the ring-buffer storage (uninitialized
+  // bump allocation — see Arena::NewArray); the logger itself may then
+  // also live in the same arena, but nothing requires it to.
   QuantoLogger(Clock* clock, EnergyCounter* meter,
                size_t capacity = kDefaultLogBufferEntries,
-               Mode mode = Mode::kRamBuffer);
+               Mode mode = Mode::kRamBuffer, Arena* arena = nullptr);
 
   // Optional: charge the synchronous logging cost to the CPU.
   void SetCpuChargeHook(CpuChargeHook* hook) { charge_hook_ = hook; }
@@ -95,10 +98,27 @@ class QuantoLogger {
   void SetChargeBatching(bool on) { batch_charging_ = on; }
   bool charge_batching() const { return batch_charging_; }
   Cycles pending_charge() const { return pending_charge_; }
+
+  // Charge-dirty hook — the dirty-list primitive of the batched flush.
+  // Fires at most once per flush interval: when pending_charge_ goes from
+  // zero to nonzero. The collector (ScaleNetwork) uses it to maintain
+  // per-shard lists of loggers that actually owe a charge, so the window
+  // flush visits those instead of sweeping every mote. Same plain
+  // fn-ptr + ctx shape as SetDirtyHook, for the same hot-path reason.
+  using ChargeDirtyHook = void (*)(void* ctx, QuantoLogger* logger);
+  void SetChargeDirtyHook(ChargeDirtyHook hook, void* ctx) {
+    charge_dirty_hook_ = hook;
+    charge_dirty_ctx_ = ctx;
+  }
+
   void FlushCpuCharge() {
     if (pending_charge_ == 0) {
       return;
     }
+    // Clear before charging: ChargeCycles can re-enter Append (the charge
+    // closes a CPU frame, which logs), and those samples belong to the
+    // NEXT flush interval — exactly the old full-sweep semantics, where a
+    // mote flushed once per window regardless of what the flush logged.
     Cycles cycles = pending_charge_;
     pending_charge_ = 0;
     if (charge_hook_ != nullptr) {
@@ -121,7 +141,7 @@ class QuantoLogger {
   // so microbenchmarks can measure the synchronous cost directly). Inline:
   // this runs for every tracked event in the system, so the time read goes
   // through the clock's NowSource fast path when it has one.
-  void Append(LogEntryType type, res_id_t resource, uint32_t payload) {
+  void Append(LogEntryType type, res_id_t resource, uint64_t payload) {
     if (!enabled_) {
       return;
     }
@@ -153,6 +173,11 @@ class QuantoLogger {
 
     sync_cycles_spent_ += cost_per_sample_;
     if (batch_charging_) {
+      if (pending_charge_ == 0 && charge_dirty_hook_ != nullptr) {
+        // First charge of this flush interval: tell the collector this
+        // logger owes cycles at the next window flush.
+        charge_dirty_hook_(charge_dirty_ctx_, this);
+      }
       pending_charge_ += cost_per_sample_;
     } else if (charge_hook_ != nullptr) {
       charge_hook_->ChargeCycles(cost_per_sample_);
@@ -182,6 +207,10 @@ class QuantoLogger {
     node_ = node;
   }
   bool bounded_archive() const { return sink_ != nullptr; }
+  // Stamps the owning node without attaching a sink — the dirty-charge
+  // flush sorts loggers by node id, so every mote sets this even in batch
+  // (no-sink) collection mode.
+  void SetNodeId(node_id_t node) { node_ = node; }
   node_id_t node() const { return node_; }
 
   // Entry-buffer freelist: sealed chunks acquire their entries vector from
@@ -285,6 +314,8 @@ class QuantoLogger {
   CpuChargeHook* charge_hook_ = nullptr;
   bool batch_charging_ = false;
   Cycles pending_charge_ = 0;
+  ChargeDirtyHook charge_dirty_hook_ = nullptr;
+  void* charge_dirty_ctx_ = nullptr;
   LoggingCosts costs_;
   Cycles cost_per_sample_ = LoggingCosts().total();  // costs_.total() cached.
   Mode mode_;

@@ -9,11 +9,15 @@
 // activity ids."
 //
 // Node addressing uses 802.15.4 short addresses, which are 16 bits on the
-// wire — so widening node_id_t to uint16_t costs no header bytes. The
-// hidden activity field stays the paper's 2 bytes whenever the label fits
-// the legacy <8-bit node : 8-bit id> encoding (every ≤256-node workload,
-// keeping their airtimes byte-identical) and grows to 4 bytes only for
-// wide labels.
+// wire — addresses up to 0xFFFE (and broadcast, which maps to the short
+// broadcast 0xFFFF) ride in them for free; wider node ids switch that
+// address to the extended 48-bit form, costing 4 extra header bytes per
+// wide address. The hidden activity field likewise stays the paper's
+// 2 bytes whenever the label fits the legacy <8-bit node : 8-bit id>
+// encoding (every ≤256-node workload, keeping their airtimes
+// byte-identical), grows to 4 bytes for 16-bit-origin labels, and to
+// 6 bytes only for wide-node labels. Pre-widening workloads are therefore
+// byte-identical on the air.
 #ifndef QUANTO_SRC_NET_PACKET_H_
 #define QUANTO_SRC_NET_PACKET_H_
 
@@ -27,8 +31,8 @@
 
 namespace quanto {
 
-// Broadcast destination (the 802.15.4 short broadcast address).
-inline constexpr node_id_t kBroadcastAddr = 0xFFFF;
+// kBroadcastAddr lives in src/core/activity.h (the widened id space and
+// its legacy 0xFFFF mapping are defined next to the label encodings).
 
 // Payload byte buffer with inline storage for typical sensor payloads.
 //
@@ -179,26 +183,41 @@ struct Packet {
   node_id_t src = 0;
   node_id_t dst = 0;
   uint8_t am_type = 0;      // Active Message dispatch id.
-  act_t activity = 0;       // Hidden Quanto label (2 or 4 bytes on the wire).
+  act_t activity = 0;       // Hidden Quanto label (2/4/6 bytes on the wire).
   PayloadBytes payload;
 
   // On-air size of the hidden activity field: the paper's 2 bytes for
-  // legacy-encodable labels, 4 for wide ones.
+  // legacy-encodable labels, 4 for v2-encodable ones, 6 for wide-node
+  // labels.
   size_t ActivityWireBytes() const {
-    return IsLegacyEncodable(activity) ? 2 : 4;
+    return IsLegacyEncodable(activity) ? 2 : IsV2Encodable(activity) ? 4 : 6;
+  }
+
+  // Extra MAC-header bytes beyond the two 16-bit short addresses: each
+  // address that does not fit a short address (node id > 0xFFFE; broadcast
+  // maps to the short broadcast 0xFFFF for free) is carried in the
+  // extended form instead, +4 bytes over its short slot.
+  size_t WideAddressBytes() const {
+    auto wide = [](node_id_t a) {
+      return a > 0xFFFE && a != kBroadcastAddr;
+    };
+    return (wide(src) ? 4u : 0u) + (wide(dst) ? 4u : 0u);
   }
 
   // Bytes occupied on the air: 802.15.4 synchronisation header + PHY
-  // header (6), MAC header + FCS (11, 16-bit short addresses), the AM type
-  // byte, the hidden activity field, and the payload.
+  // header (6), MAC header + FCS (11 with 16-bit short addresses, plus
+  // any extended-address bytes), the AM type byte, the hidden activity
+  // field, and the payload.
   size_t WireBytes() const {
-    return 6 + 11 + 1 + ActivityWireBytes() + payload.size();
+    return 6 + 11 + WideAddressBytes() + 1 + ActivityWireBytes() +
+           payload.size();
   }
 
   // Bytes transferred over the SPI bus between MCU and radio FIFO (no
   // preamble; length byte + MAC header/FCS + AM type + label + payload).
   size_t FifoBytes() const {
-    return 1 + 11 + 1 + ActivityWireBytes() + payload.size();
+    return 1 + 11 + WideAddressBytes() + 1 + ActivityWireBytes() +
+           payload.size();
   }
 };
 

@@ -7,8 +7,9 @@ Node::Node(EventQueue* queue, const Config& config)
   Config fixed = config_;
   fixed.cpu.node_id = fixed.id;
   config_ = fixed;
-  cpu_ = std::make_unique<CpuScheduler>(queue_, config_.cpu);
-  timers_ = std::make_unique<VirtualTimers>(queue_, cpu_.get(), config_.timers);
+  cpu_ = MakeArenaPtr<CpuScheduler>(config_.arena, queue_, config_.cpu);
+  timers_ = MakeArenaPtr<VirtualTimers>(config_.arena, queue_, cpu_.get(),
+                                        config_.timers);
 }
 
 }  // namespace quanto

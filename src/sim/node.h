@@ -16,6 +16,7 @@
 #include "src/sim/cpu.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/virtual_timers.h"
+#include "src/util/arena.h"
 
 namespace quanto {
 
@@ -36,6 +37,9 @@ class Node {
     node_id_t id = 1;
     CpuScheduler::Config cpu;
     VirtualTimers::Config timers;
+    // Construction arena for the kernel components (see src/util/arena.h);
+    // null keeps the historical per-component heap allocations.
+    Arena* arena = nullptr;
   };
 
   Node(EventQueue* queue, const Config& config);
@@ -53,8 +57,8 @@ class Node {
   EventQueue* queue_;
   Config config_;
   SimClock clock_;
-  std::unique_ptr<CpuScheduler> cpu_;
-  std::unique_ptr<VirtualTimers> timers_;
+  ArenaPtr<CpuScheduler> cpu_;
+  ArenaPtr<VirtualTimers> timers_;
 };
 
 }  // namespace quanto

@@ -1,0 +1,203 @@
+// Construction arena: slab-chained bump allocation for the mote
+// component graph.
+//
+// Building one simulated mote used to cost ~15 separate heap allocations
+// (the Mote, each driver, the logger's ring storage, the medium's client
+// list slots, ...). At 256 motes that is noise; at 262,144 motes it is
+// millions of allocator round-trips plus pathological locality — the
+// construct phase scaled superlinearly and dominated short runs. The
+// arena replaces all of it with pointer bumps into large slabs:
+//
+//  * Allocate(size, align)    raw bytes, never individually freed;
+//  * New<T>(args...)          placement-constructs T and, when T has a
+//                             non-trivial destructor, registers it to run
+//                             at arena destruction (in reverse allocation
+//                             order, like stack unwinding);
+//  * NewArray<T>(n)           trivially-destructible arrays, deliberately
+//                             UNINITIALIZED — ring buffers pre-size
+//                             megabytes of LogEntry storage they will
+//                             overwrite anyway, and skipping the zeroing
+//                             (and the page-faulting it forces upfront) is
+//                             a large fraction of the construct win.
+//
+// Ownership pattern: components that historically lived in unique_ptrs
+// keep that shape through ArenaPtr<T> — a unique_ptr whose deleter knows
+// whether the object is heap-owned (delete) or arena-backed (no-op; the
+// arena's destructor list runs it later). MakeArenaPtr<T>(arena, ...)
+// picks the backing, so call sites build components identically with or
+// without an arena, and tests can construct single motes on the heap
+// unchanged.
+//
+// Thread discipline: none. An arena is owned by whoever builds into it
+// (construction is single-threaded); destruction must happen after every
+// pointer into it is dead. Holders declare the Arena member FIRST so it
+// destructs LAST.
+#ifndef QUANTO_SRC_UTIL_ARENA_H_
+#define QUANTO_SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace quanto {
+
+class Arena {
+ public:
+  // First slab size; slabs double up to kMaxSlabBytes as the arena grows,
+  // so small arenas stay small and huge ones amortize to few mmaps.
+  static constexpr size_t kMinSlabBytes = 1 << 16;   // 64 KiB.
+  static constexpr size_t kMaxSlabBytes = 1 << 24;   // 16 MiB.
+
+  Arena() = default;
+  ~Arena() { Reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw bump allocation. Alignment must be a power of two.
+  void* Allocate(size_t size, size_t align) {
+    uintptr_t at = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (at + size > limit_) {
+      return AllocateSlow(size, align);
+    }
+    cursor_ = at + size;
+    ++allocations_;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(at);
+  }
+
+  // Placement-constructs a T in the arena. Non-trivially-destructible
+  // types get their destructor registered; it runs at arena destruction
+  // in reverse allocation order (components destruct before what they
+  // were built on, exactly as member/stack order would).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    T* obj = static_cast<T*>(Allocate(sizeof(T), alignof(T)));
+    new (obj) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      auto* node = static_cast<DtorNode*>(
+          Allocate(sizeof(DtorNode), alignof(DtorNode)));
+      node->object = obj;
+      node->destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+      node->next = dtors_;
+      dtors_ = node;
+    }
+    return obj;
+  }
+
+  // Uninitialized array of a trivially-destructible (and trivially-
+  // constructible) T — bulk storage, not objects. The caller writes every
+  // element it reads; the arena neither constructs nor zeroes them.
+  template <typename T>
+  T* NewArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "NewArray is raw storage; use New per element otherwise");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Runs registered destructors (reverse order) and releases every slab.
+  void Reset() {
+    for (DtorNode* d = dtors_; d != nullptr; d = d->next) {
+      d->destroy(d->object);
+    }
+    dtors_ = nullptr;
+    Slab* s = slabs_;
+    while (s != nullptr) {
+      Slab* next = s->next;
+      ::operator delete(s);
+      s = next;
+    }
+    slabs_ = nullptr;
+    cursor_ = 0;
+    limit_ = 0;
+    // bytes_allocated_/allocations_ deliberately survive Reset: they are
+    // lifetime statistics, and Reset is normally only the destructor.
+  }
+
+  // Lifetime statistics (bench reporting).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  uint64_t allocations() const { return allocations_; }
+  size_t slab_count() const { return slab_count_; }
+
+ private:
+  struct Slab {
+    Slab* next;
+    // Payload follows the header in the same allocation.
+  };
+  struct DtorNode {
+    void* object;
+    void (*destroy)(void*);
+    DtorNode* next;
+  };
+
+  void* AllocateSlow(size_t size, size_t align) {
+    // Next slab: doubled, but always big enough for this request (+ worst
+    // case alignment) so oversized one-off allocations just work.
+    size_t payload = next_slab_bytes_;
+    while (payload < size + align) {
+      payload *= 2;
+    }
+    if (next_slab_bytes_ < kMaxSlabBytes) {
+      next_slab_bytes_ *= 2;
+    }
+    auto* slab = static_cast<Slab*>(::operator new(sizeof(Slab) + payload));
+    slab->next = slabs_;
+    slabs_ = slab;
+    ++slab_count_;
+    bytes_reserved_ += payload;
+    cursor_ = reinterpret_cast<uintptr_t>(slab) + sizeof(Slab);
+    limit_ = cursor_ + payload;
+    uintptr_t at = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    cursor_ = at + size;
+    ++allocations_;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(at);
+  }
+
+  Slab* slabs_ = nullptr;
+  DtorNode* dtors_ = nullptr;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_slab_bytes_ = kMinSlabBytes;
+  size_t slab_count_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_allocated_ = 0;  // Requested bytes, padding excluded.
+  uint64_t allocations_ = 0;
+};
+
+// unique_ptr-compatible ownership over either backing. Arena-backed
+// objects are not deleted here (their registered destructor runs when the
+// arena dies); heap-backed ones are. This keeps every component member
+// declared the way it always was, with the arena a pure construction-time
+// choice.
+struct MaybeOwnedDeleter {
+  bool owned = true;
+  template <typename T>
+  void operator()(T* p) const {
+    if (owned) {
+      delete p;
+    }
+  }
+};
+
+template <typename T>
+using ArenaPtr = std::unique_ptr<T, MaybeOwnedDeleter>;
+
+// Builds a T in `arena` when one is given, on the heap otherwise.
+template <typename T, typename... Args>
+ArenaPtr<T> MakeArenaPtr(Arena* arena, Args&&... args) {
+  if (arena != nullptr) {
+    return ArenaPtr<T>(arena->New<T>(std::forward<Args>(args)...),
+                       MaybeOwnedDeleter{false});
+  }
+  return ArenaPtr<T>(new T(std::forward<Args>(args)...),
+                     MaybeOwnedDeleter{true});
+}
+
+}  // namespace quanto
+
+#endif  // QUANTO_SRC_UTIL_ARENA_H_

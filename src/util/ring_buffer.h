@@ -13,11 +13,21 @@
 // capacity is still exactly what the caller asked for), and bulk
 // Drain/Snapshot copy the retained range as at most two contiguous spans
 // instead of element-by-element.
+//
+// Storage backing: by default the buffer owns a heap block
+// (value-initialized, as the old std::vector backing was). For
+// trivially-copyable T a construction Arena can back the storage instead
+// — uninitialized and arena-lifetime — which is what lets a 262,144-mote
+// network pre-size gigabytes of log rings without zeroing (and
+// page-faulting) them upfront; see src/util/arena.h.
 #ifndef QUANTO_SRC_UTIL_RING_BUFFER_H_
 #define QUANTO_SRC_UTIL_RING_BUFFER_H_
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
+
+#include "src/util/arena.h"
 
 namespace quanto {
 
@@ -30,11 +40,24 @@ class RingBuffer {
   };
 
   explicit RingBuffer(size_t capacity,
-                      OverflowPolicy policy = OverflowPolicy::kDropNewest)
-      : storage_(RoundUpPow2(capacity)),
-        mask_(storage_.size() - 1),
+                      OverflowPolicy policy = OverflowPolicy::kDropNewest,
+                      Arena* arena = nullptr)
+      : slots_(RoundUpPow2(capacity)),
+        mask_(slots_ - 1),
         capacity_(capacity),
-        policy_(policy) {}
+        policy_(policy) {
+    if (arena != nullptr) {
+      static_assert(std::is_trivially_copyable_v<T>,
+                    "arena backing skips element construction");
+      data_ = arena->NewArray<T>(slots_);
+    } else {
+      owned_.resize(slots_);
+      data_ = owned_.data();
+    }
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return size_; }
@@ -57,12 +80,12 @@ class RingBuffer {
       // ends. (The write must go to tail_, not head_ — with storage
       // rounded up to a power of two they no longer coincide when the
       // logical capacity is full.)
-      storage_[tail_] = item;
+      data_[tail_] = item;
       tail_ = Advance(tail_);
       head_ = Advance(head_);
       return true;
     }
-    storage_[tail_] = item;
+    data_[tail_] = item;
     tail_ = Advance(tail_);
     ++size_;
     return true;
@@ -71,16 +94,16 @@ class RingBuffer {
   // Removes and returns the oldest item. Behaviour is undefined when empty;
   // callers must check empty() first.
   T Pop() {
-    T item = storage_[head_];
+    T item = data_[head_];
     head_ = Advance(head_);
     --size_;
     return item;
   }
 
-  const T& Front() const { return storage_[head_]; }
+  const T& Front() const { return data_[head_]; }
 
   // Random access by age: index 0 is the oldest retained element.
-  const T& At(size_t index) const { return storage_[(head_ + index) & mask_]; }
+  const T& At(size_t index) const { return data_[(head_ + index) & mask_]; }
 
   void Clear() {
     head_ = 0;
@@ -132,22 +155,22 @@ class RingBuffer {
   // Appends the oldest `n` retained elements (n <= size_) to `out` as one
   // or two contiguous spans.
   void AppendTo(std::vector<T>* out, size_t n) const {
-    size_t first = storage_.size() - head_;
+    size_t first = slots_ - head_;
     if (first > n) {
       first = n;
     }
-    out->insert(out->end(), storage_.begin() + head_,
-                storage_.begin() + head_ + first);
+    out->insert(out->end(), data_ + head_, data_ + head_ + first);
     if (n > first) {
-      out->insert(out->end(), storage_.begin(),
-                  storage_.begin() + (n - first));
+      out->insert(out->end(), data_, data_ + (n - first));
     }
   }
 
-  std::vector<T> storage_;
+  size_t slots_;              // Power-of-two physical storage size.
   size_t mask_;
   size_t capacity_;
   OverflowPolicy policy_;
+  std::vector<T> owned_;      // Heap backing (empty when arena-backed).
+  T* data_ = nullptr;         // Points at owned_ or arena storage.
   size_t head_ = 0;
   size_t tail_ = 0;
   size_t size_ = 0;

@@ -14,16 +14,24 @@ TEST(ActivityLabelTest, EncodeDecodeRoundTrip) {
 }
 
 TEST(ActivityLabelTest, WideLabelLayout) {
-  // 32-bit labels, 16-bit fields; the extremes of both the legacy byte
-  // range and the wide range must round-trip.
+  // 64-bit labels, 32-bit origin + 16-bit id fields; the extremes of the
+  // legacy byte range, the v2 16-bit range and the wide-node range must
+  // all round-trip.
   act_t legacy_max = MakeActivity(255, 255);
-  EXPECT_EQ(ActivityOrigin(legacy_max), 255);
-  EXPECT_EQ(ActivityLocalId(legacy_max), 255);
-  act_t wide_max = MakeActivity(65534, 65535);
-  EXPECT_EQ(ActivityOrigin(wide_max), 65534);
-  EXPECT_EQ(ActivityLocalId(wide_max), 65535);
-  static_assert(sizeof(act_t) == 4);
-  static_assert(sizeof(node_id_t) == 2);
+  EXPECT_EQ(ActivityOrigin(legacy_max), 255u);
+  EXPECT_EQ(ActivityLocalId(legacy_max), 255u);
+  act_t v2_max = MakeActivity(65534, 65535);
+  EXPECT_EQ(ActivityOrigin(v2_max), 65534u);
+  EXPECT_EQ(ActivityLocalId(v2_max), 65535u);
+  act_t wide_max = MakeActivity(0xFFFFFFFE, 65535);
+  EXPECT_EQ(ActivityOrigin(wide_max), 0xFFFFFFFEu);
+  EXPECT_EQ(ActivityLocalId(wide_max), 65535u);
+  static_assert(sizeof(act_t) == 8);
+  static_assert(sizeof(node_id_t) == 4);
+  // A 16-bit-origin label's low 32 bits equal its old v2 value — the
+  // invariant the v2 byte-identity guarantees rest on.
+  static_assert(static_cast<uint32_t>(MakeActivity(65534, 65535)) ==
+                ((65534u << 16) | 65535u));
 }
 
 TEST(ActivityLabelTest, LegacyEncodingRoundTrip) {

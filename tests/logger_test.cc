@@ -27,12 +27,12 @@ class FakeChargeHook : public CpuChargeHook {
   Cycles charged = 0;
 };
 
-TEST(LogEntryTest, PacksToFourteenBytes) {
+TEST(LogEntryTest, PacksToEighteenBytes) {
   // The paper's 12-byte record ("each sample takes ... 12 bytes of RAM",
-  // Figure 17 / abstract) plus 2 bytes for the widened activity label.
-  // The serialized v1 format still writes 12-byte records for traces
-  // whose labels fit the legacy encoding.
-  EXPECT_EQ(sizeof(LogEntry), 14u);
+  // Figure 17 / abstract) plus 6 bytes for the wide-node activity label
+  // (32-bit origin + 16-bit id). The serialized v1/v2 formats still write
+  // 12-/14-byte records for traces whose labels fit those encodings.
+  EXPECT_EQ(sizeof(LogEntry), 18u);
 }
 
 TEST(LogEntryTest, TypePredicates) {
