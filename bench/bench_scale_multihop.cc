@@ -32,6 +32,7 @@
 //                             [--coordinator-seal] [--big-motes N]
 //                             [--sync-emission] [--emission-depth D]
 //                             [--huge-motes N] [--legacy-charge-sweep]
+//                             [--serial-drain]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -95,6 +96,12 @@
 //                  of the per-shard dirty lists; merge hashes are
 //                  identical either way (the flush only reorders visits
 //                  across event queues, never within one)
+//   --serial-drain sharded runs use the pre-PR 8 single-threaded fabric
+//                  drain (coordinator gather + global stable_sort) instead
+//                  of the parallel per-destination lane merge on the
+//                  inter-window phase; merge hashes and wakeup counters
+//                  are identical either way — this is the A/B baseline
+//                  run_benchmarks.sh uses for the fabric_summary block
 //   --stream-log-capacity  per-mote RAM ring in streaming mode (default
 //                  1024 entries; batch mode keeps the usual 8192). The
 //                  ring only needs to cover one lockstep window.
@@ -188,6 +195,13 @@ struct RunResult {
   uint64_t entries_dropped = 0;
   uint64_t windows = 0;
   uint64_t cross_posts = 0;
+  // Fabric drain path and its counters (sharded runs). scheduled/skipped
+  // wakeup totals are path-invariant; lanes_skipped counts whole source
+  // lanes the parallel drain dismissed with one channel-mask compare.
+  bool serial_drain = false;
+  uint64_t scheduled_wakeups = 0;
+  uint64_t skipped_wakeups = 0;
+  uint64_t lanes_skipped = 0;
   uint64_t merge_hash = 0;
   // Entries resident in the streaming merger at its high-water mark (the
   // streamed stand-in for "how big the batch merge vector would be").
@@ -208,6 +222,13 @@ struct RunResult {
   PctSummary merge_us;
   PctSummary barrier_us;
   PctSummary window_us;
+  // Fabric drain timing (profiled sharded runs): drain_us is the fabric's
+  // per-window cost — on the parallel path the slowest destination's lane
+  // merge, on the serial path the whole coordinator drain; drain_phase_us
+  // is the simulator-side wall time of the inter-window parallel phase
+  // (zero on the serial path, where the drain runs inside barrier_us).
+  PctSummary drain_us;
+  PctSummary drain_phase_us;
   // Off-barrier emission counters: total coordinator time blocked on a
   // full hand-off queue, and the queued-run high-water mark.
   uint64_t consumer_stall_us = 0;
@@ -249,6 +270,9 @@ struct RunOptions {
   // Per-window full charge sweep instead of the dirty lists
   // (--legacy-charge-sweep); kept for A/B runs and the equality tests.
   bool legacy_charge_sweep = false;
+  // Coordinator gather+sort fabric drain instead of the parallel lane
+  // merge (--serial-drain); kept for the fabric A/B baseline.
+  bool serial_drain = false;
   std::string trace_path;  // Empty: no trace dump.
 };
 
@@ -331,7 +355,9 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     sim_cfg.threads = opts.threads;
     sim_cfg.lookahead = opts.lookahead;
     ShardedSimulator sim(sim_cfg);
-    MediumFabric fabric(&sim);
+    MediumFabric::Config fab_cfg;
+    fab_cfg.serial_drain = opts.serial_drain;
+    MediumFabric fabric(&sim, fab_cfg);
     // Window-batched logger self-charging: the sharded core's native mode.
     cfg.batch_log_charging = true;
     cfg.legacy_full_charge_sweep = opts.legacy_charge_sweep;
@@ -371,6 +397,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         }
         cfg.profile_barrier = true;
         sim.EnableBarrierProfiling(true);
+        fabric.EnableDrainProfiling(true);
         result.premerge = true;
       } else {
         cfg.trace_sink = &merger;
@@ -408,6 +435,10 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     result.packets_delivered = fabric.packets_delivered();
     result.windows = sim.windows_run();
     result.cross_posts = fabric.cross_posts();
+    result.serial_drain = opts.serial_drain;
+    result.scheduled_wakeups = fabric.scheduled_wakeups();
+    result.skipped_wakeups = fabric.skipped_wakeups();
+    result.lanes_skipped = fabric.lanes_skipped();
     result.charge_flush_visits = net.charge_flush_visits();
     result.charge_flush_windows = net.charge_flush_windows();
     if (opts.stream) {
@@ -429,6 +460,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         result.merge_us = Summarize(net.merge_us_samples());
         result.barrier_us = Summarize(sim.barrier_us_samples());
         result.window_us = Summarize(sim.window_us_samples());
+        result.drain_us = Summarize(fabric.drain_us_samples());
+        result.drain_phase_us = Summarize(sim.drain_phase_us_samples());
         if (emission != nullptr) {
           result.consumer_stall_us = emission->consumer_stall_us();
           result.runs_queued_peak = emission->runs_queued_peak();
@@ -568,6 +601,10 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"entries_dropped\": " << r.entries_dropped
         << ", \"windows\": " << r.windows
         << ", \"cross_posts\": " << r.cross_posts
+        << ", \"serial_drain\": " << (r.serial_drain ? "true" : "false")
+        << ", \"scheduled_wakeups\": " << r.scheduled_wakeups
+        << ", \"skipped_wakeups\": " << r.skipped_wakeups
+        << ", \"lanes_skipped\": " << r.lanes_skipped
         << ", \"stream_peak_buffered\": " << r.stream_peak_buffered
         << ", \"peak_rss_mb\": " << r.peak_rss_mb
         << ", \"premerge\": " << (r.premerge ? "true" : "false")
@@ -595,6 +632,10 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
       pct("merge_us", r.merge_us);
       pct("barrier_us", r.barrier_us);
       pct("window_wall_us", r.window_us);
+    }
+    if (r.drain_us.present || r.drain_phase_us.present) {
+      pct("drain_us", r.drain_us);
+      pct("drain_phase_wall_us", r.drain_phase_us);
     }
     out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -745,6 +786,8 @@ int Run(int argc, char** argv) {
       huge_motes = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--legacy-charge-sweep") == 0) {
       opts.legacy_charge_sweep = true;
+    } else if (std::strcmp(argv[i], "--serial-drain") == 0) {
+      opts.serial_drain = true;
     } else if (std::strcmp(argv[i], "--stream-log-capacity") == 0 &&
                i + 1 < argc) {
       int n = std::atoi(argv[++i]);

@@ -41,8 +41,10 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
   }
   Build(queues, media);
   if (config_.batch_log_charging) {
-    // Flush after the fabric drain (the fabric registered its hook at
-    // construction, before us); the order is fixed per run either way.
+    // Flush after the fabric's barrier work (the drain itself now runs on
+    // the parallel inter-window phase, before any hook; the fabric's
+    // retirement hook was registered at construction, before us); the
+    // order is fixed per run either way.
     sim->AddBarrierHook([this](Tick) { FlushAllCharges(); });
   }
   if (!builders_.empty()) {

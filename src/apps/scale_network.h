@@ -82,7 +82,9 @@ struct ScaleNetworkConfig {
   // Streaming trace collection: every mote's logger runs in
   // bounded-archive mode feeding this sink. The sharded constructor
   // installs a barrier hook that seals all chunks each lockstep window
-  // (after the fabric drain and charge flush), so per-mote resident trace
+  // (after the fabric's barrier hook and charge flush; the fabric drain
+  // itself runs earlier, on the parallel inter-window phase), so per-mote
+  // resident trace
   // is O(window); callers consuming watermarked output (e.g. a
   // StreamingTraceMerger) register their own hook *after* constructing
   // the network — hooks run in registration order, so theirs sees the

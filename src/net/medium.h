@@ -16,13 +16,25 @@
 // the single-engine mode. Across shards, delivery is a two-phase protocol:
 // a successful BeginTransmit *posts* the frame to the fabric's per-shard
 // mailbox (lock-free: only the owning shard's thread appends), and the
-// fabric *drains* all mailboxes at the next window barrier, scheduling the
-// frame onto every other shard's engine at post-time + latency. The
-// latency models antenna propagation plus receiver turnaround and is the
-// simulator's lookahead: it is what guarantees no frame posted inside a
-// window can land inside the same window. Drains apply posts in a sorted
-// (time, source shard) order, so cross-shard delivery — and therefore
-// every downstream event sequence — is identical at any thread count.
+// fabric *drains* all mailboxes between windows, scheduling the frame onto
+// every other shard's engine at post-time + latency. The latency models
+// antenna propagation plus receiver turnaround and is the simulator's
+// lookahead: it is what guarantees no frame posted inside a window can
+// land inside the same window.
+//
+// The drain itself is parallel, destination-owned work. Per window the
+// phase order is: (1) window execution — each source shard appends to its
+// own mailbox lane in execution (= time) order; (2) the simulator's
+// inter-window drain phase — each DESTINATION shard, on a worker thread,
+// k-way-merges the k frozen source lanes in (time, source shard) order
+// and schedules the deliveries it is interested in onto its own engine;
+// (3) the serial barrier hooks — the fabric's hook merely retires the
+// consumed lanes (O(shards) buffer swaps) so the next drain phase can
+// release the frames in parallel. The merge order is exactly the order
+// the retired global stable_sort produced, so cross-shard delivery — and
+// therefore every downstream event sequence number — is identical at any
+// thread count, and identical to the retained Config::serial_drain path
+// (asserted by tests/fabric_drain_test.cc).
 #ifndef QUANTO_SRC_NET_MEDIUM_H_
 #define QUANTO_SRC_NET_MEDIUM_H_
 
@@ -165,8 +177,11 @@ class Medium {
 };
 
 // The cross-shard radio interconnect: one Medium replica per shard plus
-// the mailbox/drain machinery. Owns the replicas; registers its drain as a
-// barrier hook on the simulator at construction.
+// the mailbox/drain machinery. Owns the replicas; registers its drain
+// machinery on the simulator at construction — by default a per-shard
+// drain task on the parallel inter-window phase plus a small serial
+// retirement hook, or (Config::serial_drain) the legacy single-threaded
+// gather+sort drain as a barrier hook.
 class MediumFabric {
  public:
   struct Config {
@@ -174,6 +189,11 @@ class MediumFabric {
     // Clamped up to the simulator's lookahead — the conservative-lookahead
     // invariant requires latency >= window width.
     Tick latency = Microseconds(512);
+    // Use the pre-PR8 single-threaded gather + global stable_sort drain on
+    // the coordinator instead of the parallel per-destination lane merge.
+    // Kept as the differential-proof baseline: both paths must produce
+    // byte-identical merged traces and identical wakeup counters.
+    bool serial_drain = false;
   };
 
   MediumFabric(ShardedSimulator* sim, const Config& config);
@@ -191,7 +211,10 @@ class MediumFabric {
   uint64_t packets_sent() const;
   uint64_t packets_delivered() const;
   uint64_t collisions() const;
-  uint64_t cross_posts() const { return cross_posts_; }
+  // Posts accepted into the mailbox lanes. Like the wakeup counters below
+  // this is kept in per-shard slots written only by the slot's owner and
+  // summed on read, so the parallel drain never mutates shared counters.
+  uint64_t cross_posts() const;
   // Frame allocations across all replicas: one per accepted transmission,
   // independent of how many shards each frame fans out to.
   uint64_t frames_allocated() const;
@@ -199,9 +222,26 @@ class MediumFabric {
   // (post, destination shard) pairs the drain never scheduled because the
   // shard-interest bitmap showed no client on the post's channel there —
   // wakeups a bitmap-less drain would have had to consider one by one.
-  uint64_t skipped_wakeups() const { return skipped_wakeups_; }
+  // Identical on the serial and parallel paths by construction.
+  uint64_t skipped_wakeups() const;
   // (post, destination shard) pairs actually scheduled.
-  uint64_t scheduled_wakeups() const { return scheduled_wakeups_; }
+  uint64_t scheduled_wakeups() const;
+  // Whole source lanes a destination's drain task dismissed with one
+  // channel-mask AND instead of a per-post scan (parallel path only; the
+  // per-post skips are still accounted in skipped_wakeups so the totals
+  // match the serial path exactly).
+  uint64_t lanes_skipped() const;
+
+  bool serial_drain() const { return config_.serial_drain; }
+
+  // Per-window drain cost in microseconds: on the parallel path the MAX
+  // over the per-destination drain tasks of that window (the phase's
+  // critical path); on the serial path the whole Drain call. Off by
+  // default — one sample per window.
+  void EnableDrainProfiling(bool on) { profile_drain_ = on; }
+  const std::vector<uint32_t>& drain_us_samples() const {
+    return drain_us_samples_;
+  }
 
   // True when any client in shard `shard` is tuned to `channel`
   // (bitmap-backed; exposed for tests).
@@ -223,6 +263,21 @@ class MediumFabric {
   void NoteClientRegistered(size_t shard, int channel);
   void NoteClientUnregistered(size_t shard, int channel);
 
+  // Interest lookup for the drain hot path: channels are small ints fixed
+  // at registration time, so the per-post `std::map` probe is hoisted to
+  // a dense pointer table indexed by channel (map nodes are address-
+  // stable). Channels outside [0, kMaxDenseChannel) — none in practice —
+  // fall back to the map.
+  static constexpr int kMaxDenseChannel = 4096;
+  const ChannelInterest* InterestFor(int channel) const {
+    if (channel >= 0 &&
+        static_cast<size_t>(channel) < interest_by_channel_.size()) {
+      return interest_by_channel_[channel];
+    }
+    auto it = interest_.find(channel);
+    return it != interest_.end() ? &it->second : nullptr;
+  }
+
   struct CrossPost {
     Tick time;         // Transmit start time in the source shard.
     size_t src_shard;
@@ -231,27 +286,64 @@ class MediumFabric {
     SharedFrame frame;  // Shared with the source shard's local delivery.
   };
 
+  // Per-destination drain bookkeeping, one cache line per shard: written
+  // only by the owning shard's drain task (or, on the serial path, by the
+  // coordinator — which is then the only writer anyway) and summed by the
+  // public accessors on read.
+  struct alignas(64) ShardDrainStats {
+    uint64_t cross_posts = 0;
+    uint64_t scheduled = 0;
+    uint64_t skipped = 0;
+    uint64_t lanes_skipped = 0;
+    uint32_t last_drain_us = 0;       // This window's DrainShard wall time.
+    std::vector<uint32_t> cursor;     // k-way merge scratch, one per lane.
+  };
+
   // Called by a shard's Medium during its window. Only the owning shard's
-  // worker touches posts_[src_shard], so no synchronization is needed;
-  // the window barrier publishes the writes to the draining thread. The
-  // frame is the transmit-time allocation — posting and draining only
-  // bump its refcount.
+  // worker touches posts_[src_shard] (and its channel mask), so no
+  // synchronization is needed; the window barrier publishes the writes to
+  // the draining threads. The frame is the transmit-time allocation —
+  // posting and draining only bump its refcount.
   void Post(size_t src_shard, int channel, const SharedFrame& frame,
             Tick airtime, Tick now);
 
-  // Barrier hook: applies all posts in (time, src_shard, post order) to
-  // every other shard's engine. Runs single-threaded between windows.
+  // Parallel drain task for destination shard `dst`: releases the frames
+  // retired at the previous barrier, then k-way-merges the frozen source
+  // lanes in (time, src_shard, post order) — reading every lane, writing
+  // only dst's engine and stats slot.
+  void DrainShard(size_t dst, Tick barrier_now);
+
+  // Serial hook behind the drain phase: swaps each consumed lane with its
+  // (emptied) retirement buffer and counts the posts — O(shards) pointer
+  // swaps, the only drain work left on the coordinator.
+  void RetireWindowPosts(Tick window_end);
+
+  // Legacy single-threaded drain (Config::serial_drain): gathers all
+  // lanes, stable_sorts on (time, src_shard) and schedules every delivery
+  // from the coordinator. Retained as the differential baseline.
   void Drain(Tick barrier_now);
 
   Config config_;
   std::vector<std::unique_ptr<Medium>> media_;
   std::vector<EventQueue*> queues_;
-  std::vector<std::vector<CrossPost>> posts_;  // Indexed by source shard.
-  std::vector<CrossPost> scratch_;             // Drain merge buffer.
-  std::map<int, ChannelInterest> interest_;    // Keyed by channel.
-  uint64_t cross_posts_ = 0;
-  uint64_t skipped_wakeups_ = 0;
-  uint64_t scheduled_wakeups_ = 0;
+  std::vector<std::vector<CrossPost>> posts_;    // Indexed by source shard.
+  // Last window's consumed lanes, cleared (frames released) by each
+  // shard's next drain task instead of on the serial hook; capacity
+  // recycles back into posts_ via the swap in RetireWindowPosts.
+  std::vector<std::vector<CrossPost>> retired_;
+  std::vector<CrossPost> scratch_;               // Serial-drain merge buffer.
+  std::map<int, ChannelInterest> interest_;      // Keyed by channel.
+  std::vector<const ChannelInterest*> interest_by_channel_;  // Dense table.
+  // OR of (1 << (channel & 63)) over the posts in each source lane /
+  // over the channels each destination shard has clients on. A zero AND
+  // proves the destination listens on no channel in the lane (mod-64
+  // aliasing can only force the per-post path, never skip wrongly), so a
+  // drain task dismisses the whole lane in one compare.
+  std::vector<uint64_t> lane_channel_mask_;      // Indexed by source shard.
+  std::vector<uint64_t> shard_channel_mask_;     // Indexed by destination.
+  std::vector<ShardDrainStats> stats_;           // Indexed by shard.
+  bool profile_drain_ = false;
+  std::vector<uint32_t> drain_us_samples_;
 };
 
 }  // namespace quanto

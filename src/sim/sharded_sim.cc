@@ -49,10 +49,40 @@ void ShardedSimulator::RunShardRange(size_t worker, Tick target) {
   }
 }
 
+void ShardedSimulator::RunDrainRange(size_t worker, Tick target) {
+  size_t shards = queues_.size();
+  size_t begin = worker * shards / threads_;
+  size_t end = (worker + 1) * shards / threads_;
+  for (size_t s = begin; s < end; ++s) {
+    for (const ShardDrainTask& task : drain_tasks_) {
+      task(s, target);
+    }
+  }
+}
+
+void ShardedSimulator::DispatchPhase(Phase phase, Tick target) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_ = target;
+    phase_ = phase;
+    running_ = workers_.size();
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  if (phase == Phase::kWindow) {
+    RunShardRange(0, target);
+  } else {
+    RunDrainRange(0, target);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return running_ == 0; });
+}
+
 void ShardedSimulator::WorkerLoop(size_t worker) {
   uint64_t seen_epoch = 0;
   for (;;) {
     Tick target;
+    Phase phase;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock,
@@ -62,8 +92,13 @@ void ShardedSimulator::WorkerLoop(size_t worker) {
       }
       seen_epoch = epoch_;
       target = target_;
+      phase = phase_;
     }
-    RunShardRange(worker, target);
+    if (phase == Phase::kWindow) {
+      RunShardRange(worker, target);
+    } else {
+      RunDrainRange(worker, target);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--running_ == 0) {
@@ -104,21 +139,38 @@ uint64_t ShardedSimulator::RunUntil(Tick end) {
     if (threads_ == 1) {
       RunShardRange(0, target);
     } else {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        target_ = target;
-        running_ = workers_.size();
-        ++epoch_;
-      }
-      cv_work_.notify_all();
-      RunShardRange(0, target);
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_done_.wait(lock, [&] { return running_ == 0; });
+      DispatchPhase(Phase::kWindow, target);
     }
 
-    // Barrier: all shards parked at `target`. Exchange cross-shard
-    // effects (and any other per-window bookkeeping) single-threaded, in
-    // registration order — identical at every thread count.
+    // Inter-window parallel phase: all shards are parked at `target`, so
+    // every mailbox lane published during the window is complete and
+    // frozen. Each shard now consumes its own inbound cross-shard posts
+    // (destination-owned, write-local — see AddShardDrainTask) in
+    // parallel, before the serial hooks resume.
+    if (!drain_tasks_.empty()) {
+      std::chrono::steady_clock::time_point drain_start;
+      if (profile_barriers_) {
+        drain_start = std::chrono::steady_clock::now();
+      }
+      if (threads_ == 1) {
+        RunDrainRange(0, target);
+      } else {
+        DispatchPhase(Phase::kDrain, target);
+      }
+      if (profile_barriers_) {
+        drain_phase_us_samples_.push_back(static_cast<uint32_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - drain_start)
+                .count()));
+      }
+    } else if (profile_barriers_) {
+      drain_phase_us_samples_.push_back(0);
+    }
+
+    // Barrier: all shards parked at `target`, drain phase complete.
+    // Exchange remaining cross-shard effects (and any other per-window
+    // bookkeeping) single-threaded, in registration order — identical at
+    // every thread count.
     if (profile_barriers_) {
       auto hooks_start = std::chrono::steady_clock::now();
       for (const BarrierHook& hook : hooks_) {

@@ -17,10 +17,15 @@
 //    worker-thread count. Threads only decide *who* executes a shard's
 //    window, never *what* executes: a 1-thread run and an 8-thread run
 //    perform the identical per-shard event sequences.
-//  * Barrier hooks (mailbox drains, batched-charge flushes) run on the
-//    coordinating thread, in registration order, between windows — so the
-//    events they schedule get identical sequence numbers at any thread
-//    count.
+//  * Inter-window work is phase-ordered, not thread-ordered. After every
+//    shard parks at the barrier, an optional parallel drain phase runs
+//    once per shard (destination-owned work such as the fabric's mailbox
+//    merge — see AddShardDrainTask), then the serial barrier hooks
+//    (bookkeeping, batched-charge flushes) run on the coordinating
+//    thread in registration order. Each drain task writes only its own
+//    shard's engine and applies inputs in a deterministic merge order,
+//    so the events it schedules get identical sequence numbers at any
+//    thread count — the same argument as for the hooks themselves.
 //  * Each queue's same-tick FIFO ordering is untouched; merged per-node
 //    logs are therefore bit-identical across thread counts (asserted by
 //    tests/sharded_determinism_test.cc).
@@ -97,17 +102,39 @@ class ShardedSimulator {
     shard_tasks_.push_back(std::move(task));
   }
 
+  // Inter-window parallel phase — the fan-in counterpart to the
+  // pre-barrier ShardWindowTask above. Runs once per shard per window,
+  // in parallel on the worker pool, after EVERY shard has parked at
+  // `window_end` (a full barrier separates it from window execution) and
+  // before the coordinator's serial BarrierHooks. This is where
+  // per-destination barrier work lands: each shard consumes the inputs
+  // the other shards published during the window (cross-shard mailbox
+  // lanes) and applies them to its own engine. Tasks may READ any state
+  // the window barrier published (it is frozen until the hooks run) but
+  // must WRITE only state owned by their `shard` — its EventQueue, its
+  // slot in per-shard arrays — which keeps the phase data-race-free by
+  // construction. The phase barrier publishes task writes to the hooks.
+  using ShardDrainTask = std::function<void(size_t shard, Tick window_end)>;
+  void AddShardDrainTask(ShardDrainTask task) {
+    drain_tasks_.push_back(std::move(task));
+  }
+
   // Barrier profiling: when enabled, records per window, in microseconds,
-  // the coordinator's serial barrier section (the BarrierHook loop) and
-  // the whole window's wall time (placement + parallel shard execution +
-  // barrier) — window_wall minus barrier is the parallel section, which
-  // is what makes the off-barrier emission overlap visible: moving the
-  // merge out of the hooks shrinks barrier_us without touching the
-  // simulated behaviour. Off by default — the samples vectors grow by
-  // 8 bytes per window.
+  // three separate series — the coordinator's serial barrier section (the
+  // BarrierHook loop), the parallel inter-window drain phase's wall time
+  // (empty when no ShardDrainTask is registered), and the whole window's
+  // wall time (placement + parallel shard execution + drain phase +
+  // barrier). Keeping drain_phase_us out of barrier_us is what makes the
+  // parallel fabric drain measurable: before the split the drain hid
+  // inside the serial-hook aggregate. window_wall minus (drain + barrier)
+  // is the window-execution parallel section. Off by default — the
+  // samples vectors grow by 8 bytes per window.
   void EnableBarrierProfiling(bool on) { profile_barriers_ = on; }
   const std::vector<uint32_t>& barrier_us_samples() const {
     return barrier_us_samples_;
+  }
+  const std::vector<uint32_t>& drain_phase_us_samples() const {
+    return drain_phase_us_samples_;
   }
   const std::vector<uint32_t>& window_us_samples() const {
     return window_us_samples_;
@@ -124,8 +151,17 @@ class ShardedSimulator {
   uint64_t windows_run() const { return windows_run_; }
 
  private:
+  // The two parallel phases a worker can be dispatched into: window
+  // execution (RunShardRange) or the inter-window drain (RunDrainRange).
+  enum class Phase : uint8_t { kWindow, kDrain };
+
   // Runs worker `w`'s static shard range [w*S/T, (w+1)*S/T) up to target.
   void RunShardRange(size_t worker, Tick target);
+  // Runs the registered ShardDrainTasks for worker `w`'s shard range.
+  void RunDrainRange(size_t worker, Tick target);
+  // Publishes (phase, target) to the worker pool, runs the coordinator's
+  // own range, and waits for the pool — one full parallel phase.
+  void DispatchPhase(Phase phase, Tick target);
   void WorkerLoop(size_t worker);
 
   Config config_;
@@ -133,19 +169,22 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<EventQueue>> queues_;
   std::vector<BarrierHook> hooks_;
   std::vector<ShardWindowTask> shard_tasks_;
+  std::vector<ShardDrainTask> drain_tasks_;
   Tick now_ = 0;
   uint64_t windows_run_ = 0;
   bool profile_barriers_ = false;
   std::vector<uint32_t> barrier_us_samples_;
+  std::vector<uint32_t> drain_phase_us_samples_;
   std::vector<uint32_t> window_us_samples_;
 
-  // Window dispatch: the coordinator publishes (epoch_, target_) under
-  // mu_, workers run their ranges, the last one signals cv_done_.
+  // Phase dispatch: the coordinator publishes (epoch_, phase_, target_)
+  // under mu_, workers run their ranges, the last one signals cv_done_.
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   uint64_t epoch_ = 0;
+  Phase phase_ = Phase::kWindow;
   Tick target_ = 0;
   size_t running_ = 0;
   bool shutdown_ = false;

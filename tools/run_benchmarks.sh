@@ -176,6 +176,33 @@ if [ -n "$HUGE_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
   done
 fi
 
+# Fabric drain A/B phase: a serial-drain baseline at the parallel-barrier
+# phase's default size, in its own process. The in-process big phase
+# already records the parallel-drain rows (1/2/4 threads, drain_us
+# profiled); this row supplies the retained serial path's percentiles and
+# hash so fabric_summary can show the drain leaving the coordinator's
+# serial section against a same-binary baseline. Override rows with
+# SCALE_FABRIC_ROWS="motes:threads ..."; empty disables.
+FABRIC_ROWS="${SCALE_FABRIC_ROWS-16384:1}"
+fabric_entries="$SCRATCH/fabric_rows.txt"
+: >"$fabric_entries"
+if [ -n "$FABRIC_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
+  for row in $FABRIC_ROWS; do
+    motes="${row%%:*}"
+    threads="${row##*:}"
+    row_json="$SCRATCH/fabric_${motes}_${threads}.json"
+    echo "== Fabric serial-drain row: $motes motes ($threads threads)"
+    "$BUILD_DIR/bench_scale_multihop" --motes "$motes" --topology grid \
+      --sinks 4 --seconds 2 --threads "$threads" --stream-traces \
+      --serial-drain \
+      --json "$row_json" >"$SCRATCH/fabric_${motes}_${threads}.out" 2>&1 || {
+      echo "   row failed; see $SCRATCH/fabric_${motes}_${threads}.out"
+      continue
+    }
+    printf '%s\t%s\t%s\n' "$motes" "$threads" "$row_json" >>"$fabric_entries"
+  done
+fi
+
 # Keep the canonical copy of the scale benchmark's JSON at the repo root
 # so successive PRs have a perf trajectory. Stamp the recording host's
 # core count and mark multi-thread rows "timesliced" when the host cannot
@@ -185,7 +212,8 @@ fi
 # "memory_scaling".
 if [ -f "$SCRATCH/bench_scale_multihop.json" ]; then
   NPROC="$(nproc)" python3 - "$SCRATCH/bench_scale_multihop.json" \
-    "$REPO_ROOT/BENCH_scale.json" "$mem_entries" "$huge_entries" <<'EOF'
+    "$REPO_ROOT/BENCH_scale.json" "$mem_entries" "$huge_entries" \
+    "$fabric_entries" <<'EOF'
 import json
 import os
 import sys
@@ -193,15 +221,19 @@ import sys
 src, dst = sys.argv[1], sys.argv[2]
 mem_entries = sys.argv[3] if len(sys.argv) > 3 else None
 huge_entries = sys.argv[4] if len(sys.argv) > 4 else None
+fabric_entries = sys.argv[5] if len(sys.argv) > 5 else None
 nproc = int(os.environ["NPROC"])
 with open(src) as f:
     data = json.load(f)
 data["nproc"] = nproc
 
-# Wide-node separate-process rows join the in-process sweep's runs; each
-# row's JSON holds exactly one run (its --motes invocation).
-if huge_entries and os.path.exists(huge_entries):
-    for line in open(huge_entries):
+# Wide-node and fabric-baseline separate-process rows join the in-process
+# sweep's runs; each row's JSON holds exactly one run (its --motes
+# invocation).
+for entries_file in (huge_entries, fabric_entries):
+    if not entries_file or not os.path.exists(entries_file):
+        continue
+    for line in open(entries_file):
         motes, threads, row_json = line.rstrip("\n").split("\t")
         try:
             with open(row_json) as f:
@@ -354,6 +386,41 @@ if emission_rows:
     biggest = max(r["motes"] for r in emission_rows)
     data["emission_summary"] = [r for r in emission_rows
                                 if r["motes"] == biggest]
+
+# Fabric drain summary: the per-window drain cost of the profiled rows at
+# the barrier phase's size, parallel rows (drain on the workers,
+# drain_us = the slowest destination's lane merge; barrier_us = serial
+# residue, hook bookkeeping only) next to the serial baseline row (drain
+# inside the coordinator's serial section). Equal merge hashes across the
+# block are the differential proof at scale.
+fabric_rows = []
+for run in data.get("runs", []):
+    if "drain_us" not in run:
+        continue
+    fabric_rows.append({
+        "motes": run.get("motes"),
+        "threads": run.get("threads"),
+        "serial_drain": run.get("serial_drain"),
+        "windows": run.get("barrier_windows"),
+        "cross_posts": run.get("cross_posts"),
+        "scheduled_wakeups": run.get("scheduled_wakeups"),
+        "skipped_wakeups": run.get("skipped_wakeups"),
+        "lanes_skipped": run.get("lanes_skipped"),
+        "drain_us": run.get("drain_us"),
+        "drain_phase_wall_us": run.get("drain_phase_wall_us"),
+        "barrier_us": run.get("barrier_us"),
+        "merge_hash": run.get("merge_hash"),
+    })
+if fabric_rows:
+    # Keep the biggest-motes rows plus every size that has a serial
+    # baseline row, so the parallel-vs-serial per-path comparison
+    # survives even when the serial row runs at a smaller size than
+    # the huge-motes phase.
+    biggest = max(r["motes"] for r in fabric_rows)
+    serial_sizes = {r["motes"] for r in fabric_rows if r["serial_drain"]}
+    keep = serial_sizes | {biggest}
+    data["fabric_summary"] = [r for r in fabric_rows
+                              if r["motes"] in keep]
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
