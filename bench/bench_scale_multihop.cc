@@ -32,7 +32,7 @@
 //                             [--coordinator-seal] [--big-motes N]
 //                             [--sync-emission] [--emission-depth D]
 //                             [--huge-motes N] [--legacy-charge-sweep]
-//                             [--serial-drain]
+//                             [--serial-drain] [--serial-charge-flush]
 //   --motes        run only one network size instead of the 64/128/256 sweep
 //   --seconds      simulated seconds per run (default 10)
 //   --threads      worker-thread sweep; 0 = single-engine baseline
@@ -96,6 +96,17 @@
 //                  of the per-shard dirty lists; merge hashes are
 //                  identical either way (the flush only reorders visits
 //                  across event queues, never within one)
+//   --serial-charge-flush  pre-merged streamed runs flush batched logger
+//                  charge on the serial barrier hook (per-shard dirty
+//                  lists walked by the coordinator — the pre-PR 9 path)
+//                  instead of fusing the flush into the parallel
+//                  pre-barrier seal pass; merge hashes and
+//                  charge_flush_visits are identical either way — this
+//                  is the A/B baseline run_benchmarks.sh uses for the
+//                  residue_summary block. On that path flush_us is
+//                  measured inside barrier_us (coordinator-side); on the
+//                  fused default it is the worker-side pass, a slice of
+//                  seal_us.
 //   --serial-drain sharded runs use the pre-PR 8 single-threaded fabric
 //                  drain (coordinator gather + global stable_sort) instead
 //                  of the parallel per-destination lane merge on the
@@ -229,6 +240,14 @@ struct RunResult {
   // (zero on the serial path, where the drain runs inside barrier_us).
   PctSummary drain_us;
   PctSummary drain_phase_us;
+  // Charge-flush timing (profiled pre-merged runs): on the fused default
+  // the per-window max across shards of the worker-side flush+seal pass
+  // (a slice of seal_us, parallel, pre-barrier); with
+  // --serial-charge-flush the coordinator's FlushAllCharges duration (a
+  // slice of barrier_us). barrier_us minus the serial flush is the true
+  // O(shards) residue either way.
+  PctSummary flush_us;
+  bool serial_charge_flush = false;
   // Off-barrier emission counters: total coordinator time blocked on a
   // full hand-off queue, and the queued-run high-water mark.
   uint64_t consumer_stall_us = 0;
@@ -270,6 +289,9 @@ struct RunOptions {
   // Per-window full charge sweep instead of the dirty lists
   // (--legacy-charge-sweep); kept for A/B runs and the equality tests.
   bool legacy_charge_sweep = false;
+  // Serial-hook charge flush instead of the fused worker-side pass
+  // (--serial-charge-flush); the residue A/B baseline.
+  bool serial_charge_flush = false;
   // Coordinator gather+sort fabric drain instead of the parallel lane
   // merge (--serial-drain); kept for the fabric A/B baseline.
   bool serial_drain = false;
@@ -361,6 +383,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     // Window-batched logger self-charging: the sharded core's native mode.
     cfg.batch_log_charging = true;
     cfg.legacy_full_charge_sweep = opts.legacy_charge_sweep;
+    cfg.serial_charge_flush = opts.serial_charge_flush;
 
     // Streaming collection: loggers seal chunks to the merger at every
     // window barrier (bounded archives), merged entries spill to the
@@ -441,6 +464,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     result.lanes_skipped = fabric.lanes_skipped();
     result.charge_flush_visits = net.charge_flush_visits();
     result.charge_flush_windows = net.charge_flush_windows();
+    result.serial_charge_flush = !net.fused_charge_flush();
     if (opts.stream) {
       net.SealAllChunks();
       merger.Finish();
@@ -462,6 +486,7 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         result.window_us = Summarize(sim.window_us_samples());
         result.drain_us = Summarize(fabric.drain_us_samples());
         result.drain_phase_us = Summarize(sim.drain_phase_us_samples());
+        result.flush_us = Summarize(net.flush_us_samples());
         if (emission != nullptr) {
           result.consumer_stall_us = emission->consumer_stall_us();
           result.runs_queued_peak = emission->runs_queued_peak();
@@ -613,6 +638,8 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
         << ", \"runs_queued_peak\": " << r.runs_queued_peak
         << ", \"charge_flush_visits\": " << r.charge_flush_visits
         << ", \"charge_flush_windows\": " << r.charge_flush_windows
+        << ", \"serial_charge_flush\": "
+        << (r.serial_charge_flush ? "true" : "false")
         << ", \"construct_ms\": " << r.construct_ms
         << ", \"arena_bytes_reserved\": " << r.arena_bytes_reserved
         << ", \"arena_allocations\": " << r.arena_allocations
@@ -636,6 +663,9 @@ void WriteJson(const std::vector<RunResult>& runs, const RunResult& core,
     if (r.drain_us.present || r.drain_phase_us.present) {
       pct("drain_us", r.drain_us);
       pct("drain_phase_wall_us", r.drain_phase_us);
+    }
+    if (r.flush_us.present) {
+      pct("flush_us", r.flush_us);
     }
     out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -786,6 +816,8 @@ int Run(int argc, char** argv) {
       huge_motes = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--legacy-charge-sweep") == 0) {
       opts.legacy_charge_sweep = true;
+    } else if (std::strcmp(argv[i], "--serial-charge-flush") == 0) {
+      opts.serial_charge_flush = true;
     } else if (std::strcmp(argv[i], "--serial-drain") == 0) {
       opts.serial_drain = true;
     } else if (std::strcmp(argv[i], "--stream-log-capacity") == 0 &&
@@ -929,6 +961,39 @@ int Run(int argc, char** argv) {
     }
   }
   t.Print(std::cout);
+
+  // Residue split for the profiled (pre-merged) rows: the charge flush
+  // series next to the serial barrier section it used to live inside.
+  // "fused" rows measure the worker-side flush+seal pass (∥, a slice of
+  // seal_us); "serial" rows measure the coordinator's FlushAllCharges (a
+  // slice of barrier_us) — so fused rows' barrier totals show the true
+  // O(shards) residue while serial rows show what fusing removed.
+  bool any_flush = false;
+  for (const RunResult& r : runs) {
+    any_flush = any_flush || r.flush_us.present;
+  }
+  if (any_flush) {
+    PrintSection(std::cout, "Window residue: charge flush vs serial barrier");
+    TextTable rt({"motes", "thr", "flush", "fl p50", "fl p90", "fl p99",
+                  "fl max", "fl tot ms", "bar p50", "bar p90", "bar p99",
+                  "bar max", "bar tot ms"});
+    for (const RunResult& r : runs) {
+      if (!r.flush_us.present) {
+        continue;
+      }
+      rt.AddRow({std::to_string(r.motes), std::to_string(r.threads),
+                 r.serial_charge_flush ? "serial" : "fused",
+                 std::to_string(r.flush_us.p50), std::to_string(r.flush_us.p90),
+                 std::to_string(r.flush_us.p99), std::to_string(r.flush_us.max),
+                 TextTable::Num(r.flush_us.total_ms, 1),
+                 std::to_string(r.barrier_us.p50),
+                 std::to_string(r.barrier_us.p90),
+                 std::to_string(r.barrier_us.p99),
+                 std::to_string(r.barrier_us.max),
+                 TextTable::Num(r.barrier_us.total_ms, 1)});
+    }
+    rt.Print(std::cout);
+  }
 
   PrintSection(std::cout, "Engine core churn (scheduler isolated)");
   CoreChurn churn;

@@ -208,7 +208,7 @@ void ShardRunBuilder::OnChunk(TraceChunk&& chunk) {
   pool_.RecycleEntries(std::move(chunk.entries));
 }
 
-size_t ShardRunBuilder::BuildRun(Tick barrier) {
+size_t ShardRunBuilder::BuildRun(Tick barrier, bool flush_charges) {
   std::chrono::steady_clock::time_point start;
   if (profile_) {
     start = std::chrono::steady_clock::now();
@@ -223,9 +223,44 @@ size_t ShardRunBuilder::BuildRun(Tick barrier) {
     run_.insert(run_.end(), carry_.begin(), carry_.end());
   }
   carry_.clear();
-  for (QuantoLogger* logger : dirty_) {
-    ++seal_calls_;
-    logger->SealToSink();  // Lands in run_ via OnChunk.
+  stats_.last_flush_us = 0;
+  if (flush_charges && !dirty_.empty()) {
+    // Fused worker-side charge flush: one sorted pass over the unified
+    // dirty list does both per-mote duties of the window. Ascending node
+    // id restricted to one shard's queue is exactly the historical full
+    // sweep's flush order; the sort cannot change the sealed output (the
+    // stable sort below keys on (time64, node), and per-node log order is
+    // preserved by each node's chunks arriving contiguously). Walking
+    // dirty_ in place is safe: a re-entrant Append during a logger's own
+    // flush cannot re-fire the dirty hook (dirty_ stays set until the
+    // SealToSink later in the same visit), so nothing grows the list
+    // mid-walk.
+    std::chrono::steady_clock::time_point fstart;
+    if (profile_) {
+      fstart = std::chrono::steady_clock::now();
+    }
+    std::sort(dirty_.begin(), dirty_.end(),
+              [](const QuantoLogger* a, const QuantoLogger* b) {
+                return a->node() < b->node();
+              });
+    for (QuantoLogger* logger : dirty_) {
+      ++stats_.flush_visits;
+      ++seal_calls_;
+      logger->FlushCpuCharge();
+      logger->SealToSink();  // Lands in run_ via OnChunk.
+    }
+    ++stats_.flush_passes;
+    if (profile_) {
+      stats_.last_flush_us = static_cast<uint32_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - fstart)
+              .count());
+    }
+  } else {
+    for (QuantoLogger* logger : dirty_) {
+      ++seal_calls_;
+      logger->SealToSink();  // Lands in run_ via OnChunk.
+    }
   }
   dirty_.clear();
   // One sort per shard-window, in parallel across shards — this is the

@@ -286,7 +286,12 @@ class StreamingTraceMerger : public TraceSink {
 // the pre-barrier phase — still inside the window barrier, on the shard's
 // own worker thread, all shards in parallel — BuildRun seals exactly the
 // dirty loggers and merges their chunks into one run sorted by
-// (time64, node, log order).
+// (time64, node, log order). The same dirty list doubles as the batched
+// CPU self-charge flush list (the sets provably coincide under batch
+// charging), so the fused BuildRun(barrier, /*flush_charges=*/true) form
+// clears the window's whole per-mote residue — charge flush + seal — in
+// one sorted pass, leaving the serial barrier section only O(shards)
+// hand-off work.
 //
 // Boundary holdback is what makes the coordinator's k-way merge exact:
 // entries at or after the sealing barrier T (barrier hooks may log at
@@ -327,7 +332,22 @@ class ShardRunBuilder : public TraceSink {
   // each sealed chunk, one stable sort, boundary holdback at `barrier`.
   // Returns the entries placed in the run. Pass the final simulation time
   // + 1 (or ~Tick{0}) as the last barrier to flush the carry.
-  size_t BuildRun(Tick barrier);
+  //
+  // With `flush_charges` set, the dirty pass is the *fused* worker-side
+  // charge flush: the dirty list is first sorted ascending by node id —
+  // restricted to one shard's event queue that is exactly the historical
+  // full sweep's flush order — and each dirty logger is visited once,
+  // FlushCpuCharge then SealToSink. Under batch charging the log-dirty
+  // and charge-dirty sets coincide (see QuantoLogger::SetChargeDirtyHook),
+  // so this one list covers both duties; a flush only ever touches its
+  // own mote's queue, on the shard's own worker, so no lock is needed and
+  // the simulation stays event-identical to the serial-hook flush. The
+  // sort is order-neutral for the run itself (the stable sort below keys
+  // on (time64, node) and per-node order rides the per-chunk appends), so
+  // sealed content is byte-identical with the flag on or off. The
+  // end-of-run tail call must pass false — the serial paths never flush
+  // at the tail, and visit parity with them is counter-asserted.
+  size_t BuildRun(Tick barrier, bool flush_charges = false);
 
   bool HasRun() const { return !run_.empty(); }
   // Moves the built run out (for StreamingTraceMerger::OnRun); the next
@@ -350,13 +370,38 @@ class ShardRunBuilder : public TraceSink {
   // Per-node chunk-sequence gaps observed on ingest (0 in a healthy run).
   uint64_t seq_gaps() const { return seq_gaps_; }
 
+  // Dirty loggers visited by fused flush passes, cumulatively — the
+  // fused-path counterpart of ScaleNetwork::charge_flush_visits(), and
+  // asserted equal to the serial-hook path's count (one pass per window,
+  // not two).
+  uint64_t charge_flush_visits() const { return stats_.flush_visits; }
+
   // Barrier profiling: when enabled, BuildRun records its own duration;
   // the coordinator reads the value after the barrier (the window barrier
   // orders the write).
   void EnableProfiling(bool on) { profile_ = on; }
   uint32_t last_build_us() const { return last_build_us_; }
+  // Duration of this window's fused flush pass: the dirty-list sort plus
+  // the whole flush+seal walk (the two are interleaved per visit, so the
+  // walk is timed as one — per-logger clock reads would cost more than
+  // the flush they measure). A subset of last_build_us, split out so the
+  // bench can report the fused pass next to the serial paths' hook-side
+  // flush_us. 0 when BuildRun ran unfused.
+  uint32_t last_flush_us() const { return stats_.last_flush_us; }
 
  private:
+  // Fused-flush bookkeeping on its own cache line, in the ShardDrainStats
+  // style: written only by the shard's worker inside BuildRun (or the
+  // coordinator between windows, which is then the only writer anyway)
+  // and read by the coordinator after the barrier — keeping the per-window
+  // writes of neighbouring shards' builders from false-sharing when all
+  // shards flush in parallel.
+  struct alignas(64) FlushStats {
+    uint64_t flush_visits = 0;
+    uint64_t flush_passes = 0;
+    uint32_t last_flush_us = 0;  // This window's fused-flush wall time.
+  };
+
   size_t shard_;
   std::map<node_id_t, StreamIngestState> nodes_;
   std::vector<QuantoLogger*> dirty_;
@@ -371,6 +416,7 @@ class ShardRunBuilder : public TraceSink {
   uint64_t seq_gaps_ = 0;
   bool profile_ = false;
   uint32_t last_build_us_ = 0;
+  FlushStats stats_;
 };
 
 }  // namespace quanto

@@ -39,8 +39,17 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
       builders_.back()->EnableProfiling(config_.profile_barrier);
     }
   }
+  // Fused worker-side charge flush: on the pre-merged pipeline the
+  // window's charge flush rides the per-shard pre-barrier seal pass (one
+  // sorted dirty walk doing flush + seal), so no serial flush hook is
+  // registered at all — the barrier section keeps only O(shards)
+  // hand-off work. The serial-hook and legacy-sweep flushes are retained
+  // behind their config flags for equality tests and A/B measurement.
+  fused_charge_flush_ = config_.batch_log_charging && !builders_.empty() &&
+                        !config_.serial_charge_flush &&
+                        !config_.legacy_full_charge_sweep;
   Build(queues, media);
-  if (config_.batch_log_charging) {
+  if (config_.batch_log_charging && !fused_charge_flush_) {
     // Flush after the fabric's barrier work (the drain itself now runs on
     // the parallel inter-window phase, before any hook; the fabric's
     // retirement hook was registered at construction, before us); the
@@ -49,16 +58,28 @@ ScaleNetwork::ScaleNetwork(ShardedSimulator* sim, MediumFabric* fabric,
   }
   if (!builders_.empty()) {
     // Pre-barrier phase, in parallel on the shard workers: seal each
-    // shard's dirty loggers into its pre-merged run. Entries logged by
-    // the coordinator's hooks at exactly the barrier time land in the
-    // next window's run (and the builders' boundary holdback keeps runs
-    // sorted either way), so the merged output is byte-identical to the
-    // coordinator-sweep path below.
-    sim->AddShardWindowTask(
-        [this](size_t shard, Tick end) { builders_[shard]->BuildRun(end); });
-    // Coordinator half, after the charge flush: k-way merge across the
-    // shard runs and watermark advance.
-    sim->AddBarrierHook([this](Tick end) { HandOffRuns(end, true); });
+    // shard's dirty loggers into its pre-merged run — flushing each dirty
+    // logger's batched self-charge first when the fused path is on.
+    // Entries logged by the coordinator's hooks at exactly the barrier
+    // time land in the next window's run (and the builders' boundary
+    // holdback keeps runs sorted either way), so the merged output is
+    // byte-identical to the coordinator-sweep path below.
+    bool fused = fused_charge_flush_;
+    sim->AddShardWindowTask([this, fused](size_t shard, Tick end) {
+      builders_[shard]->BuildRun(end, /*flush_charges=*/fused);
+    });
+    // Coordinator half: k-way merge across the shard runs and watermark
+    // advance (after the serial charge flush, when one is hooked).
+    sim->AddBarrierHook([this, fused](Tick end) {
+      if (fused) {
+        // Window accounting for the fused flush lives here — once per
+        // window, not once per shard; the tail flush (SealAllChunks)
+        // deliberately never counts or flushes, matching the serial
+        // paths, which only flush from this hook position.
+        ++charge_flush_windows_;
+      }
+      HandOffRuns(end, true);
+    });
   } else if (config_.trace_sink != nullptr) {
     // Seal after the charge flush so any entries the flush logs at the
     // barrier time land in this window's chunks. Runs on the coordinating
@@ -139,7 +160,12 @@ void ScaleNetwork::Build(const std::vector<EventQueue*>& queues,
   for (size_t s = 0; s < media.size(); ++s) {
     media[s]->ReserveClients(config_.motes / shards + 1, radio_channel);
   }
-  if (config_.batch_log_charging && !config_.legacy_full_charge_sweep) {
+  if (config_.batch_log_charging && !config_.legacy_full_charge_sweep &&
+      !fused_charge_flush_) {
+    // Serial-hook dirty flush: FlushAllCharges walks these. The fused
+    // path needs no charge-dirty lists (and no charge-dirty hooks — one
+    // fewer branch per first Append): the builders' seal dirty lists
+    // provably cover the same set.
     charge_dirty_.resize(shards);
   }
   for (size_t i = 0; i < config_.motes; ++i) {
@@ -297,6 +323,14 @@ uint64_t ScaleNetwork::entries_dropped() const {
 }
 
 void ScaleNetwork::FlushAllCharges() {
+  std::chrono::steady_clock::time_point start;
+  if (config_.profile_barrier) {
+    // Serial-path flush_us: this whole function, on the coordinator —
+    // i.e. a subset of the window's barrier_us, unlike the fused path's
+    // worker-side samples. One sample per window on the barrier hook;
+    // manual single-engine callers get one per call.
+    start = std::chrono::steady_clock::now();
+  }
   ++charge_flush_windows_;
   if (charge_dirty_.empty()) {
     // Legacy sweep (or batching off): every mote, every window.
@@ -304,29 +338,35 @@ void ScaleNetwork::FlushAllCharges() {
       ++charge_flush_visits_;
       m->logger().FlushCpuCharge();
     }
-    return;
+  } else {
+    for (ChargeDirtyList& list : charge_dirty_) {
+      if (list.loggers.empty()) {
+        continue;
+      }
+      // Take the shard's list (marks made by the flush itself —
+      // ChargeCycles can re-enter Append — belong to the next window and
+      // land in the fresh list), then flush in ascending node-id order.
+      // Mote ids are assigned round-robin across shards, so within one
+      // shard ascending node id IS the historical sweep's relative order;
+      // and since a flush only touches its own mote's event queue,
+      // cross-shard interleaving cannot affect the simulation.
+      charge_flush_scratch_.clear();
+      charge_flush_scratch_.swap(list.loggers);
+      std::sort(charge_flush_scratch_.begin(), charge_flush_scratch_.end(),
+                [](const QuantoLogger* a, const QuantoLogger* b) {
+                  return a->node() < b->node();
+                });
+      for (QuantoLogger* logger : charge_flush_scratch_) {
+        ++charge_flush_visits_;
+        logger->FlushCpuCharge();
+      }
+    }
   }
-  for (ChargeDirtyList& list : charge_dirty_) {
-    if (list.loggers.empty()) {
-      continue;
-    }
-    // Take the shard's list (marks made by the flush itself — ChargeCycles
-    // can re-enter Append — belong to the next window and land in the
-    // fresh list), then flush in ascending node-id order. Mote ids are
-    // assigned round-robin across shards, so within one shard ascending
-    // node id IS the historical sweep's relative order; and since a flush
-    // only touches its own mote's event queue, cross-shard interleaving
-    // cannot affect the simulation.
-    charge_flush_scratch_.clear();
-    charge_flush_scratch_.swap(list.loggers);
-    std::sort(charge_flush_scratch_.begin(), charge_flush_scratch_.end(),
-              [](const QuantoLogger* a, const QuantoLogger* b) {
-                return a->node() < b->node();
-              });
-    for (QuantoLogger* logger : charge_flush_scratch_) {
-      ++charge_flush_visits_;
-      logger->FlushCpuCharge();
-    }
+  if (config_.profile_barrier) {
+    flush_us_samples_.push_back(static_cast<uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
   }
 }
 
@@ -361,12 +401,17 @@ size_t ScaleNetwork::SealAllChunks() {
 void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
   bool profile = config_.profile_barrier && record_profile;
   uint32_t seal_us = 0;
+  uint32_t flush_us = 0;
   if (profile) {
     // seal_us is the window's critical-path pre-merge (max across shards,
-    // measured on the workers; the window barrier published the writes).
+    // measured on the workers; the window barrier published the writes);
+    // flush_us is the fused charge-flush slice of it, max'd the same way.
     for (const auto& b : builders_) {
       if (b->last_build_us() > seal_us) {
         seal_us = b->last_build_us();
+      }
+      if (b->last_flush_us() > flush_us) {
+        flush_us = b->last_flush_us();
       }
     }
   }
@@ -399,6 +444,9 @@ void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
     }
     if (profile) {
       seal_us_samples_.push_back(seal_us);
+      if (fused_charge_flush_) {
+        flush_us_samples_.push_back(flush_us);
+      }
     }
     return;
   }
@@ -426,11 +474,34 @@ void ScaleNetwork::HandOffRuns(Tick window_end, bool record_profile) {
     // merge_us is this coordinator section (hand-off + watermark
     // emission) — the serial cost off-barrier emission removes.
     seal_us_samples_.push_back(seal_us);
+    if (fused_charge_flush_) {
+      flush_us_samples_.push_back(flush_us);
+    }
     merge_us_samples_.push_back(static_cast<uint32_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
             .count()));
   }
+}
+
+uint64_t ScaleNetwork::charge_flush_visits() const {
+  // Serial-path visits accumulate here; fused-path visits accumulate on
+  // the builders (per-shard, worker-written). At most one of the two is
+  // nonzero in any one run, but summing both keeps the accessor honest
+  // either way.
+  uint64_t total = charge_flush_visits_;
+  for (const auto& b : builders_) {
+    total += b->charge_flush_visits();
+  }
+  return total;
+}
+
+uint64_t ScaleNetwork::charge_flushes() const {
+  uint64_t total = 0;
+  for (const auto& m : motes_) {
+    total += m->logger().charge_flushes();
+  }
+  return total;
 }
 
 uint64_t ScaleNetwork::premerge_seal_calls() const {

@@ -72,6 +72,16 @@ struct ScaleNetworkConfig {
   // running both and comparing merged-trace hashes; this flag exists for
   // exactly those tests and for A/B measurements.
   bool legacy_full_charge_sweep = false;
+  // Keep the charge flush on the serial barrier hook (the PR 7 per-shard
+  // dirty lists, walked by the coordinator) instead of fusing it into the
+  // per-shard pre-barrier seal pass. Only meaningful on the pre-merged
+  // pipeline with batch_log_charging — everywhere else the serial hook is
+  // the only flush there is. All three flush paths (fused ∥ / serial
+  // hook / legacy sweep) produce identical simulations; the charge-flush
+  // equality tests pin hashes and visit counters across them, and this
+  // flag exists for those tests and for A/B residue measurements
+  // (bench --serial-charge-flush).
+  bool serial_charge_flush = false;
   // Topology. kChain reproduces the original benchmark byte for byte;
   // kGrid adds the grid/multi-sink layout for wide networks.
   ScaleTopology topology = ScaleTopology::kChain;
@@ -158,23 +168,37 @@ class ScaleNetwork {
   // for a streamed run's merge to equal the batch merge.
   uint64_t entries_dropped() const;
 
-  // Flushes every mote's batched logger self-charge. With dirty lists
-  // active (the default under batch_log_charging) this visits only the
-  // loggers that actually accumulated cycles since the last flush —
-  // marked through QuantoLogger's charge-dirty hook, so an idle mote
-  // costs the window flush exactly nothing — taking the flush off the
-  // O(all motes) barrier path. Each shard's dirty loggers flush in
-  // ascending node-id order, which restricted to one event queue is
-  // precisely the order the historical full sweep used; since a flush
-  // only ever touches its own mote's queue, the simulation is
-  // event-identical to the sweep (the equality tests pin the hashes).
+  // Flushes every mote's batched logger self-charge — the *serial* flush
+  // paths. With dirty lists active this visits only the loggers that
+  // actually accumulated cycles since the last flush — marked through
+  // QuantoLogger's charge-dirty hook, so an idle mote costs the window
+  // flush exactly nothing — taking the flush off the O(all motes)
+  // barrier path. Each shard's dirty loggers flush in ascending node-id
+  // order, which restricted to one event queue is precisely the order
+  // the historical full sweep used; since a flush only ever touches its
+  // own mote's queue, the simulation is event-identical to the sweep
+  // (the equality tests pin the hashes). On the default pre-merged
+  // sharded build the flush is instead *fused* into the per-shard
+  // pre-barrier seal pass (ShardRunBuilder::BuildRun with flush_charges)
+  // and this function is never hooked — see fused_charge_flush().
   void FlushAllCharges();
 
-  // Loggers visited by FlushAllCharges / flush rounds, cumulatively. A
+  // The fused worker-side flush is active: no serial flush hook is
+  // registered, and each shard's window task clears charge + seal in one
+  // sorted dirty pass.
+  bool fused_charge_flush() const { return fused_charge_flush_; }
+
+  // Loggers visited by charge-flush rounds, cumulatively, summed across
+  // the serial paths (FlushAllCharges) and the fused per-shard passes. A
   // healthy dirty-list run has visits ≪ windows × motes; the legacy
-  // sweep has visits == windows × motes exactly.
-  uint64_t charge_flush_visits() const { return charge_flush_visits_; }
+  // sweep has visits == windows × motes exactly; fused and serial-hook
+  // runs of one workload have *equal* visits (one pass per dirty mote
+  // per window, not two — the equality tests pin it).
+  uint64_t charge_flush_visits() const;
   uint64_t charge_flush_windows() const { return charge_flush_windows_; }
+  // FlushCpuCharge calls that actually handed cycles to a CPU, summed
+  // over motes — equal across all three flush paths.
+  uint64_t charge_flushes() const;
 
   // Construction arena stats (bytes reserved/allocated, allocation and
   // slab counts) — the bench records them next to construct_ms.
@@ -214,6 +238,15 @@ class ScaleNetwork {
   }
   const std::vector<uint32_t>& merge_us_samples() const {
     return merge_us_samples_;
+  }
+  // Per-window charge-flush time (profile_barrier only). Fused path: max
+  // per-shard fused-pass time, recorded at the hand-off hook like
+  // seal_us — a subset of that window's seal_us, running ∥ pre-barrier.
+  // Serial paths: FlushAllCharges' own duration on the coordinator — a
+  // subset of that window's barrier_us. Comparing the two series is the
+  // residue A/B the bench's --serial-charge-flush flag exists for.
+  const std::vector<uint32_t>& flush_us_samples() const {
+    return flush_us_samples_;
   }
 
  private:
@@ -257,13 +290,17 @@ class ScaleNetwork {
   // Parallel barrier pipeline: one pre-merge builder per shard (empty on
   // the coordinator-sweep and single-engine paths).
   std::vector<std::unique_ptr<ShardRunBuilder>> builders_;
-  // One list per shard (batch_log_charging without the legacy sweep).
+  // One list per shard (serial-hook dirty flush only: batch_log_charging
+  // without the legacy sweep, on a path where the flush is not fused
+  // into the builders' seal pass).
   std::vector<ChargeDirtyList> charge_dirty_;
   std::vector<QuantoLogger*> charge_flush_scratch_;
+  bool fused_charge_flush_ = false;
   uint64_t charge_flush_visits_ = 0;
   uint64_t charge_flush_windows_ = 0;
   std::vector<uint32_t> seal_us_samples_;
   std::vector<uint32_t> merge_us_samples_;
+  std::vector<uint32_t> flush_us_samples_;
 };
 
 }  // namespace quanto

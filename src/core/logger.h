@@ -99,12 +99,23 @@ class QuantoLogger {
   bool charge_batching() const { return batch_charging_; }
   Cycles pending_charge() const { return pending_charge_; }
 
-  // Charge-dirty hook — the dirty-list primitive of the batched flush.
-  // Fires at most once per flush interval: when pending_charge_ goes from
-  // zero to nonzero. The collector (ScaleNetwork) uses it to maintain
-  // per-shard lists of loggers that actually owe a charge, so the window
-  // flush visits those instead of sweeping every mote. Same plain
-  // fn-ptr + ctx shape as SetDirtyHook, for the same hot-path reason.
+  // Charge-dirty hook — the dirty-list primitive of the *serial-hook*
+  // batched flush. Fires at most once per flush interval: when
+  // pending_charge_ goes from zero to nonzero. The collector
+  // (ScaleNetwork) uses it to maintain per-shard lists of loggers that
+  // actually owe a charge, so the window flush visits those instead of
+  // sweeping every mote. Same plain fn-ptr + ctx shape as SetDirtyHook,
+  // for the same hot-path reason.
+  //
+  // Unified-dirty-list note: under batch charging every Append both logs
+  // an entry and accrues charge, and both dirty bits are cleared once per
+  // window (SealToSink clears dirty_, the flush clears pending_charge_,
+  // and nothing appends between them — only coordinator hooks run there).
+  // The charge-dirty set therefore always coincides with the log-dirty
+  // set, which is why the fused worker-side flush (ShardRunBuilder's
+  // flush+seal pass) reuses the seal dirty list and leaves this hook
+  // unwired — one list, one sort, one pass. This hook remains for the
+  // retained serial-hook path and for collectors without run builders.
   using ChargeDirtyHook = void (*)(void* ctx, QuantoLogger* logger);
   void SetChargeDirtyHook(ChargeDirtyHook hook, void* ctx) {
     charge_dirty_hook_ = hook;
@@ -121,10 +132,18 @@ class QuantoLogger {
     // mote flushed once per window regardless of what the flush logged.
     Cycles cycles = pending_charge_;
     pending_charge_ = 0;
+    ++charge_flushes_;
     if (charge_hook_ != nullptr) {
       charge_hook_->ChargeCycles(cycles);
     }
   }
+
+  // FlushCpuCharge calls that found a nonzero pending charge — i.e. actual
+  // ChargeCycles hand-offs. Identical across the fused worker-side flush,
+  // the serial dirty-list hook and the legacy full sweep (the sweep's
+  // extra visits all hit the zero-pending early return); the charge-flush
+  // equality tests pin exactly that.
+  uint64_t charge_flushes() const { return charge_flushes_; }
 
   void SetEnabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
@@ -344,6 +363,7 @@ class QuantoLogger {
   uint64_t entries_logged_ = 0;
   uint64_t entries_dropped_ = 0;
   Cycles sync_cycles_spent_ = 0;
+  uint64_t charge_flushes_ = 0;
 };
 
 }  // namespace quanto

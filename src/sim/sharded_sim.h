@@ -21,8 +21,8 @@
 //    shard parks at the barrier, an optional parallel drain phase runs
 //    once per shard (destination-owned work such as the fabric's mailbox
 //    merge — see AddShardDrainTask), then the serial barrier hooks
-//    (bookkeeping, batched-charge flushes) run on the coordinating
-//    thread in registration order. Each drain task writes only its own
+//    (O(shards) hand-off bookkeeping) run on the coordinating thread in
+//    registration order. Each drain task writes only its own
 //    shard's engine and applies inputs in a deterministic merge order,
 //    so the events it schedules get identical sequence numbers at any
 //    thread count — the same argument as for the hooks themselves.
@@ -83,8 +83,12 @@ class ShardedSimulator {
   EventQueue& queue(size_t shard) { return *queues_[shard]; }
 
   // Runs after every window, on the coordinating thread, in registration
-  // order, with all shards parked at `window_end`. This is where the
-  // medium fabric drains its mailboxes and batched loggers flush.
+  // order, with all shards parked at `window_end`. This is the serial
+  // residue of the window — O(shards) hand-off work only (the fabric's
+  // retirement swap, the sealed-run hand-off): the per-mote work that
+  // once lived here has moved to the parallel phases (mailbox drain to
+  // ShardDrainTasks, dirty-logger sealing and the batched charge flush
+  // to the fused pre-barrier ShardWindowTask).
   using BarrierHook = std::function<void(Tick window_end)>;
   void AddBarrierHook(BarrierHook hook) {
     hooks_.push_back(std::move(hook));
@@ -93,10 +97,13 @@ class ShardedSimulator {
   // Pre-barrier parallel phase: runs once per shard per window, on the
   // worker thread that just advanced that shard to `window_end`, before
   // the coordinator's BarrierHooks resume. This is where per-shard barrier
-  // work that used to serialize on the coordinator (sealing dirty loggers
-  // into pre-merged runs) overlaps across shards — and with other shards
-  // still executing their windows. Tasks must touch only shard-local
-  // state; the window barrier publishes their writes to the coordinator.
+  // work that used to serialize on the coordinator — sealing dirty
+  // loggers into pre-merged runs, fused with the batched charge flush —
+  // overlaps across shards, and with other shards still executing their
+  // windows. Tasks must touch only shard-local state (the charge flush
+  // qualifies: it only ever reschedules events in the owning shard's own
+  // queue, at ticks beyond `window_end`); the window barrier publishes
+  // their writes to the coordinator.
   using ShardWindowTask = std::function<void(size_t shard, Tick window_end)>;
   void AddShardWindowTask(ShardWindowTask task) {
     shard_tasks_.push_back(std::move(task));

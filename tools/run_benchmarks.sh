@@ -203,6 +203,35 @@ if [ -n "$FABRIC_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
   done
 fi
 
+# Charge-flush residue A/B phase: a serial-hook flush baseline at the
+# parallel-barrier phase's default size, in its own process. The
+# in-process big phase records the fused rows (flush on the workers,
+# inside the pre-barrier seal pass); this row keeps the flush on the
+# coordinator's barrier hook, so residue_summary can show the flush
+# leaving the serial section against a same-binary baseline — equal merge
+# hashes and charge_flush_visits across the pair are the differential
+# proof at scale. Override rows with
+# SCALE_RESIDUE_ROWS="motes:threads ..."; empty disables.
+RESIDUE_ROWS="${SCALE_RESIDUE_ROWS-16384:1}"
+residue_entries="$SCRATCH/residue_rows.txt"
+: >"$residue_entries"
+if [ -n "$RESIDUE_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
+  for row in $RESIDUE_ROWS; do
+    motes="${row%%:*}"
+    threads="${row##*:}"
+    row_json="$SCRATCH/residue_${motes}_${threads}.json"
+    echo "== Serial-charge-flush row: $motes motes ($threads threads)"
+    "$BUILD_DIR/bench_scale_multihop" --motes "$motes" --topology grid \
+      --sinks 4 --seconds 2 --threads "$threads" --stream-traces \
+      --serial-charge-flush \
+      --json "$row_json" >"$SCRATCH/residue_${motes}_${threads}.out" 2>&1 || {
+      echo "   row failed; see $SCRATCH/residue_${motes}_${threads}.out"
+      continue
+    }
+    printf '%s\t%s\t%s\n' "$motes" "$threads" "$row_json" >>"$residue_entries"
+  done
+fi
+
 # Keep the canonical copy of the scale benchmark's JSON at the repo root
 # so successive PRs have a perf trajectory. Stamp the recording host's
 # core count and mark multi-thread rows "timesliced" when the host cannot
@@ -213,7 +242,7 @@ fi
 if [ -f "$SCRATCH/bench_scale_multihop.json" ]; then
   NPROC="$(nproc)" python3 - "$SCRATCH/bench_scale_multihop.json" \
     "$REPO_ROOT/BENCH_scale.json" "$mem_entries" "$huge_entries" \
-    "$fabric_entries" <<'EOF'
+    "$fabric_entries" "$residue_entries" <<'EOF'
 import json
 import os
 import sys
@@ -222,15 +251,16 @@ src, dst = sys.argv[1], sys.argv[2]
 mem_entries = sys.argv[3] if len(sys.argv) > 3 else None
 huge_entries = sys.argv[4] if len(sys.argv) > 4 else None
 fabric_entries = sys.argv[5] if len(sys.argv) > 5 else None
+residue_entries = sys.argv[6] if len(sys.argv) > 6 else None
 nproc = int(os.environ["NPROC"])
 with open(src) as f:
     data = json.load(f)
 data["nproc"] = nproc
 
-# Wide-node and fabric-baseline separate-process rows join the in-process
-# sweep's runs; each row's JSON holds exactly one run (its --motes
-# invocation).
-for entries_file in (huge_entries, fabric_entries):
+# Wide-node, fabric-baseline and residue-baseline separate-process rows
+# join the in-process sweep's runs; each row's JSON holds exactly one run
+# (its --motes invocation).
+for entries_file in (huge_entries, fabric_entries, residue_entries):
     if not entries_file or not os.path.exists(entries_file):
         continue
     for line in open(entries_file):
@@ -421,6 +451,37 @@ if fabric_rows:
     keep = serial_sizes | {biggest}
     data["fabric_summary"] = [r for r in fabric_rows
                               if r["motes"] in keep]
+
+# Charge-flush residue summary: fused rows (flush_us on the workers,
+# inside the pre-barrier seal) next to the serial-hook baseline row
+# (flush_us on the coordinator, inside barrier_us). Equal merge hashes
+# and charge_flush_visits across the block prove the fused pass visits
+# each dirty mote once per window with byte-identical output; the
+# barrier_us drop between serial and fused rows is the residue actually
+# cleared from the serial section.
+residue_rows = []
+for run in data.get("runs", []):
+    if not run.get("premerge") or "flush_us" not in run:
+        continue
+    residue_rows.append({
+        "motes": run.get("motes"),
+        "threads": run.get("threads"),
+        "serial_charge_flush": run.get("serial_charge_flush"),
+        "windows": run.get("barrier_windows"),
+        "charge_flush_visits": run.get("charge_flush_visits"),
+        "charge_flush_windows": run.get("charge_flush_windows"),
+        "flush_us": run.get("flush_us"),
+        "seal_us": run.get("seal_us"),
+        "barrier_us": run.get("barrier_us"),
+        "merge_hash": run.get("merge_hash"),
+    })
+if residue_rows:
+    biggest = max(r["motes"] for r in residue_rows)
+    serial_sizes = {r["motes"] for r in residue_rows
+                    if r["serial_charge_flush"]}
+    keep = serial_sizes | {biggest}
+    data["residue_summary"] = [r for r in residue_rows
+                               if r["motes"] in keep]
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
