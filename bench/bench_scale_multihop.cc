@@ -296,6 +296,10 @@ struct RunOptions {
   // merge (--serial-drain); kept for the fabric A/B baseline.
   bool serial_drain = false;
   std::string trace_path;  // Empty: no trace dump.
+  // Entries per spill segment (--segment-entries): index granularity for
+  // the streamed spill. Default matches FileTraceSink; merged entries and
+  // hashes are invariant to it.
+  size_t segment_entries = FileTraceSink::kDefaultSegmentEntries;
 };
 
 // Seconds() takes an integral count; convert fractional durations
@@ -401,7 +405,15 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
     std::unique_ptr<EmissionPipeline> emission;
     if (opts.stream) {
       if (!opts.trace_path.empty()) {
-        spill = std::make_unique<FileTraceSink>(opts.trace_path);
+        // Streamed spills carry the segment footer index: built entry by
+        // entry behind the emit hook (the emission consumer thread under
+        // the async default — zero barrier cost) and appended at Close.
+        // The data segments stay byte-identical to an unindexed spill.
+        cfg.segment_entries = opts.segment_entries;
+        FileTraceSink::Options sink_opts;
+        sink_opts.segment_entries = cfg.segment_entries;
+        sink_opts.write_index = true;
+        spill = std::make_unique<FileTraceSink>(opts.trace_path, sink_opts);
         FileTraceSink* sink = spill.get();
         merger.SetEmit(
             [sink](const MergedEntry& m) { sink->Append(m.entry); });
@@ -496,7 +508,8 @@ RunResult RunNetwork(size_t n_motes, double sim_seconds,
         if (spill->Close()) {
           std::cout << "  spilled merged trace " << opts.trace_path << " ("
                     << spill->entries_written() << " entries, "
-                    << spill->segments_written() << " segments)\n";
+                    << spill->segments_written() << " segments, "
+                    << spill->index_bytes_written() << " index bytes)\n";
         } else {
           std::cerr << "cannot write " << opts.trace_path << "\n";
         }
@@ -749,6 +762,14 @@ int Run(int argc, char** argv) {
       opts.lookahead = Microseconds(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--segment-entries") == 0 &&
+               i + 1 < argc) {
+      long n = std::atol(argv[++i]);
+      if (n <= 0) {
+        std::cerr << "--segment-entries wants a positive count\n";
+        return 2;
+      }
+      opts.segment_entries = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
       std::string t = argv[++i];
       if (t == "chain") {

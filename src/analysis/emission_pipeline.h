@@ -44,6 +44,12 @@
 // Teardown: the destructor asks the consumer to finish the remaining
 // queue and joins it — early teardown (no Drain) loses no merge output
 // and leaves no pooled buffer in flight.
+//
+// When the downstream sink is an index-writing FileTraceSink
+// (Options::write_index), the per-segment footer accumulation
+// (TraceIndexBuilder inside the sink's Append) rides this consumer
+// thread too: indexing a spill costs the window barrier nothing — the
+// same zero-barrier-cost argument as the merge itself.
 #ifndef QUANTO_SRC_ANALYSIS_EMISSION_PIPELINE_H_
 #define QUANTO_SRC_ANALYSIS_EMISSION_PIPELINE_H_
 

@@ -1,5 +1,6 @@
 #include "src/analysis/trace_io.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -10,7 +11,7 @@ namespace quanto {
 namespace {
 
 constexpr uint8_t kMagic[4] = {'Q', 'N', 'T', 'O'};
-constexpr size_t kHeaderBytes = 4 + 2 + 2 + 4;
+constexpr size_t kHeaderBytes = kTraceContainerHeaderBytes;
 constexpr size_t kEntryBytesV1 = 12;  // u16 payload, legacy labels.
 constexpr size_t kEntryBytesV2 = 14;  // u32 payload, wide labels.
 constexpr size_t kEntryBytesV3 = 16;  // 48-bit payload, wide-node labels.
@@ -52,7 +53,9 @@ uint64_t GetU48(const uint8_t* p) {
   return v;
 }
 
-size_t EntryBytesFor(uint16_t version) {
+}  // namespace
+
+size_t TraceContainerEntryBytes(uint16_t version) {
   switch (version) {
     case kTraceVersionLegacy:
       return kEntryBytesV1;
@@ -63,7 +66,40 @@ size_t EntryBytesFor(uint16_t version) {
   }
 }
 
-}  // namespace
+bool ParseTraceSegmentHeader(const uint8_t* p, size_t avail,
+                             uint16_t* version, uint32_t* count) {
+  if (avail < kHeaderBytes || std::memcmp(p, kMagic, 4) != 0) {
+    return false;
+  }
+  uint16_t v = GetU16(p + 4);
+  if (v != kTraceVersionLegacy && v != kTraceVersionWide &&
+      v != kTraceVersionWideNode) {
+    return false;
+  }
+  *version = v;
+  *count = GetU32(p + 8);
+  return true;
+}
+
+void DecodeTraceRecords(uint16_t version, const uint8_t* p, uint32_t count,
+                        LogEntry* out) {
+  size_t entry_bytes = TraceContainerEntryBytes(version);
+  for (uint32_t i = 0; i < count; ++i) {
+    LogEntry& e = out[i];
+    e.type = p[0];
+    e.res_id = p[1];
+    e.time = GetU32(p + 2);
+    e.icount = GetU32(p + 6);
+    if (version == kTraceVersionLegacy) {
+      e.payload = WideEntryPayload(e, GetU16(p + 10));
+    } else if (version == kTraceVersionWide) {
+      e.payload = WideFromV2Payload(e, GetU32(p + 10));
+    } else {
+      e.payload = GetU48(p + 10);
+    }
+    p += entry_bytes;
+  }
+}
 
 uint16_t TraceSerializationVersion(const std::vector<LogEntry>& entries) {
   uint16_t version = kTraceVersionLegacy;
@@ -86,7 +122,7 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
   if (format == TraceFormat::kV2 && version == kTraceVersionLegacy) {
     version = kTraceVersionWide;
   }
-  size_t entry_bytes = EntryBytesFor(version);
+  size_t entry_bytes = TraceContainerEntryBytes(version);
   std::vector<uint8_t> out;
   out.reserve(kHeaderBytes + entries.size() * entry_bytes);
   for (uint8_t m : kMagic) {
@@ -113,49 +149,26 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
 
 namespace {
 
-// Parses one complete container starting at `offset`, appending its
-// entries to `out` and advancing `offset` past it. Returns false on bad
-// magic/version or truncation (offset is left unspecified).
-bool ParseSegment(const std::vector<uint8_t>& blob, size_t* offset,
+// Parses one complete container starting at `offset` within
+// `data[0, size)`, appending its entries to `out` and advancing `offset`
+// past it. Returns false on bad magic/version or truncation (offset is
+// left at the segment start).
+bool ParseSegment(const uint8_t* data, size_t size, size_t* offset,
                   std::vector<LogEntry>* out) {
   size_t at = *offset;
-  if (blob.size() - at < kHeaderBytes) {
+  uint16_t version;
+  uint32_t count;
+  if (!ParseTraceSegmentHeader(data + at, size - at, &version, &count)) {
     return false;
   }
-  for (int i = 0; i < 4; ++i) {
-    if (blob[at + static_cast<size_t>(i)] != kMagic[i]) {
-      return false;
-    }
-  }
-  uint16_t version = GetU16(blob.data() + at + 4);
-  if (version != kTraceVersionLegacy && version != kTraceVersionWide &&
-      version != kTraceVersionWideNode) {
-    return false;
-  }
-  size_t entry_bytes = EntryBytesFor(version);
-  uint32_t count = GetU32(blob.data() + at + 8);
-  if (blob.size() - at - kHeaderBytes <
-      static_cast<size_t>(count) * entry_bytes) {
+  size_t entry_bytes = TraceContainerEntryBytes(version);
+  if (size - at - kHeaderBytes < static_cast<size_t>(count) * entry_bytes) {
     return false;  // Truncated dump.
   }
-  out->reserve(out->size() + count);
-  const uint8_t* p = blob.data() + at + kHeaderBytes;
-  for (uint32_t i = 0; i < count; ++i) {
-    LogEntry e;
-    e.type = p[0];
-    e.res_id = p[1];
-    e.time = GetU32(p + 2);
-    e.icount = GetU32(p + 6);
-    if (version == kTraceVersionLegacy) {
-      e.payload = WideEntryPayload(e, GetU16(p + 10));
-    } else if (version == kTraceVersionWide) {
-      e.payload = WideFromV2Payload(e, GetU32(p + 10));
-    } else {
-      e.payload = GetU48(p + 10);
-    }
-    out->push_back(e);
-    p += entry_bytes;
-  }
+  size_t have = out->size();
+  out->resize(have + count);
+  DecodeTraceRecords(version, data + at + kHeaderBytes, count,
+                     out->data() + have);
   *offset = at + kHeaderBytes + static_cast<size_t>(count) * entry_bytes;
   return true;
 }
@@ -164,15 +177,35 @@ bool ParseSegment(const std::vector<uint8_t>& blob, size_t* offset,
 
 std::optional<std::vector<LogEntry>> DeserializeTrace(
     const std::vector<uint8_t>& blob) {
+  // A validated index trailer delimits the data region exactly; without
+  // one the whole blob must be segments.
+  size_t data_bytes = blob.size();
+  if (blob.size() >= kIndexTrailerBytes) {
+    uint64_t index_bytes = ProbeIndexTrailer(
+        blob.data() + blob.size() - kIndexTrailerBytes, blob.size());
+    if (index_bytes != 0 &&
+        ParseTraceIndex(blob.data() + (blob.size() - index_bytes),
+                        index_bytes, blob.size() - index_bytes)
+            .has_value()) {
+      data_bytes = blob.size() - index_bytes;
+    }
+  }
   std::vector<LogEntry> entries;
   size_t offset = 0;
-  // At least one segment, then as many as the blob holds; any leftover
-  // bytes that do not parse as a full segment reject the whole blob.
+  // At least one segment, then as many as the data region holds.
   do {
-    if (!ParseSegment(blob, &offset, &entries)) {
+    if (!ParseSegment(blob.data(), data_bytes, &offset, &entries)) {
+      // Leftover bytes that start an index block are a *damaged* index
+      // (its trailer or content failed validation above): the data
+      // segments before it are intact, so keep them. Any other leftover
+      // rejects the whole blob.
+      if (offset > 0 && data_bytes - offset >= 4 &&
+          std::memcmp(blob.data() + offset, kIndexMagic, 4) == 0) {
+        break;
+      }
       return std::nullopt;
     }
-  } while (offset < blob.size());
+  } while (offset < data_bytes);
   return entries;
 }
 
@@ -201,9 +234,14 @@ std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path) {
 // --- FileTraceSink -----------------------------------------------------------
 
 FileTraceSink::FileTraceSink(const std::string& path, size_t segment_entries)
+    : FileTraceSink(path, Options{segment_entries, /*write_index=*/false}) {}
+
+FileTraceSink::FileTraceSink(const std::string& path, const Options& options)
     : path_(path),
-      segment_entries_(segment_entries == 0 ? 1 : segment_entries),
-      out_(path, std::ios::binary | std::ios::trunc) {
+      segment_entries_(options.segment_entries == 0 ? 1
+                                                    : options.segment_entries),
+      out_(path, std::ios::binary | std::ios::trunc),
+      write_index_(options.write_index) {
   ok_ = static_cast<bool>(out_);
   buffer_.reserve(segment_entries_);
 }
@@ -211,6 +249,9 @@ FileTraceSink::FileTraceSink(const std::string& path, size_t segment_entries)
 FileTraceSink::~FileTraceSink() { Close(); }
 
 void FileTraceSink::Append(const LogEntry& entry) {
+  if (write_index_) {
+    index_builder_.Add(entry);
+  }
   buffer_.push_back(entry);
   if (buffer_.size() >= segment_entries_) {
     SpillSegment();
@@ -226,6 +267,12 @@ void FileTraceSink::SpillSegment() {
     out_.write(reinterpret_cast<const char*>(blob.data()),
                static_cast<std::streamsize>(blob.size()));
     ok_ = static_cast<bool>(out_);
+    if (write_index_) {
+      index_builder_.FinishSegment(bytes_written_, blob.size(),
+                                   GetU16(blob.data() + 4),
+                                   static_cast<uint32_t>(buffer_.size()));
+    }
+    bytes_written_ += blob.size();
     entries_written_ += buffer_.size();
     ++segments_written_;
   }
@@ -245,7 +292,22 @@ bool FileTraceSink::Close() {
     out_.write(reinterpret_cast<const char*>(blob.data()),
                static_cast<std::streamsize>(blob.size()));
     ok_ = static_cast<bool>(out_);
+    if (write_index_) {
+      index_builder_.FinishSegment(bytes_written_, blob.size(),
+                                   GetU16(blob.data() + 4), 0);
+    }
+    bytes_written_ += blob.size();
     ++segments_written_;
+  }
+  if (ok_ && write_index_) {
+    // The trailing index block: data segments are already byte-identical
+    // with what an unindexed sink writes; everything from here on is the
+    // appended index.
+    auto blob = SerializeTraceIndex(index_builder_.index());
+    out_.write(reinterpret_cast<const char*>(blob.data()),
+               static_cast<std::streamsize>(blob.size()));
+    ok_ = static_cast<bool>(out_);
+    index_bytes_written_ = blob.size();
   }
   if (ok_) {
     out_.flush();

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/trace_index.h"
 #include "src/core/activity_registry.h"
 #include "src/core/log_entry.h"
 
@@ -40,6 +41,29 @@ namespace quanto {
 inline constexpr uint16_t kTraceVersionLegacy = 1;    // 12-byte records.
 inline constexpr uint16_t kTraceVersionWide = 2;      // 14-byte records.
 inline constexpr uint16_t kTraceVersionWideNode = 3;  // 16-byte records.
+
+// Container header: magic "QNTO" | u16 version | u16 reserved | u32 count.
+inline constexpr size_t kTraceContainerHeaderBytes = 4 + 2 + 2 + 4;
+
+// Bytes per serialized record for a container version (12/14/16).
+size_t TraceContainerEntryBytes(uint16_t version);
+
+// Low-level container access, shared by DeserializeTrace and the
+// segment-at-a-time reader (src/analysis/trace_reader.h). Both operate on
+// exactly the same bytes-to-entries mapping, which is what makes the
+// parallel per-segment decode byte-identical to the linear scan.
+//
+// Validates and decodes a container header at `p` (`avail` bytes
+// available). False on bad magic, unknown version, or fewer than
+// kTraceContainerHeaderBytes available.
+bool ParseTraceSegmentHeader(const uint8_t* p, size_t avail,
+                             uint16_t* version, uint32_t* count);
+
+// Decodes `count` records of `version` starting at `p` (the byte after a
+// container header) into `out[0..count)`. The caller has bounds-checked:
+// count * TraceContainerEntryBytes(version) bytes must be readable.
+void DecodeTraceRecords(uint16_t version, const uint8_t* p, uint32_t count,
+                        LogEntry* out);
 
 enum class TraceFormat {
   kAuto,  // Lowest version every entry fits: v1, else v2, else v3.
@@ -69,8 +93,15 @@ std::vector<uint8_t> SerializeTrace(const std::vector<LogEntry>& entries,
 // concatenated back to back (what FileTraceSink spills, see
 // docs/TRACE_FORMAT.md "Spill segments"). Segments are parsed in order and
 // their entries concatenated; each segment carries its own version, so a
-// legacy prefix followed by a wide segment is fine. Trailing bytes that do
-// not start a valid segment reject the whole blob.
+// legacy prefix followed by a wide segment is fine.
+//
+// The blob may additionally end in a segment-index block (docs/
+// TRACE_FORMAT.md "Segment index"): a validated index delimits the data
+// region exactly, and a *damaged* index — recognized by its leading
+// "QNTI" magic at the point where segment parsing stops — is ignored with
+// the intact data segments kept. Any other trailing bytes that do not
+// start a valid segment reject the whole blob (a truncated dump is a
+// broken dump).
 std::optional<std::vector<LogEntry>> DeserializeTrace(
     const std::vector<uint8_t>& blob);
 
@@ -92,12 +123,27 @@ std::optional<std::vector<LogEntry>> ReadTraceFile(const std::string& path);
 // 12-byte records; ReadTraceFile reassembles the segments transparently.
 // A stream that fits one segment produces a file byte-identical to
 // WriteTraceFile on the same entries.
+//
+// With `Options::write_index` set, the sink also accumulates a
+// per-segment footer (time range, origin membership, per-activity
+// totals — see src/analysis/trace_index.h) as entries arrive and appends
+// the index block at Close(). Accumulation happens wherever Append runs —
+// under off-barrier emission that is the EmissionPipeline consumer
+// thread, so indexing adds zero window-barrier cost. The data segments
+// are byte-identical with the index on or off; the index is purely
+// appended.
 class FileTraceSink {
  public:
   inline static constexpr size_t kDefaultSegmentEntries = 1 << 16;
 
+  struct Options {
+    size_t segment_entries = kDefaultSegmentEntries;
+    bool write_index = false;
+  };
+
   FileTraceSink(const std::string& path,
                 size_t segment_entries = kDefaultSegmentEntries);
+  FileTraceSink(const std::string& path, const Options& options);
   ~FileTraceSink();
 
   FileTraceSink(const FileTraceSink&) = delete;
@@ -108,12 +154,20 @@ class FileTraceSink {
 
   void Append(const LogEntry& entry);
 
-  // Spills the buffered remainder and flushes. Returns ok(). Called by
-  // the destructor if needed; call it explicitly to observe the result.
+  // Spills the buffered remainder, appends the index block (when
+  // indexing) and flushes. Returns ok(). Called by the destructor if
+  // needed; call it explicitly to observe the result.
   bool Close();
 
   uint64_t entries_written() const { return entries_written_; }
   uint64_t segments_written() const { return segments_written_; }
+  size_t segment_entries() const { return segment_entries_; }
+  bool write_index() const { return write_index_; }
+  // Bytes of the appended index block; 0 until Close() (or when not
+  // indexing).
+  uint64_t index_bytes_written() const { return index_bytes_written_; }
+  // The accumulated footers (complete only after Close()).
+  const TraceIndex& index() const { return index_builder_.index(); }
 
  private:
   void SpillSegment();
@@ -124,8 +178,12 @@ class FileTraceSink {
   std::ofstream out_;
   bool ok_ = false;
   bool closed_ = false;
+  bool write_index_ = false;
   uint64_t entries_written_ = 0;
   uint64_t segments_written_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t index_bytes_written_ = 0;
+  TraceIndexBuilder index_builder_;
 };
 
 // --- Text dump ------------------------------------------------------------------

@@ -132,6 +132,16 @@ struct ScaleNetworkConfig {
   // off-barrier pipeline merge_us is recorded by the consumer thread
   // (where the merge now runs) and copied back at SealAllChunks().
   bool profile_barrier = false;
+  // Entries per spill-file segment for harnesses that attach a
+  // FileTraceSink behind the emit hook (bench --segment-entries). The
+  // network itself never opens the spill file — this rides here so the
+  // collection knobs live together and every harness agrees on the
+  // default. Segment granularity is also index granularity: smaller
+  // segments mean finer-grained query skipping at a few more footer
+  // bytes per segment (src/analysis/trace_index.h). Spilled *bytes* are
+  // unaffected apart from per-segment headers; merged entries, hashes
+  // and report output never depend on it.
+  size_t segment_entries = 1 << 16;  // FileTraceSink::kDefaultSegmentEntries.
 };
 
 class ScaleNetwork {

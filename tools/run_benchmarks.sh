@@ -79,6 +79,9 @@ found_any=0
 for bin in "$BUILD_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   [ -f "$bin" ] || continue
+  # bench_read_path needs a spill file to read; it runs in its own phase
+  # below, against the trace the read phase generates.
+  [ "$(basename "$bin")" = "bench_read_path" ] && continue
   found_any=1
   run_bench "$bin"
 done
@@ -232,6 +235,44 @@ if [ -n "$RESIDUE_ROWS" ] && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
   done
 fi
 
+# Read-path phase: generate an indexed spill at the barrier phase's size
+# (16 384-mote grid, streamed collection, footers accumulated by the
+# emission consumer as the file is written), then measure the read side —
+# full decodes at 1/2/4 reader threads (hash-checked against the linear
+# reader), a 10%-of-the-run time-range query (segment skip counters, the
+# <= 25% pruning bar enforced in-binary), and the footer-only summary
+# query. The RSS guard bounds the per-segment read path: the reader must
+# never slurp the whole file. Override with SCALE_READ_ROW="motes:threads"
+# (the spill generator's size/threads); empty disables.
+READ_ROW="${SCALE_READ_ROW-16384:1}"
+read_json=""
+if [ -n "$READ_ROW" ] && [ -x "$BUILD_DIR/bench_read_path" ] \
+    && [ -x "$BUILD_DIR/bench_scale_multihop" ]; then
+  motes="${READ_ROW%%:*}"
+  threads="${READ_ROW##*:}"
+  echo "== Read-path phase: generating $motes-mote indexed spill"
+  if "$BUILD_DIR/bench_scale_multihop" --motes "$motes" --topology grid \
+      --sinks 4 --seconds 2 --threads "$threads" --stream-traces \
+      --trace "$SCRATCH/readspill" \
+      --json "$SCRATCH/readspill_gen.json" \
+      >"$SCRATCH/readspill_gen.out" 2>&1; then
+    spill="$SCRATCH/readspill.${threads}t.qnto"
+    echo "== Read-path phase: bench_read_path over $spill"
+    if "$BUILD_DIR/bench_read_path" --trace "$spill" --threads 1,2,4 \
+        --repeat 3 --time-frac 0.1 --max-rss-mb 2048 \
+        --json "$SCRATCH/read_path.json" \
+        >"$SCRATCH/read_path.out" 2>&1; then
+      read_json="$SCRATCH/read_path.json"
+      cat "$SCRATCH/read_path.out"
+    else
+      echo "   read bench failed; see $SCRATCH/read_path.out"
+      tail -5 "$SCRATCH/read_path.out"
+    fi
+  else
+    echo "   spill generation failed; see $SCRATCH/readspill_gen.out"
+  fi
+fi
+
 # Keep the canonical copy of the scale benchmark's JSON at the repo root
 # so successive PRs have a perf trajectory. Stamp the recording host's
 # core count and mark multi-thread rows "timesliced" when the host cannot
@@ -242,7 +283,7 @@ fi
 if [ -f "$SCRATCH/bench_scale_multihop.json" ]; then
   NPROC="$(nproc)" python3 - "$SCRATCH/bench_scale_multihop.json" \
     "$REPO_ROOT/BENCH_scale.json" "$mem_entries" "$huge_entries" \
-    "$fabric_entries" "$residue_entries" <<'EOF'
+    "$fabric_entries" "$residue_entries" "$read_json" <<'EOF'
 import json
 import os
 import sys
@@ -252,6 +293,7 @@ mem_entries = sys.argv[3] if len(sys.argv) > 3 else None
 huge_entries = sys.argv[4] if len(sys.argv) > 4 else None
 fabric_entries = sys.argv[5] if len(sys.argv) > 5 else None
 residue_entries = sys.argv[6] if len(sys.argv) > 6 else None
+read_json = sys.argv[7] if len(sys.argv) > 7 else None
 nproc = int(os.environ["NPROC"])
 with open(src) as f:
     data = json.load(f)
@@ -482,6 +524,20 @@ if residue_rows:
     keep = serial_sizes | {biggest}
     data["residue_summary"] = [r for r in residue_rows
                                if r["motes"] in keep]
+
+# Read-path summary: bench_read_path's JSON verbatim — segment count,
+# full-decode wall per reader thread count (hash-checked against the
+# linear reader), the time-range query's skip counters, and the
+# footer-only summary query. hash_equal False means the parallel decoder
+# diverged — the bench exits nonzero in that case, so a recorded summary
+# with hash_equal true is the byte-identity receipt.
+if read_json and os.path.exists(read_json):
+    try:
+        with open(read_json) as f:
+            data["read_summary"] = json.load(f)
+    except (OSError, ValueError):
+        pass
+
 with open(dst, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
